@@ -1,0 +1,24 @@
+//! Ablation — speculative execution (§IV-B extension). Prints the
+//! comparison, then times the straggler-detection policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use custody_bench::{ablation_speculation_table, FigureOptions};
+use custody_scheduler::speculation::{SpeculationConfig, SpeculationPolicy};
+use custody_simcore::{SimDuration, SimTime};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ablation_speculation_table(&FigureOptions::quick()));
+
+    let mut g = c.benchmark_group("ablation_speculation");
+    g.bench_function("should_speculate_1000_completions", |b| {
+        let mut p = SpeculationPolicy::new(SpeculationConfig::default(), 1000);
+        for i in 0..900 {
+            p.record_completion(SimDuration::from_millis(900 + i % 200));
+        }
+        b.iter(|| p.should_speculate(SimTime::ZERO, SimTime::from_secs(5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 7 — data locality of input tasks: Custody vs Spark standalone,
+//! three workloads × three cluster sizes. Prints the regenerated figure
+//! rows, then times one comparison cell end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use custody_bench::{fig7_fixed_quota_table, fig7_table, run_sweep, FigureOptions};
+use custody_sim::experiment::run_cell;
+use custody_sim::WorkloadKind;
+
+fn bench(c: &mut Criterion) {
+    let opts = FigureOptions::quick();
+    println!("{}", fig7_table(&run_sweep(&opts)));
+    println!("{}", fig7_fixed_quota_table(&opts));
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("cell_sort_25_nodes", |b| {
+        b.iter(|| run_cell(WorkloadKind::Sort, 25, 2, 1))
+    });
+    g.bench_function("cell_pagerank_100_nodes", |b| {
+        b.iter(|| run_cell(WorkloadKind::PageRank, 100, 2, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Theory (Fig. 2, §III) — the flow/matching machinery: quality of the
+//! greedy strategy vs exact optima, and the runtime of Dinic max-flow,
+//! Hopcroft–Karp, the fractional concurrent-flow bound, and the greedy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use custody_bench::theory_quality_table;
+use custody_core::theory::{
+    greedy_local_jobs, hopcroft_karp, max_concurrent_rate, max_min_locality_vector, Dinic,
+    FlowNetwork,
+};
+use custody_core::{AllocationView, AppState, ExecutorInfo, JobDemand, TaskDemand};
+use custody_cluster::ExecutorId;
+use custody_dfs::NodeId;
+use custody_simcore::SimRng;
+use custody_workload::{AppId, JobId};
+
+fn random_view(seed: u64, nodes: usize, apps: usize, tasks_per_app: usize) -> AllocationView {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let executors: Vec<ExecutorInfo> = (0..nodes * 2)
+        .map(|i| ExecutorInfo {
+            id: ExecutorId::new(i),
+            node: NodeId::new(i / 2),
+        })
+        .collect();
+    let apps = (0..apps)
+        .map(|a| {
+            let tasks: Vec<TaskDemand> = (0..tasks_per_app)
+                .map(|t| TaskDemand {
+                    task_index: t,
+                    preferred_nodes: rng
+                        .choose_distinct(nodes, 3.min(nodes))
+                        .into_iter()
+                        .map(NodeId::new)
+                        .collect(),
+                })
+                .collect();
+            AppState {
+                app: AppId::new(a),
+                quota: tasks_per_app,
+                held: 0,
+                local_jobs: 0,
+                total_jobs: 1,
+                local_tasks: 0,
+                total_tasks: tasks_per_app,
+                pending_jobs: vec![JobDemand {
+                    job: JobId::new(a),
+                    pending_tasks: tasks_per_app,
+                    total_inputs: tasks_per_app,
+                    satisfied_inputs: 0,
+                    unsatisfied_inputs: tasks,
+                }],
+            }
+        })
+        .collect();
+    AllocationView {
+        idle: executors.clone(),
+        all_executors: executors,
+        apps,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", theory_quality_table(500, 42));
+
+    let view = random_view(1, 100, 4, 50);
+    let mut g = c.benchmark_group("theory");
+    g.bench_function("flow_network_build_100_nodes", |b| {
+        b.iter(|| FlowNetwork::from_view(&view))
+    });
+    g.bench_function("max_concurrent_rate_100_nodes", |b| {
+        b.iter(|| max_concurrent_rate(&view))
+    });
+    g.bench_function("waterfill_vector_100_nodes", |b| {
+        b.iter(|| max_min_locality_vector(&view))
+    });
+    g.bench_function("dinic_grid_maxflow", |b| {
+        b.iter(|| {
+            let mut d = Dinic::new();
+            let s = d.add_node();
+            let mid = d.add_nodes(200);
+            let t = d.add_node();
+            for i in 0..200 {
+                d.add_edge(s, mid + i, 1.0);
+                d.add_edge(mid + i, t, 1.0);
+            }
+            d.max_flow(s, t)
+        })
+    });
+    let mut rng = SimRng::seed_from_u64(9);
+    let adj: Vec<Vec<usize>> = (0..200).map(|_| rng.choose_distinct(200, 3)).collect();
+    g.bench_function("hopcroft_karp_200x200", |b| {
+        b.iter(|| hopcroft_karp(&adj, 200))
+    });
+    let jobs: Vec<Vec<Vec<usize>>> = (0..20)
+        .map(|_| {
+            (0..8)
+                .map(|_| rng.choose_distinct(64, 3))
+                .collect()
+        })
+        .collect();
+    g.bench_function("greedy_matching_20_jobs", |b| {
+        b.iter(|| greedy_local_jobs(&jobs, 64, 48))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

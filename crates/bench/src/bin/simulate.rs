@@ -1,0 +1,168 @@
+//! Run one simulation from the command line.
+//!
+//! ```text
+//! cargo run --release -p custody-bench --bin simulate -- \
+//!     --workload sort --nodes 50 --allocator custody --jobs 10 --seed 42 \
+//!     [--baseline spark-static] [--racks 4] [--placement rack-aware] \
+//!     [--quota 12] [--scheduler delay:3000|fifo|locality-first] \
+//!     [--fail 10:3] [--speculation] [--trace out.tsv] [--analyze]
+//! ```
+//!
+//! With `--baseline <allocator>` the same configuration is run twice and
+//! the comparison printed; `--trace` writes the per-task TSV log.
+
+use custody_core::AllocatorKind;
+use custody_dfs::NodeId;
+use custody_scheduler::speculation::SpeculationConfig;
+use custody_scheduler::SchedulerKind;
+use custody_sim::report::summary_row;
+use custody_sim::{
+    NodeFailure, PlacementKind, QuotaMode, SimConfig, Simulation, WorkloadKind,
+};
+use custody_simcore::{SimDuration, SimTime};
+
+fn parse_workload(s: &str) -> WorkloadKind {
+    match s {
+        "pagerank" => WorkloadKind::PageRank,
+        "wordcount" => WorkloadKind::WordCount,
+        "sort" => WorkloadKind::Sort,
+        "sqlscan" => WorkloadKind::SqlScan,
+        "kmeans" => WorkloadKind::KMeans,
+        other => panic!("unknown workload {other:?} (pagerank|wordcount|sort|sqlscan|kmeans)"),
+    }
+}
+
+fn parse_allocator(s: &str) -> AllocatorKind {
+    match s {
+        "custody" => AllocatorKind::Custody,
+        "spark-static" => AllocatorKind::StaticSpread,
+        "static-random" => AllocatorKind::StaticRandom,
+        "dynamic-offer" => AllocatorKind::DynamicOffer,
+        "custody-fair-intra" => AllocatorKind::CustodyFairIntra,
+        "custody-naive-inter" => AllocatorKind::CustodyNaiveInter,
+        other => panic!("unknown allocator {other:?}"),
+    }
+}
+
+fn parse_placement(s: &str) -> PlacementKind {
+    match s {
+        "random" => PlacementKind::Random,
+        "round-robin" => PlacementKind::RoundRobin,
+        "popularity" => PlacementKind::Popularity,
+        "rack-aware" => PlacementKind::RackAware,
+        other => panic!("unknown placement {other:?}"),
+    }
+}
+
+fn parse_scheduler(s: &str) -> SchedulerKind {
+    if let Some(ms) = s.strip_prefix("delay:") {
+        let ms: u64 = ms.parse().expect("delay:<milliseconds>");
+        return SchedulerKind::Delay(SimDuration::from_millis(ms));
+    }
+    match s {
+        "delay" => SchedulerKind::spark_default(),
+        "fifo" => SchedulerKind::Fifo,
+        "locality-first" => SchedulerKind::LocalityFirst,
+        other => panic!("unknown scheduler {other:?}"),
+    }
+}
+
+fn main() {
+    let mut workload = WorkloadKind::Sort;
+    let mut nodes = 25usize;
+    let mut allocator = AllocatorKind::Custody;
+    let mut baseline: Option<AllocatorKind> = None;
+    let mut jobs = 10usize;
+    let mut seed = 42u64;
+    let mut racks = 1usize;
+    let mut placement = PlacementKind::Random;
+    let mut quota: Option<usize> = None;
+    let mut scheduler = SchedulerKind::spark_default();
+    let mut failures: Vec<NodeFailure> = Vec::new();
+    let mut speculation = false;
+    let mut trace_path: Option<String> = None;
+    let mut analyze = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| panic!("{a} needs a value"));
+        match a.as_str() {
+            "--workload" => workload = parse_workload(&val()),
+            "--nodes" => nodes = val().parse().expect("--nodes <n>"),
+            "--allocator" => allocator = parse_allocator(&val()),
+            "--baseline" => baseline = Some(parse_allocator(&val())),
+            "--jobs" => jobs = val().parse().expect("--jobs <n>"),
+            "--seed" => seed = val().parse().expect("--seed <n>"),
+            "--racks" => racks = val().parse().expect("--racks <n>"),
+            "--placement" => placement = parse_placement(&val()),
+            "--quota" => quota = Some(val().parse().expect("--quota <n>")),
+            "--scheduler" => scheduler = parse_scheduler(&val()),
+            "--fail" => {
+                let v = val();
+                let (t, n) = v.split_once(':').expect("--fail <secs>:<node>");
+                failures.push(NodeFailure {
+                    at: SimTime::from_secs(t.parse().expect("seconds")),
+                    node: NodeId::new(n.parse().expect("node index")),
+                });
+            }
+            "--speculation" => speculation = true,
+            "--trace" => trace_path = Some(val()),
+            "--analyze" => analyze = true,
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    let mut cfg = SimConfig::paper(workload, nodes, allocator, seed)
+        .with_scheduler(scheduler)
+        .with_placement(placement)
+        .with_failures(failures);
+    cfg.campaign = cfg.campaign.with_jobs_per_app(jobs);
+    cfg.cluster = cfg.cluster.with_racks(racks);
+    if let Some(q) = quota {
+        cfg = cfg.with_quota(QuotaMode::FixedPerApp(q));
+    }
+    if speculation {
+        cfg = cfg.with_speculation(SpeculationConfig::default());
+    }
+
+    println!("{}\n", cfg.label());
+    let (outcome, trace) = Simulation::run_traced(&cfg);
+    println!("{}", summary_row(allocator.name(), &outcome.cluster_metrics));
+    let m = &outcome.cluster_metrics;
+    println!(
+        "jobs {}  makespan {}  events {}  alloc-rounds {}  requeued {}  clones {}",
+        m.jobs_completed,
+        m.makespan,
+        m.events_processed,
+        m.allocation_rounds,
+        m.tasks_requeued,
+        m.tasks_speculated,
+    );
+
+    if let Some(base) = baseline {
+        let other = Simulation::run(&cfg.clone().with_allocator(base));
+        println!("{}", summary_row(base.name(), &other.cluster_metrics));
+    }
+
+    if analyze {
+        use custody_sim::analysis::{concurrency_timeline, node_utilization, sparkline};
+        let bucket = SimDuration::from_secs(1);
+        let timeline = concurrency_timeline(&trace, bucket);
+        println!("\nconcurrent tasks (1s buckets):");
+        println!("  {}", sparkline(&timeline));
+        let util = node_utilization(&trace, nodes, cfg.cluster.executors_per_node);
+        let mean = util.iter().sum::<f64>() / util.len().max(1) as f64;
+        let max = util.iter().copied().fold(0.0_f64, f64::max);
+        println!(
+            "node utilization: mean {:.1} %  max {:.1} %  (over {} nodes)",
+            mean * 100.0,
+            max * 100.0,
+            util.len()
+        );
+    }
+
+    if let Some(path) = trace_path {
+        std::fs::write(&path, trace.to_tsv()).expect("write trace");
+        println!("trace: {} task records -> {path}", trace.len());
+    }
+}

@@ -1,0 +1,68 @@
+//! Executor processes.
+//!
+//! "A worker node can launch multiple executors concurrently based on its
+//! computation resources. Each executor has identical computation capacity,
+//! and can run one task at a time" (§III-A). The paper defines an executor
+//! by the blocks it can reach locally — `E_u = {D_x : E_u stores or caches
+//! D_x}` — which in this model means *the blocks stored on the executor's
+//! node*; the NameNode answers that query, so the executor itself only
+//! carries its identity and placement.
+
+use custody_dfs::NodeId;
+use custody_simcore::define_id;
+
+define_id!(
+    /// An executor process.
+    pub struct ExecutorId, "executor"
+);
+
+/// An executor process pinned to a worker node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    /// Unique id.
+    pub id: ExecutorId,
+    /// The worker node hosting this executor. Determines which blocks the
+    /// executor can read locally.
+    pub node: NodeId,
+    /// Concurrent task slots. The paper's analysis fixes this to 1
+    /// ("can run one task at a time"); kept as a field so sensitivity
+    /// studies can vary it.
+    pub slots: u32,
+}
+
+impl Executor {
+    /// Creates a single-slot executor (the paper's model).
+    pub fn new(id: ExecutorId, node: NodeId) -> Self {
+        Executor { id, node, slots: 1 }
+    }
+
+    /// Creates an executor with a custom slot count.
+    pub fn with_slots(id: ExecutorId, node: NodeId, slots: u32) -> Self {
+        assert!(slots > 0, "executor must have at least one slot");
+        Executor { id, node, slots }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_single_slot() {
+        let e = Executor::new(ExecutorId::new(0), NodeId::new(3));
+        assert_eq!(e.slots, 1);
+        assert_eq!(e.node, NodeId::new(3));
+    }
+
+    #[test]
+    fn custom_slots() {
+        let e = Executor::with_slots(ExecutorId::new(1), NodeId::new(0), 4);
+        assert_eq!(e.slots, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _ = Executor::with_slots(ExecutorId::new(1), NodeId::new(0), 0);
+    }
+}

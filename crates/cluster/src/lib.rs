@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # custody-cluster
+//!
+//! The physical-cluster model: worker nodes, executor processes, and the
+//! network.
+//!
+//! The paper's cluster model (§II, §III-A, §VI-A1): each worker node can
+//! launch multiple executor processes; each executor has identical
+//! computation capacity and "can run one task at a time"; the evaluation
+//! launches **two executors per node** on machines with 8 cores, 16 GB of
+//! memory, 384 GB SSDs, 40 Gbps downlink / 2 Gbps uplink and roughly
+//! 2 Gbps of guaranteed bisection bandwidth per node.
+//!
+//! * [`ClusterSpec`] — declarative description of a cluster (node count,
+//!   executors per node, hardware, network); presets mirror the paper's
+//!   25/50/100-node Linode deployments.
+//! * [`ClusterState`] — the instantiated node/executor inventory.
+//! * [`NetworkModel`] — how long reading a block takes locally vs. over the
+//!   network; the sole mechanism by which (lack of) data locality costs
+//!   time.
+
+pub mod executor;
+pub mod network;
+pub mod node;
+pub mod topology;
+
+pub use executor::{Executor, ExecutorId};
+pub use network::{DataLocality, NetworkModel};
+pub use node::WorkerNode;
+pub use topology::{ClusterSpec, ClusterState, RackId};
+
+// Re-export the shared machine id so downstream crates need not import
+// custody-dfs for it.
+pub use custody_dfs::NodeId;

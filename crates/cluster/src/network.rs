@@ -1,0 +1,234 @@
+//! The network and storage I/O model.
+//!
+//! Data locality matters because reading a block over the network is slower
+//! than reading it from local disk. Two regimes appear in the paper:
+//!
+//! * The **Linode testbed** (§VI-B): "the nodes we use for experiments
+//!   guarantee about 2 Gbps bisection bandwidth for each node, which means
+//!   transmitting a data block does not need too much time. Therefore, the
+//!   benefit of data locality is actually underestimated". With local SSD
+//!   reads at a few hundred MB/s, remote is only ~1.6× slower.
+//! * **Production clusters** (§III-C, citing KMN \[10\]): "network
+//!   transmission is as much as 20 times slower than local data access".
+//!
+//! [`NetworkModel`] captures both as presets. Remote reads additionally pay
+//! a fixed connection-setup latency, and an optional contention factor
+//! models the slowdown when many remote readers share the fabric.
+
+use custody_simcore::SimDuration;
+
+/// How close a reader is to its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DataLocality {
+    /// Same machine: local disk read.
+    NodeLocal,
+    /// Same rack: one switch hop, faster than crossing the core.
+    RackLocal,
+    /// Anywhere else: crosses the oversubscribed core fabric.
+    Remote,
+}
+
+/// Storage/network read-time model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    /// Local (same-node) read bandwidth, bytes per second.
+    pub local_bytes_per_sec: f64,
+    /// Remote (cross-node) effective read bandwidth, bytes per second.
+    pub remote_bytes_per_sec: f64,
+    /// Rack-local read bandwidth, bytes per second (a single top-of-rack
+    /// switch hop; only distinct from remote when the cluster has racks).
+    pub rack_bytes_per_sec: f64,
+    /// Fixed latency added to every remote read (connection setup,
+    /// NameNode round trip).
+    pub remote_latency: SimDuration,
+    /// Multiplicative slowdown applied per *additional* concurrent remote
+    /// reader on the same fabric; `0.0` disables contention modelling.
+    pub contention_per_reader: f64,
+}
+
+impl NetworkModel {
+    /// The paper's Linode testbed: SSD local reads at 400 MB/s, ~2 Gbps
+    /// (250 MB/s) effective remote bandwidth, 1 ms setup latency. Remote
+    /// reads contend for the shared bisection: each additional concurrent
+    /// remote reader slows a transfer by 10 % — at the paper's peak-hour
+    /// backlogs this is what makes stragglers without locality "lag far
+    /// behind" (§III-C) even on a fast fabric.
+    pub fn linode() -> Self {
+        NetworkModel {
+            local_bytes_per_sec: 400.0e6,
+            remote_bytes_per_sec: 250.0e6,
+            rack_bytes_per_sec: 350.0e6,
+            remote_latency: SimDuration::from_millis(1),
+            contention_per_reader: 0.10,
+        }
+    }
+
+    /// A production-like oversubscribed network where remote reads are 20×
+    /// slower than local (the KMN \[10\] figure the paper quotes).
+    pub fn production() -> Self {
+        NetworkModel {
+            local_bytes_per_sec: 400.0e6,
+            remote_bytes_per_sec: 20.0e6,
+            rack_bytes_per_sec: 100.0e6,
+            remote_latency: SimDuration::from_millis(5),
+            contention_per_reader: 0.0,
+        }
+    }
+
+    /// A model with fabric contention enabled: each additional concurrent
+    /// remote reader slows every remote read by `per_reader` (e.g. `0.05` =
+    /// 5 % per reader).
+    pub fn with_contention(mut self, per_reader: f64) -> Self {
+        assert!(per_reader >= 0.0);
+        self.contention_per_reader = per_reader;
+        self
+    }
+
+    /// Ratio of remote to local read time for the same bytes (ignoring
+    /// latency): how much locality is worth.
+    pub fn remote_penalty(&self) -> f64 {
+        self.local_bytes_per_sec / self.remote_bytes_per_sec
+    }
+
+    /// Time to read `bytes` from local storage.
+    pub fn local_read_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.local_bytes_per_sec)
+    }
+
+    /// Time to read `bytes` from a remote node with `concurrent_remote`
+    /// other remote reads in flight.
+    pub fn remote_read_time(&self, bytes: u64, concurrent_remote: usize) -> SimDuration {
+        let slowdown = 1.0 + self.contention_per_reader * concurrent_remote as f64;
+        self.remote_latency
+            + SimDuration::from_secs_f64(bytes as f64 * slowdown / self.remote_bytes_per_sec)
+    }
+
+    /// Time to read `bytes` from a node in the same rack: pays the setup
+    /// latency but only the top-of-rack hop, with no core contention.
+    pub fn rack_read_time(&self, bytes: u64) -> SimDuration {
+        self.remote_latency
+            + SimDuration::from_secs_f64(bytes as f64 / self.rack_bytes_per_sec)
+    }
+
+    /// Time to read `bytes`, local or remote.
+    pub fn read_time(&self, bytes: u64, local: bool, concurrent_remote: usize) -> SimDuration {
+        if local {
+            self.local_read_time(bytes)
+        } else {
+            self.remote_read_time(bytes, concurrent_remote)
+        }
+    }
+
+    /// Time to read `bytes` at the given locality level.
+    pub fn read_time_at(
+        &self,
+        bytes: u64,
+        locality: DataLocality,
+        concurrent_remote: usize,
+    ) -> SimDuration {
+        match locality {
+            DataLocality::NodeLocal => self.local_read_time(bytes),
+            DataLocality::RackLocal => self.rack_read_time(bytes),
+            DataLocality::Remote => self.remote_read_time(bytes, concurrent_remote),
+        }
+    }
+
+    /// Time to shuffle `bytes` across the network (intermediate data always
+    /// crosses the fabric; locality does not help shuffles, which is why
+    /// the paper "only care[s] about the locality for input tasks", §III-A).
+    pub fn shuffle_time(&self, bytes: u64) -> SimDuration {
+        self.remote_read_time(bytes, 0)
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::linode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linode_penalty_is_modest() {
+        let m = NetworkModel::linode();
+        assert!((m.remote_penalty() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn production_penalty_is_20x() {
+        let m = NetworkModel::production();
+        assert!((m.remote_penalty() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_read_scales_with_bytes() {
+        let m = NetworkModel::linode();
+        let t1 = m.local_read_time(400_000_000);
+        assert_eq!(t1, SimDuration::from_secs(1));
+        let t2 = m.local_read_time(200_000_000);
+        assert_eq!(t2, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn remote_read_includes_latency() {
+        let m = NetworkModel::linode();
+        let t = m.remote_read_time(250_000_000, 0);
+        assert_eq!(t, SimDuration::from_secs(1) + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn remote_slower_than_local() {
+        let m = NetworkModel::linode();
+        let bytes = 128_000_000;
+        assert!(m.remote_read_time(bytes, 0) > m.local_read_time(bytes));
+        assert_eq!(m.read_time(bytes, true, 0), m.local_read_time(bytes));
+        assert_eq!(m.read_time(bytes, false, 3), m.remote_read_time(bytes, 3));
+    }
+
+    #[test]
+    fn contention_slows_remote_reads() {
+        let m = NetworkModel::linode().with_contention(0.1);
+        let alone = m.remote_read_time(250_000_000, 0);
+        let crowded = m.remote_read_time(250_000_000, 10);
+        // 10 extra readers at 10% each = 2x transfer time (latency constant).
+        let transfer_alone = alone - m.remote_latency;
+        let transfer_crowded = crowded - m.remote_latency;
+        assert_eq!(transfer_crowded, transfer_alone * 2);
+    }
+
+    #[test]
+    fn shuffle_always_pays_network() {
+        let m = NetworkModel::linode();
+        assert_eq!(m.shuffle_time(1000), m.remote_read_time(1000, 0));
+    }
+
+    #[test]
+    fn default_is_linode() {
+        assert_eq!(NetworkModel::default(), NetworkModel::linode());
+    }
+
+    #[test]
+    fn locality_tiers_order_correctly() {
+        let m = NetworkModel::linode();
+        let bytes = 128_000_000;
+        let node = m.read_time_at(bytes, DataLocality::NodeLocal, 0);
+        let rack = m.read_time_at(bytes, DataLocality::RackLocal, 0);
+        let remote = m.read_time_at(bytes, DataLocality::Remote, 0);
+        assert!(node < rack, "{node} < {rack}");
+        assert!(rack < remote, "{rack} < {remote}");
+        assert!(DataLocality::NodeLocal < DataLocality::RackLocal);
+        assert!(DataLocality::RackLocal < DataLocality::Remote);
+    }
+
+    #[test]
+    fn rack_reads_skip_core_contention() {
+        let m = NetworkModel::linode().with_contention(0.5);
+        let uncontended = m.rack_read_time(1_000_000);
+        // The same read under heavy core contention is unchanged.
+        assert_eq!(m.rack_read_time(1_000_000), uncontended);
+        assert!(m.remote_read_time(1_000_000, 20) > uncontended);
+    }
+}

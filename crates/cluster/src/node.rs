@@ -1,0 +1,48 @@
+//! Worker-node hardware description.
+
+use custody_dfs::NodeId;
+
+use crate::executor::ExecutorId;
+
+/// A machine in the cluster, as the cluster manager sees it.
+#[derive(Debug, Clone)]
+pub struct WorkerNode {
+    /// The machine's id (shared with its co-located DataNode).
+    pub id: NodeId,
+    /// CPU cores. The paper's nodes have 8; with two executors per node,
+    /// each executor effectively owns half the machine.
+    pub cores: u32,
+    /// Main memory in bytes (16 GB on the paper's testbed).
+    pub memory_bytes: u64,
+    /// The executor processes launched on this node, in id order.
+    pub executors: Vec<ExecutorId>,
+}
+
+impl WorkerNode {
+    /// Creates a node with no executors yet.
+    pub fn new(id: NodeId, cores: u32, memory_bytes: u64) -> Self {
+        WorkerNode {
+            id,
+            cores,
+            memory_bytes,
+            executors: Vec::new(),
+        }
+    }
+
+    /// Number of executors on this node.
+    pub fn executor_count(&self) -> usize {
+        self.executors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_node_has_no_executors() {
+        let n = WorkerNode::new(NodeId::new(0), 8, 16_000_000_000);
+        assert_eq!(n.executor_count(), 0);
+        assert_eq!(n.cores, 8);
+    }
+}

@@ -1,0 +1,157 @@
+//! Inter-application selection (Algorithm 1: `MINLOCALITY`).
+//!
+//! "Sort apps in the increasing order of the percentage of local jobs;
+//! break ties by the percentage of local tasks; return the first app in
+//! the sorted list." Percentages are *projected*: locality bought earlier
+//! in the same round counts immediately ("Update executors and re-sort
+//! apps during allocation").
+
+use std::cmp::Ordering;
+
+use crate::custody::round::RoundApp;
+
+/// The sort key of Algorithm 1: (local-job %, local-task %), with the app
+/// index as the final deterministic tie-breaker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalityKey {
+    /// Projected fraction of local jobs.
+    pub job_fraction: f64,
+    /// Projected fraction of local tasks.
+    pub task_fraction: f64,
+    /// App index (total order guarantee).
+    pub index: usize,
+}
+
+impl LocalityKey {
+    /// Extracts the key from round state.
+    pub fn of(app: &RoundApp, index: usize) -> Self {
+        LocalityKey {
+            job_fraction: app.projected_local_job_fraction(),
+            task_fraction: app.projected_local_task_fraction(),
+            index,
+        }
+    }
+}
+
+impl Eq for LocalityKey {}
+
+impl PartialOrd for LocalityKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LocalityKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.job_fraction
+            .partial_cmp(&other.job_fraction)
+            .expect("locality fractions are finite")
+            .then_with(|| {
+                self.task_fraction
+                    .partial_cmp(&other.task_fraction)
+                    .expect("locality fractions are finite")
+            })
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+/// `MINLOCALITY`: the least-localized app among those passing `eligible`.
+pub fn min_locality<F>(apps: &[RoundApp], mut eligible: F) -> Option<usize>
+where
+    F: FnMut(usize, &RoundApp) -> bool,
+{
+    apps.iter()
+        .enumerate()
+        .filter(|(i, a)| eligible(*i, a))
+        .min_by_key(|(i, a)| LocalityKey::of(a, *i))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::custody::round::RoundApp;
+    use custody_workload::AppId;
+
+    fn app(hist_local_jobs: usize, total_jobs: usize, hist_local_tasks: usize, total_tasks: usize) -> RoundApp {
+        RoundApp::for_test(
+            AppId::new(0),
+            4,
+            hist_local_jobs,
+            total_jobs,
+            hist_local_tasks,
+            total_tasks,
+        )
+    }
+
+    #[test]
+    fn key_orders_by_job_fraction_first() {
+        let a = LocalityKey {
+            job_fraction: 0.2,
+            task_fraction: 0.9,
+            index: 5,
+        };
+        let b = LocalityKey {
+            job_fraction: 0.5,
+            task_fraction: 0.1,
+            index: 0,
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn key_ties_break_by_task_fraction_then_index() {
+        let a = LocalityKey {
+            job_fraction: 0.5,
+            task_fraction: 0.2,
+            index: 3,
+        };
+        let b = LocalityKey {
+            job_fraction: 0.5,
+            task_fraction: 0.4,
+            index: 0,
+        };
+        assert!(a < b);
+        let c = LocalityKey {
+            job_fraction: 0.5,
+            task_fraction: 0.2,
+            index: 1,
+        };
+        assert!(c < a);
+    }
+
+    #[test]
+    fn min_locality_picks_least_localized() {
+        let apps = vec![
+            app(3, 4, 10, 10), // 75% jobs
+            app(1, 4, 3, 10),  // 25% jobs
+            app(2, 4, 8, 10),  // 50% jobs
+        ];
+        assert_eq!(min_locality(&apps, |_, _| true), Some(1));
+    }
+
+    #[test]
+    fn min_locality_honours_filter() {
+        let apps = vec![app(0, 4, 0, 10), app(2, 4, 5, 10)];
+        assert_eq!(min_locality(&apps, |i, _| i != 0), Some(1));
+        assert_eq!(min_locality(&apps, |_, _| false), None);
+    }
+
+    #[test]
+    fn min_locality_tie_breaks_by_tasks() {
+        let apps = vec![
+            app(1, 4, 9, 10), // 25% jobs, 90% tasks
+            app(1, 4, 2, 10), // 25% jobs, 20% tasks
+        ];
+        assert_eq!(min_locality(&apps, |_, _| true), Some(1));
+    }
+
+    #[test]
+    fn fresh_apps_rank_behind_zero_locality_apps() {
+        let apps = vec![
+            app(0, 0, 0, 0), // no history: fraction 1.0
+            app(0, 4, 0, 10),
+        ];
+        assert_eq!(min_locality(&apps, |_, _| true), Some(1));
+    }
+}

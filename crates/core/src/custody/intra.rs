@@ -1,0 +1,145 @@
+//! Intra-application allocation (Algorithm 2).
+//!
+//! "Sort jobs in the increasing order of the number of unsatisfied input
+//! tasks" — the greedy 2-approximation: a job with fewer input tasks is
+//! easier to make *perfectly* local, and only perfectly local jobs avoid
+//! network-bound stragglers. "In accordance with our strict priority-based
+//! strategy, we apply for all the desired executors of a job before moving
+//! to the next job."
+//!
+//! After every single grant the minimum-locality application is
+//! re-evaluated (`ALLOCATEEXECUTOR`'s flag): if the grant lifted this
+//! application above another one, control returns to the inter-application
+//! loop immediately.
+//!
+//! When a task's block is replicated on several nodes with idle executors,
+//! we claim the executor on the **least contested** node — the one the
+//! fewest unsatisfied tasks of *other* applications prefer — so satisfying
+//! this task burns as little of everyone else's locality as possible (the
+//! paper's hot-executor coordination, §IV-A).
+
+use custody_dfs::NodeId;
+use custody_workload::JobId;
+
+use crate::custody::round::Round;
+use crate::custody::IntraPolicy;
+
+/// Runs the configured intra-application strategy for app `i`. Returns
+/// the number of executors granted.
+pub fn allocate_for_app(round: &mut Round, i: usize, policy: IntraPolicy) -> usize {
+    match policy {
+        IntraPolicy::PriorityFewestFirst => priority_allocate(round, i),
+        IntraPolicy::RoundRobinFair => fair_allocate(round, i),
+    }
+}
+
+/// Runs Algorithm 2 for app `i`. Returns the number of executors granted
+/// before either the job list was exhausted, the quota filled, or the app
+/// stopped being the minimum-locality application.
+fn priority_allocate(round: &mut Round, i: usize) -> usize {
+    let mut granted = 0;
+
+    // Sort key per job: (unsatisfied count, total inputs, job id). The
+    // paper randomizes ties; we use the job id so runs are reproducible.
+    let mut order: Vec<usize> = (0..round.app(i).jobs.len()).collect();
+    order.sort_by_key(|&j| {
+        let job = &round.app(i).jobs[j];
+        (job.tasks.len(), job.total_inputs, job.job)
+    });
+
+    for j in order {
+        // Task indexes shift as tasks are removed, so walk manually: on a
+        // grant the current slot now holds the next task, on a skip advance.
+        let mut t = 0;
+        while t < round.app(i).jobs[j].tasks.len() {
+            if round.app(i).headroom() == 0 {
+                return granted;
+            }
+            let preferred = round.app(i).jobs[j].tasks[t].1.clone();
+            let Some(node) = pick_node(round, i, &preferred) else {
+                t += 1; // cannot be made local now; the filler handles it
+                continue;
+            };
+            let executor = round
+                .take_executor_on(node)
+                .expect("picked node has an idle executor");
+            let (job_id, task_index) = satisfy_task(round, i, j, t);
+            round.record_grant(i, executor, Some((job_id, task_index)));
+            granted += 1;
+            if !round.is_min_locality(i) {
+                return granted; // Algorithm 2's flag: yield to inter-app loop
+            }
+        }
+    }
+    granted
+}
+
+/// The Fig. 4 fairness strawman: cycle over jobs in submission order,
+/// granting each job one local task per pass, until nothing more can be
+/// satisfied. Jobs advance in lock-step, so with a tight budget every job
+/// ends up partially local — exactly the straggler-bound outcome the
+/// paper's priority strategy avoids.
+fn fair_allocate(round: &mut Round, i: usize) -> usize {
+    let mut granted = 0;
+    loop {
+        let mut progress = false;
+        for j in 0..round.app(i).jobs.len() {
+            if round.app(i).headroom() == 0 {
+                return granted;
+            }
+            // First satisfiable task of job j.
+            let mut chosen = None;
+            for t in 0..round.app(i).jobs[j].tasks.len() {
+                let preferred = round.app(i).jobs[j].tasks[t].1.clone();
+                if let Some(node) = pick_node(round, i, &preferred) {
+                    chosen = Some((t, node));
+                    break;
+                }
+            }
+            let Some((t, node)) = chosen else { continue };
+            let executor = round
+                .take_executor_on(node)
+                .expect("picked node has an idle executor");
+            let (job_id, task_index) = satisfy_task(round, i, j, t);
+            round.record_grant(i, executor, Some((job_id, task_index)));
+            granted += 1;
+            progress = true;
+            if !round.is_min_locality(i) {
+                return granted;
+            }
+        }
+        if !progress {
+            return granted;
+        }
+    }
+}
+
+/// Picks the best node for a task: among `preferred` nodes with an idle
+/// executor, the one with the least contention from other apps, tie-broken
+/// by node id. `None` if no preferred node has an idle executor.
+fn pick_node(round: &Round, i: usize, preferred: &[NodeId]) -> Option<NodeId> {
+    preferred
+        .iter()
+        .copied()
+        .filter(|&n| round.node_has_idle(n))
+        .min_by_key(|&n| (round.contention_excluding(n, i), n))
+}
+
+/// Marks task `t` of job `j` satisfied: removes it from the unsatisfied
+/// list, releases its pressure on the demand map, and updates the app's
+/// projected-locality counters. Returns `(job id, original task index)`.
+fn satisfy_task(round: &mut Round, i: usize, j: usize, t: usize) -> (JobId, usize) {
+    let app = round.app_mut(i);
+    let (task_index, nodes) = app.jobs[j].tasks.remove(t);
+    for n in nodes {
+        if let Some(c) = app.node_demand.get_mut(&n) {
+            *c -= 1;
+        }
+    }
+    app.jobs[j].satisfied += 1;
+    app.new_local_tasks += 1;
+    if app.jobs[j].fully_local() {
+        app.new_local_jobs += 1;
+    }
+    (app.jobs[j].job, task_index)
+}

@@ -1,0 +1,445 @@
+//! Mutable state of one allocation round, shared by both phases.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use custody_cluster::ExecutorId;
+use custody_dfs::NodeId;
+use custody_workload::{AppId, JobId};
+
+use crate::allocator::{AllocationView, Assignment};
+use crate::custody::inter::{min_locality, LocalityKey};
+use crate::custody::intra;
+use crate::custody::{InterPolicy, IntraPolicy};
+
+/// One job's remaining demand inside a round.
+#[derive(Debug, Clone)]
+pub struct RoundJob {
+    /// The job.
+    pub job: JobId,
+    /// Unsatisfied input tasks: `(task index, preferred nodes)`.
+    pub tasks: Vec<(usize, Vec<NodeId>)>,
+    /// Input tasks with assured locality (historical + this round).
+    pub satisfied: usize,
+    /// µ_ij.
+    pub total_inputs: usize,
+}
+
+impl RoundJob {
+    /// True once every input task of the job is local.
+    pub fn fully_local(&self) -> bool {
+        self.satisfied == self.total_inputs
+    }
+}
+
+/// One application's state inside a round.
+#[derive(Debug, Clone)]
+pub struct RoundApp {
+    /// The application.
+    pub app: AppId,
+    /// σ_i.
+    pub quota: usize,
+    /// ζ_i, including grants made this round.
+    pub held: usize,
+    hist_local_jobs: usize,
+    total_jobs: usize,
+    hist_local_tasks: usize,
+    total_tasks: usize,
+    /// Jobs made fully local this round.
+    pub new_local_jobs: usize,
+    /// Tasks made local this round.
+    pub new_local_tasks: usize,
+    /// Pending tasks not yet covered by a grant.
+    pub demand_remaining: usize,
+    /// Pending jobs.
+    pub jobs: Vec<RoundJob>,
+    /// Per-node count of this app's unsatisfied tasks preferring the node.
+    pub node_demand: HashMap<NodeId, u32>,
+}
+
+impl RoundApp {
+    /// Projected fraction of local jobs (history + this round's gains).
+    pub fn projected_local_job_fraction(&self) -> f64 {
+        if self.total_jobs == 0 {
+            1.0
+        } else {
+            (self.hist_local_jobs + self.new_local_jobs) as f64 / self.total_jobs as f64
+        }
+    }
+
+    /// Projected fraction of local tasks.
+    pub fn projected_local_task_fraction(&self) -> f64 {
+        if self.total_tasks == 0 {
+            1.0
+        } else {
+            (self.hist_local_tasks + self.new_local_tasks) as f64 / self.total_tasks as f64
+        }
+    }
+
+    /// Executors the app may still take.
+    pub fn headroom(&self) -> usize {
+        self.quota.saturating_sub(self.held)
+    }
+
+    /// True if the app may and wants to take another executor.
+    pub fn wants(&self) -> bool {
+        self.headroom() > 0 && self.demand_remaining > 0
+    }
+
+    /// Bare-bones constructor for unit tests of the selection logic.
+    #[doc(hidden)]
+    pub fn for_test(
+        app: AppId,
+        quota: usize,
+        hist_local_jobs: usize,
+        total_jobs: usize,
+        hist_local_tasks: usize,
+        total_tasks: usize,
+    ) -> Self {
+        RoundApp {
+            app,
+            quota,
+            held: 0,
+            hist_local_jobs,
+            total_jobs,
+            hist_local_tasks,
+            total_tasks,
+            new_local_jobs: 0,
+            new_local_tasks: 0,
+            demand_remaining: quota,
+            jobs: Vec::new(),
+            node_demand: HashMap::new(),
+        }
+    }
+}
+
+/// The state machine of one allocation round.
+#[derive(Debug)]
+pub struct Round {
+    /// Idle executors grouped by host node; sets keep executor order
+    /// deterministic.
+    idle_by_node: BTreeMap<NodeId, BTreeSet<ExecutorId>>,
+    idle_count: usize,
+    apps: Vec<RoundApp>,
+    assignments: Vec<Assignment>,
+    inter: InterPolicy,
+    intra: IntraPolicy,
+}
+
+impl Round {
+    /// Builds round state from the immutable view.
+    pub fn new(view: &AllocationView) -> Self {
+        let mut idle_by_node: BTreeMap<NodeId, BTreeSet<ExecutorId>> = BTreeMap::new();
+        for e in &view.idle {
+            idle_by_node.entry(e.node).or_default().insert(e.id);
+        }
+        let apps = view
+            .apps
+            .iter()
+            .map(|a| {
+                let jobs: Vec<RoundJob> = a
+                    .pending_jobs
+                    .iter()
+                    .map(|j| RoundJob {
+                        job: j.job,
+                        tasks: j
+                            .unsatisfied_inputs
+                            .iter()
+                            .map(|t| (t.task_index, t.preferred_nodes.clone()))
+                            .collect(),
+                        satisfied: j.satisfied_inputs,
+                        total_inputs: j.total_inputs,
+                    })
+                    .collect();
+                let mut node_demand: HashMap<NodeId, u32> = HashMap::new();
+                for job in &jobs {
+                    for (_, nodes) in &job.tasks {
+                        for &n in nodes {
+                            *node_demand.entry(n).or_insert(0) += 1;
+                        }
+                    }
+                }
+                RoundApp {
+                    app: a.app,
+                    quota: a.quota,
+                    held: a.held,
+                    hist_local_jobs: a.local_jobs,
+                    total_jobs: a.total_jobs,
+                    hist_local_tasks: a.local_tasks,
+                    total_tasks: a.total_tasks,
+                    new_local_jobs: 0,
+                    new_local_tasks: 0,
+                    demand_remaining: a.pending_jobs.iter().map(|j| j.pending_tasks).sum(),
+                    jobs,
+                    node_demand,
+                }
+            })
+            .collect();
+        Round {
+            idle_count: view.idle.len(),
+            idle_by_node,
+            apps,
+            assignments: Vec::new(),
+            inter: InterPolicy::default(),
+            intra: IntraPolicy::default(),
+        }
+    }
+
+    /// Overrides the selection policies (ablations).
+    pub fn with_policies(mut self, inter: InterPolicy, intra: IntraPolicy) -> Self {
+        self.inter = inter;
+        self.intra = intra;
+        self
+    }
+
+    /// Selects the next application per the inter-application policy.
+    fn select_app<F>(&self, mut eligible: F) -> Option<usize>
+    where
+        F: FnMut(usize, &RoundApp) -> bool,
+    {
+        match self.inter {
+            InterPolicy::MinLocality => min_locality(&self.apps, eligible),
+            InterPolicy::NaiveCountFair => self
+                .apps
+                .iter()
+                .enumerate()
+                .filter(|(i, a)| eligible(*i, a))
+                .min_by_key(|(i, a)| (a.held, *i))
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// An idle executor exists on `node`.
+    pub fn node_has_idle(&self, node: NodeId) -> bool {
+        self.idle_by_node
+            .get(&node)
+            .is_some_and(|s| !s.is_empty())
+    }
+
+    /// True if `app` has an unsatisfied task whose block sits on a node
+    /// with an idle executor.
+    fn has_local_opportunity(&self, app: &RoundApp) -> bool {
+        app.node_demand
+            .iter()
+            .any(|(&n, &c)| c > 0 && self.node_has_idle(n))
+    }
+
+    /// Unsatisfied-task pressure on `node` from apps other than `except`.
+    pub fn contention_excluding(&self, node: NodeId, except: usize) -> u32 {
+        self.apps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != except)
+            .map(|(_, a)| a.node_demand.get(&node).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Takes the lowest-id idle executor on `node`.
+    pub fn take_executor_on(&mut self, node: NodeId) -> Option<ExecutorId> {
+        let set = self.idle_by_node.get_mut(&node)?;
+        let id = *set.iter().next()?;
+        set.remove(&id);
+        self.idle_count -= 1;
+        Some(id)
+    }
+
+    /// Takes the lowest-id idle executor anywhere (filler phase).
+    fn take_any_executor(&mut self) -> Option<ExecutorId> {
+        let (&node, _) = self
+            .idle_by_node
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .min_by_key(|(_, s)| *s.iter().next().expect("non-empty set"))?;
+        self.take_executor_on(node)
+    }
+
+    /// Records a grant of `executor` to app `i`.
+    pub fn record_grant(&mut self, i: usize, executor: ExecutorId, for_task: Option<(JobId, usize)>) {
+        let app = &mut self.apps[i];
+        app.held += 1;
+        app.demand_remaining -= 1;
+        self.assignments.push(Assignment {
+            executor,
+            app: app.app,
+            for_task,
+        });
+    }
+
+    /// Access to round-app state (for the intra module).
+    pub fn app_mut(&mut self, i: usize) -> &mut RoundApp {
+        &mut self.apps[i]
+    }
+
+    /// Access to round-app state.
+    pub fn app(&self, i: usize) -> &RoundApp {
+        &self.apps[i]
+    }
+
+    /// Number of applications.
+    pub fn num_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True while idle executors remain.
+    pub fn has_idle(&self) -> bool {
+        self.idle_count > 0
+    }
+
+    /// Whether app `i` is (still) the preferred app among those with any
+    /// remaining want — Algorithm 2's `flag` check.
+    pub fn is_min_locality(&self, i: usize) -> bool {
+        self.select_app(|_, a| a.wants()) == Some(i)
+    }
+
+    /// Phase 1: the inter-application loop of Algorithm 1 driving the
+    /// intra-application matching of Algorithm 2.
+    pub fn locality_phase(&mut self) {
+        while self.has_idle() {
+            let candidate = self.select_app(|_, a| {
+                a.headroom() > 0 && self.has_local_opportunity(a)
+            });
+            let Some(i) = candidate else { break };
+            let intra_policy = self.intra;
+            let granted = intra::allocate_for_app(self, i, intra_policy);
+            debug_assert!(granted > 0, "selected app must receive an executor");
+        }
+    }
+
+    /// Phase 2: Algorithm 2's trailing filler — grant remaining idle
+    /// executors to apps that still have runnable tasks, least-localized
+    /// first, one at a time, bounded by demand.
+    pub fn filler_phase(&mut self) {
+        while self.has_idle() {
+            let Some(i) = self.select_app(|_, a| a.wants()) else {
+                break;
+            };
+            let executor = self.take_any_executor().expect("idle executor exists");
+            self.record_grant(i, executor, None);
+        }
+    }
+
+    /// Finishes the round.
+    pub fn into_assignments(self) -> Vec<Assignment> {
+        self.assignments
+    }
+
+    /// The locality key of app `i` (diagnostics).
+    pub fn locality_key(&self, i: usize) -> LocalityKey {
+        LocalityKey::of(&self.apps[i], i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::{AppState, ExecutorInfo, JobDemand, TaskDemand};
+
+    fn view_one_app() -> AllocationView {
+        let execs: Vec<ExecutorInfo> = (0..3)
+            .map(|i| ExecutorInfo {
+                id: ExecutorId::new(i),
+                node: NodeId::new(i % 2), // nodes 0,1,0
+            })
+            .collect();
+        AllocationView {
+            idle: execs.clone(),
+            all_executors: execs,
+            apps: vec![AppState {
+                app: AppId::new(0),
+                quota: 3,
+                held: 0,
+                local_jobs: 0,
+                total_jobs: 1,
+                local_tasks: 0,
+                total_tasks: 2,
+                pending_jobs: vec![JobDemand {
+                    job: JobId::new(0),
+                    unsatisfied_inputs: vec![
+                        TaskDemand {
+                            task_index: 0,
+                            preferred_nodes: vec![NodeId::new(0)],
+                        },
+                        TaskDemand {
+                            task_index: 1,
+                            preferred_nodes: vec![NodeId::new(5)],
+                        },
+                    ],
+                    pending_tasks: 2,
+                    total_inputs: 2,
+                    satisfied_inputs: 0,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_indexes_idle_by_node() {
+        let round = Round::new(&view_one_app());
+        assert!(round.node_has_idle(NodeId::new(0)));
+        assert!(round.node_has_idle(NodeId::new(1)));
+        assert!(!round.node_has_idle(NodeId::new(5)));
+        assert!(round.has_idle());
+    }
+
+    #[test]
+    fn take_executor_prefers_lowest_id() {
+        let mut round = Round::new(&view_one_app());
+        // Node 0 hosts executors 0 and 2.
+        assert_eq!(round.take_executor_on(NodeId::new(0)), Some(ExecutorId::new(0)));
+        assert_eq!(round.take_executor_on(NodeId::new(0)), Some(ExecutorId::new(2)));
+        assert_eq!(round.take_executor_on(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn node_demand_counts_preferences() {
+        let round = Round::new(&view_one_app());
+        let app = round.app(0);
+        assert_eq!(app.node_demand.get(&NodeId::new(0)), Some(&1));
+        assert_eq!(app.node_demand.get(&NodeId::new(5)), Some(&1));
+        assert_eq!(app.demand_remaining, 2);
+    }
+
+    #[test]
+    fn phases_grant_local_then_filler() {
+        let mut round = Round::new(&view_one_app());
+        round.locality_phase();
+        assert_eq!(round.assignments.len(), 1);
+        assert_eq!(round.assignments[0].executor, ExecutorId::new(0));
+        assert_eq!(
+            round.assignments[0].for_task,
+            Some((JobId::new(0), 0))
+        );
+        round.filler_phase();
+        let out = round.into_assignments();
+        assert_eq!(out.len(), 2, "one local grant + one filler");
+        assert_eq!(out[1].for_task, None);
+    }
+
+    #[test]
+    fn contention_excluding_sums_other_apps() {
+        let mut view = view_one_app();
+        view.apps.push(AppState {
+            app: AppId::new(1),
+            quota: 1,
+            held: 0,
+            local_jobs: 0,
+            total_jobs: 1,
+            local_tasks: 0,
+            total_tasks: 1,
+            pending_jobs: vec![JobDemand {
+                job: JobId::new(1),
+                unsatisfied_inputs: vec![TaskDemand {
+                    task_index: 0,
+                    preferred_nodes: vec![NodeId::new(0)],
+                }],
+                pending_tasks: 1,
+                total_inputs: 1,
+                satisfied_inputs: 0,
+            }],
+        });
+        let round = Round::new(&view);
+        assert_eq!(round.contention_excluding(NodeId::new(0), 0), 1);
+        assert_eq!(round.contention_excluding(NodeId::new(0), 1), 1);
+        assert_eq!(round.contention_excluding(NodeId::new(5), 1), 1);
+        assert_eq!(round.contention_excluding(NodeId::new(9), 0), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Fairness metrics for allocation outcomes.
+//!
+//! The paper's objective is max-min fairness over per-application locality
+//! (Eq. 1 / Eq. 6): maximize the *minimum* percentage of local jobs across
+//! applications. These helpers quantify how close an outcome comes:
+//! the min share itself, and Jain's fairness index as a secondary
+//! dispersion measure for the Fig. 3-style ablation.
+
+/// The minimum value across application shares — the paper's objective.
+/// Returns `None` for an empty slice.
+pub fn min_share(shares: &[f64]) -> Option<f64> {
+    shares.iter().copied().reduce(f64::min)
+}
+
+/// Jain's fairness index: `(Σx)² / (n · Σx²)`. Ranges from `1/n` (one app
+/// gets everything) to `1.0` (perfect equality). Returns `None` for an
+/// empty slice; a slice of all-zero shares is defined as perfectly fair.
+pub fn jain_index(shares: &[f64]) -> Option<f64> {
+    if shares.is_empty() {
+        return None;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sum_sq: f64 = shares.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return Some(1.0);
+    }
+    Some(sum * sum / (shares.len() as f64 * sum_sq))
+}
+
+/// Max-min dominance: `a` dominates `b` when `a`'s sorted share vector is
+/// lexicographically no smaller (the standard max-min fairness comparison).
+pub fn maxmin_dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "share vectors must align");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite shares"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite shares"));
+    for (x, y) in sa.iter().zip(&sb) {
+        if x > y {
+            return true;
+        }
+        if x < y {
+            return false;
+        }
+    }
+    true // equal vectors dominate weakly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_share_basics() {
+        assert_eq!(min_share(&[0.5, 0.2, 0.9]), Some(0.2));
+        assert_eq!(min_share(&[]), None);
+    }
+
+    #[test]
+    fn jain_equal_shares_is_one() {
+        assert!((jain_index(&[0.5, 0.5, 0.5]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_single_winner_is_one_over_n() {
+        let j = jain_index(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_edge_cases() {
+        assert_eq!(jain_index(&[]), None);
+        assert_eq!(jain_index(&[0.0, 0.0]), Some(1.0));
+    }
+
+    #[test]
+    fn jain_is_scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]).unwrap();
+        let b = jain_index(&[10.0, 20.0, 30.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxmin_dominance() {
+        // Fig. 3: (1, 1) locality beats (2, 0).
+        assert!(maxmin_dominates(&[1.0, 1.0], &[2.0, 0.0]));
+        assert!(!maxmin_dominates(&[2.0, 0.0], &[1.0, 1.0]));
+        // Equal vectors dominate weakly, regardless of order.
+        assert!(maxmin_dominates(&[0.3, 0.7], &[0.7, 0.3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn maxmin_rejects_mismatched_lengths() {
+        let _ = maxmin_dominates(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,178 @@
+//! The fractional maximum-concurrent-flow rate λ*.
+//!
+//! The task-level objective (Eq. 1) — maximize the minimum fraction of
+//! local tasks across applications — equals the maximum λ at which every
+//! application can simultaneously route `λ·τ_i` units to the sink. With a
+//! *common* sink the commodities are interchangeable, so feasibility at a
+//! given λ is one max-flow query and λ* falls to a binary search. The
+//! integral problem is NP-hard (the paper cites Shahrokhi & Matula); the
+//! fractional λ* computed here is an **upper bound** on what any integral
+//! allocation (Custody included) can achieve, which is exactly how the
+//! benchmarks use it.
+
+use crate::allocator::AllocationView;
+use crate::theory::flow::FlowNetwork;
+
+/// Binary-search precision on λ.
+const TOLERANCE: f64 = 1e-6;
+
+/// Computes the fractional maximum concurrent-flow rate λ* ∈ [0, 1] for
+/// the allocatable instance in `view`. Returns `1.0` when there is no
+/// demand.
+pub fn max_concurrent_rate(view: &AllocationView) -> f64 {
+    let mut net = FlowNetwork::from_view(view);
+    if net.total_demand() == 0 {
+        return 1.0;
+    }
+    if net.feasible_at_rate(1.0) {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0_f64, 1.0_f64); // lo feasible, hi infeasible
+    while hi - lo > TOLERANCE {
+        let mid = (lo + hi) / 2.0;
+        if net.feasible_at_rate(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::{AppState, ExecutorInfo, JobDemand, TaskDemand};
+    use custody_cluster::ExecutorId;
+    use custody_dfs::NodeId;
+    use custody_workload::{AppId, JobId};
+
+    fn exec(i: usize, node: usize) -> ExecutorInfo {
+        ExecutorInfo {
+            id: ExecutorId::new(i),
+            node: NodeId::new(node),
+        }
+    }
+
+    fn one_task_app(id: usize, nodes: &[usize]) -> AppState {
+        AppState {
+            app: AppId::new(id),
+            quota: 1,
+            held: 0,
+            local_jobs: 0,
+            total_jobs: 1,
+            local_tasks: 0,
+            total_tasks: 1,
+            pending_jobs: vec![JobDemand {
+                job: JobId::new(id),
+                unsatisfied_inputs: vec![TaskDemand {
+                    task_index: 0,
+                    preferred_nodes: nodes.iter().map(|&n| NodeId::new(n)).collect(),
+                }],
+                pending_tasks: 1,
+                total_inputs: 1,
+                satisfied_inputs: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn disjoint_demands_reach_rate_one() {
+        let execs = vec![exec(0, 0), exec(1, 1)];
+        let view = AllocationView {
+            idle: execs.clone(),
+            all_executors: execs,
+            apps: vec![one_task_app(0, &[0]), one_task_app(1, &[1])],
+        };
+        assert!((max_concurrent_rate(&view) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_apps_one_executor_is_half() {
+        let execs = vec![exec(0, 0)];
+        let view = AllocationView {
+            idle: execs.clone(),
+            all_executors: execs,
+            apps: vec![one_task_app(0, &[0]), one_task_app(1, &[0])],
+        };
+        let rate = max_concurrent_rate(&view);
+        assert!((rate - 0.5).abs() < 1e-4, "rate {rate}");
+    }
+
+    #[test]
+    fn three_way_contention_is_a_third() {
+        let execs = vec![exec(0, 0)];
+        let view = AllocationView {
+            idle: execs.clone(),
+            all_executors: execs,
+            apps: vec![
+                one_task_app(0, &[0]),
+                one_task_app(1, &[0]),
+                one_task_app(2, &[0]),
+            ],
+        };
+        let rate = max_concurrent_rate(&view);
+        assert!((rate - 1.0 / 3.0).abs() < 1e-4, "rate {rate}");
+    }
+
+    #[test]
+    fn unroutable_demand_gives_zero() {
+        let execs = vec![exec(0, 0)];
+        let view = AllocationView {
+            idle: execs.clone(),
+            all_executors: execs,
+            apps: vec![one_task_app(0, &[9])],
+        };
+        assert!(max_concurrent_rate(&view) < 1e-4);
+    }
+
+    #[test]
+    fn no_demand_is_one() {
+        let execs = vec![exec(0, 0)];
+        let mut a = one_task_app(0, &[0]);
+        a.pending_jobs.clear();
+        let view = AllocationView {
+            idle: execs.clone(),
+            all_executors: execs,
+            apps: vec![a],
+        };
+        assert_eq!(max_concurrent_rate(&view), 1.0);
+    }
+
+    #[test]
+    fn rate_upper_bounds_custody_outcome() {
+        // Fig. 1 instance: Custody achieves 100% locality, so λ* must be 1.
+        let execs: Vec<ExecutorInfo> = (0..4).map(|i| exec(i, i)).collect();
+        let mk_app = |id: usize, a: usize, b: usize| AppState {
+            app: AppId::new(id),
+            quota: 2,
+            held: 0,
+            local_jobs: 0,
+            total_jobs: 1,
+            local_tasks: 0,
+            total_tasks: 2,
+            pending_jobs: vec![JobDemand {
+                job: JobId::new(id),
+                unsatisfied_inputs: vec![
+                    TaskDemand {
+                        task_index: 0,
+                        preferred_nodes: vec![NodeId::new(a)],
+                    },
+                    TaskDemand {
+                        task_index: 1,
+                        preferred_nodes: vec![NodeId::new(b)],
+                    },
+                ],
+                pending_tasks: 2,
+                total_inputs: 2,
+                satisfied_inputs: 0,
+            }],
+        };
+        let view = AllocationView {
+            idle: execs.clone(),
+            all_executors: execs,
+            apps: vec![mk_app(0, 0, 1), mk_app(1, 2, 3)],
+        };
+        assert!((max_concurrent_rate(&view) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,307 @@
+//! Dinic's maximum-flow algorithm over real-valued capacities.
+//!
+//! Used to (a) check feasibility of a concurrent-flow rate λ (capacities
+//! become λ-scaled reals, hence `f64`), and (b) compute exact task-level
+//! locality optima where capacities are integral and Dinic's result is
+//! exact.
+
+/// Tolerance below which a residual capacity counts as zero.
+pub const EPS: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: f64,
+    flow: f64,
+}
+
+/// A flow network with Dinic's algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Dinic {
+    adj: Vec<Vec<usize>>,
+    edges: Vec<Edge>,
+}
+
+impl Dinic {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds `n` nodes, returning the index of the first.
+    pub fn add_nodes(&mut self, n: usize) -> usize {
+        let first = self.adj.len();
+        for _ in 0..n {
+            self.add_node();
+        }
+        first
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge `u → v` with capacity `cap`, returning its
+    /// edge id (the reverse edge is `id ^ 1`).
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) -> usize {
+        assert!(cap >= 0.0, "negative capacity");
+        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        let id = self.edges.len();
+        self.edges.push(Edge {
+            to: v,
+            cap,
+            flow: 0.0,
+        });
+        self.adj[u].push(id);
+        self.edges.push(Edge {
+            to: u,
+            cap: 0.0,
+            flow: 0.0,
+        });
+        self.adj[v].push(id + 1);
+        id
+    }
+
+    /// Flow currently routed through edge `id`.
+    pub fn flow_on(&self, id: usize) -> f64 {
+        self.edges[id].flow
+    }
+
+    /// Updates an edge's capacity (flows must be reset afterwards if the
+    /// new capacity is below the routed flow).
+    pub fn set_capacity(&mut self, id: usize, cap: f64) {
+        assert!(cap >= 0.0, "negative capacity");
+        self.edges[id].cap = cap;
+    }
+
+    /// Zeroes all flows so the network can be re-solved.
+    pub fn reset_flows(&mut self) {
+        for e in &mut self.edges {
+            e.flow = 0.0;
+        }
+    }
+
+    fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1; self.adj.len()];
+        level[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &eid in &self.adj[u] {
+                let e = &self.edges[eid];
+                if level[e.to] < 0 && e.cap - e.flow > EPS {
+                    level[e.to] = level[u] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        (level[t] >= 0).then_some(level)
+    }
+
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: f64,
+        level: &[i32],
+        it: &mut [usize],
+    ) -> f64 {
+        if u == t {
+            return pushed;
+        }
+        while it[u] < self.adj[u].len() {
+            let eid = self.adj[u][it[u]];
+            let (to, residual) = {
+                let e = &self.edges[eid];
+                (e.to, e.cap - e.flow)
+            };
+            if residual > EPS && level[to] == level[u] + 1 {
+                let d = self.dfs_push(to, t, pushed.min(residual), level, it);
+                if d > EPS {
+                    self.edges[eid].flow += d;
+                    self.edges[eid ^ 1].flow -= d;
+                    return d;
+                }
+            }
+            it[u] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum flow from `s` to `t`, leaving per-edge flows
+    /// queryable via [`flow_on`](Self::flow_on).
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert_ne!(s, t, "source equals sink");
+        let mut total = 0.0;
+        while let Some(level) = self.bfs_levels(s, t) {
+            let mut it = vec![0usize; self.adj.len()];
+            loop {
+                let pushed = self.dfs_push(s, t, f64::INFINITY, &level, &mut it);
+                if pushed <= EPS {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the classic 6-node test network with max flow 23.
+    /// (CLRS figure 24.6-style instance.)
+    fn clrs_network() -> (Dinic, usize, usize) {
+        let mut d = Dinic::new();
+        let s = d.add_node();
+        let v1 = d.add_node();
+        let v2 = d.add_node();
+        let v3 = d.add_node();
+        let v4 = d.add_node();
+        let t = d.add_node();
+        d.add_edge(s, v1, 16.0);
+        d.add_edge(s, v2, 13.0);
+        d.add_edge(v1, v3, 12.0);
+        d.add_edge(v2, v1, 4.0);
+        d.add_edge(v2, v4, 14.0);
+        d.add_edge(v3, v2, 9.0);
+        d.add_edge(v3, t, 20.0);
+        d.add_edge(v4, v3, 7.0);
+        d.add_edge(v4, t, 4.0);
+        (d, s, t)
+    }
+
+    #[test]
+    fn clrs_max_flow_is_23() {
+        let (mut d, s, t) = clrs_network();
+        assert!((d.max_flow(s, t) - 23.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut d = Dinic::new();
+        let s = d.add_node();
+        let t = d.add_node();
+        d.add_edge(s, t, 5.5);
+        assert!((d.max_flow(s, t) - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut d = Dinic::new();
+        let s = d.add_node();
+        let _mid = d.add_node();
+        let t = d.add_node();
+        d.add_edge(s, 1, 10.0);
+        assert_eq!(d.max_flow(s, t), 0.0);
+    }
+
+    #[test]
+    fn bottleneck_limits_flow() {
+        let mut d = Dinic::new();
+        let s = d.add_node();
+        let a = d.add_node();
+        let t = d.add_node();
+        d.add_edge(s, a, 100.0);
+        d.add_edge(a, t, 3.0);
+        assert!((d.max_flow(s, t) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut d = Dinic::new();
+        let s = d.add_node();
+        let a = d.add_node();
+        let b = d.add_node();
+        let t = d.add_node();
+        d.add_edge(s, a, 2.0);
+        d.add_edge(a, t, 2.0);
+        d.add_edge(s, b, 3.0);
+        d.add_edge(b, t, 3.0);
+        assert!((d.max_flow(s, t) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let (mut d, s, t) = clrs_network();
+        let total = d.max_flow(s, t);
+        // Net flow out of every internal node is zero.
+        let n = d.num_nodes();
+        let mut net = vec![0.0; n];
+        for u in 0..n {
+            for &eid in &d.adj[u] {
+                if eid % 2 == 0 {
+                    // forward edges only
+                    net[u] -= d.edges[eid].flow;
+                    net[d.edges[eid].to] += d.edges[eid].flow;
+                }
+            }
+        }
+        assert!((net[s] + total).abs() < 1e-6);
+        assert!((net[t] - total).abs() < 1e-6);
+        for (u, &x) in net.iter().enumerate() {
+            if u != s && u != t {
+                assert!(x.abs() < 1e-6, "node {u} violates conservation: {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn capacities_respected() {
+        let (mut d, s, t) = clrs_network();
+        d.max_flow(s, t);
+        for e in &d.edges {
+            assert!(e.flow <= e.cap + 1e-9);
+        }
+    }
+
+    #[test]
+    fn reset_and_resolve() {
+        let mut d = Dinic::new();
+        let s = d.add_node();
+        let t = d.add_node();
+        let e = d.add_edge(s, t, 4.0);
+        assert!((d.max_flow(s, t) - 4.0).abs() < 1e-9);
+        d.set_capacity(e, 7.0);
+        d.reset_flows();
+        assert!((d.max_flow(s, t) - 7.0).abs() < 1e-9);
+        assert!((d.flow_on(e) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matching_as_flow() {
+        // Bipartite: 3 tasks, 2 executors; tasks 0,1 → exec 0; task 2 → exec 1.
+        let mut d = Dinic::new();
+        let s = d.add_node();
+        let tasks = d.add_nodes(3);
+        let execs = d.add_nodes(2);
+        let t = d.add_node();
+        for i in 0..3 {
+            d.add_edge(s, tasks + i, 1.0);
+        }
+        d.add_edge(tasks, execs, 1.0);
+        d.add_edge(tasks + 1, execs, 1.0);
+        d.add_edge(tasks + 2, execs + 1, 1.0);
+        for j in 0..2 {
+            d.add_edge(execs + j, t, 1.0);
+        }
+        assert!((d.max_flow(s, t) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative capacity")]
+    fn negative_capacity_rejected() {
+        let mut d = Dinic::new();
+        let s = d.add_node();
+        let t = d.add_node();
+        d.add_edge(s, t, -1.0);
+    }
+}

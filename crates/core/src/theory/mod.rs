@@ -1,0 +1,30 @@
+//! The theory behind Custody (§III).
+//!
+//! The task-level data-aware resource-sharing problem (Eq. 1–5) converts
+//! to a **maximum concurrent flow** problem on the network of Fig. 2; the
+//! integral version is NP-hard, and the job-level variant (Eq. 6–8)
+//! reduces from it. This module implements:
+//!
+//! * [`flow`] — the Fig. 2 network construction from an
+//!   [`AllocationView`](crate::AllocationView).
+//! * [`maxflow`] — Dinic's max-flow algorithm (real-valued capacities).
+//! * [`concurrent`] — the fractional maximum-concurrent-flow rate λ*, an
+//!   upper bound on the min-locality any integral allocation can achieve.
+//! * [`matching`] — Hopcroft–Karp maximum bipartite matching (the exact
+//!   task-level intra-app optimum), the greedy fewest-tasks-first strategy
+//!   of Algorithm 2, and an exhaustive job-level optimum for small
+//!   instances (used to validate the 2-approximation empirically).
+
+pub mod concurrent;
+pub mod exact;
+pub mod flow;
+pub mod matching;
+pub mod maxflow;
+pub mod waterfill;
+
+pub use concurrent::max_concurrent_rate;
+pub use exact::optimal_min_local_job_fraction;
+pub use flow::FlowNetwork;
+pub use matching::{exact_max_local_jobs, greedy_local_jobs, hopcroft_karp, roundrobin_local_jobs};
+pub use maxflow::Dinic;
+pub use waterfill::max_min_locality_vector;

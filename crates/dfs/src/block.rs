@@ -1,0 +1,137 @@
+//! Blocks, datasets, and the identifiers shared across the workspace.
+
+use custody_simcore::define_id;
+
+define_id!(
+    /// A machine in the cluster. Worker nodes and DataNodes are co-located
+    /// (the standard HDFS + Spark deployment the paper assumes), so a single
+    /// id identifies both roles.
+    pub struct NodeId, "node"
+);
+
+define_id!(
+    /// A fixed-size data block stored by the file system.
+    pub struct BlockId, "block"
+);
+
+define_id!(
+    /// A named input dataset (a file divided into blocks).
+    pub struct DatasetId, "dataset"
+);
+
+/// Bytes per megabyte (decimal, as storage systems report).
+pub const BYTES_PER_MB: u64 = 1_000_000;
+
+/// Default block size: 128 MB, "according to the standard cluster
+/// configuration" (§VI-A1).
+pub const DEFAULT_BLOCK_SIZE: u64 = 128 * BYTES_PER_MB;
+
+/// Metadata for one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Globally unique block id.
+    pub id: BlockId,
+    /// The dataset this block belongs to.
+    pub dataset: DatasetId,
+    /// Position of the block within its dataset (0-based).
+    pub index: u32,
+    /// Block payload size in bytes. The final block of a dataset may be
+    /// smaller than the configured block size.
+    pub size_bytes: u64,
+}
+
+/// A named dataset registered with the NameNode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    /// Unique dataset id.
+    pub id: DatasetId,
+    /// Human-readable name (e.g. `"wiki-dump/part-042"`).
+    pub name: String,
+    /// Total payload size in bytes.
+    pub total_bytes: u64,
+    /// Configured block size in bytes.
+    pub block_size: u64,
+    /// The dataset's blocks, in index order.
+    pub blocks: Vec<BlockId>,
+}
+
+impl Dataset {
+    /// Number of blocks — which is also the number of *input tasks* a job
+    /// reading this dataset launches ("each of which corresponds to an
+    /// input task of a job", §III-A).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Computes how many blocks a dataset of `total_bytes` needs at
+/// `block_size`, and the size of each block (all `block_size` except a
+/// possibly short tail).
+pub fn split_into_blocks(total_bytes: u64, block_size: u64) -> Vec<u64> {
+    assert!(block_size > 0, "block size must be positive");
+    assert!(total_bytes > 0, "dataset must be non-empty");
+    let full = (total_bytes / block_size) as usize;
+    let tail = total_bytes % block_size;
+    let mut sizes = vec![block_size; full];
+    if tail > 0 {
+        sizes.push(tail);
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_exact_multiple() {
+        let sizes = split_into_blocks(4 * DEFAULT_BLOCK_SIZE, DEFAULT_BLOCK_SIZE);
+        assert_eq!(sizes.len(), 4);
+        assert!(sizes.iter().all(|&s| s == DEFAULT_BLOCK_SIZE));
+    }
+
+    #[test]
+    fn split_with_tail() {
+        let sizes = split_into_blocks(DEFAULT_BLOCK_SIZE + 1, DEFAULT_BLOCK_SIZE);
+        assert_eq!(sizes, vec![DEFAULT_BLOCK_SIZE, 1]);
+    }
+
+    #[test]
+    fn split_smaller_than_block() {
+        let sizes = split_into_blocks(5, DEFAULT_BLOCK_SIZE);
+        assert_eq!(sizes, vec![5]);
+    }
+
+    #[test]
+    fn split_sizes_sum_to_total() {
+        for total in [1, 999, 128_000_000, 1_000_000_001, 7_777_777_777] {
+            let sizes = split_into_blocks(total, DEFAULT_BLOCK_SIZE);
+            assert_eq!(sizes.iter().sum::<u64>(), total);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn split_rejects_empty() {
+        let _ = split_into_blocks(0, DEFAULT_BLOCK_SIZE);
+    }
+
+    #[test]
+    fn dataset_num_blocks() {
+        let d = Dataset {
+            id: DatasetId::new(0),
+            name: "x".into(),
+            total_bytes: 10,
+            block_size: 5,
+            blocks: vec![BlockId::new(0), BlockId::new(1)],
+        };
+        assert_eq!(d.num_blocks(), 2);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(format!("{}", NodeId::new(3)), "node-3");
+        assert_eq!(format!("{}", BlockId::new(1)), "block-1");
+        assert_eq!(format!("{}", DatasetId::new(0)), "dataset-0");
+    }
+}

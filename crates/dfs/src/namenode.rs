@@ -1,0 +1,541 @@
+//! The NameNode: authoritative metadata for the whole file system.
+//!
+//! "In the underlying distributed file system (i.e., HDFS), the unique
+//! NameNode manages the directory tree of all files in the system, and
+//! tracks where the data is stored across the whole cluster. ... By
+//! inquiring the NameNode, Custody acquires the list of relevant DataNodes
+//! that store the input data blocks of jobs in an application" (§IV-C).
+//!
+//! [`NameNode`] owns the dataset/block registry, the per-block replica
+//! location lists, and the per-machine [`DataNode`] storage states.
+
+use custody_simcore::SimRng;
+
+use crate::block::{split_into_blocks, Block, BlockId, Dataset, DatasetId, NodeId};
+use crate::datanode::DataNode;
+use crate::placement::PlacementPolicy;
+use crate::popularity::AccessTracker;
+
+/// Central file-system metadata service.
+///
+/// ```
+/// use custody_dfs::{NameNode, RandomPlacement, DEFAULT_BLOCK_SIZE};
+/// use custody_simcore::SimRng;
+///
+/// let mut nn = NameNode::new(10, 384_000_000_000, 3);
+/// let mut rng = SimRng::seed_from_u64(7);
+/// let ds = nn.create_dataset("wiki", 1_000_000_000, DEFAULT_BLOCK_SIZE,
+///                            &mut RandomPlacement, &mut rng);
+/// // 1 GB at 128 MB blocks = 8 blocks, 3 replicas each.
+/// assert_eq!(nn.dataset(ds).num_blocks(), 8);
+/// let block = nn.dataset(ds).blocks[0];
+/// assert_eq!(nn.locations(block).len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NameNode {
+    datanodes: Vec<DataNode>,
+    blocks: Vec<Block>,
+    datasets: Vec<Dataset>,
+    /// Per-block replica locations, kept sorted by node id.
+    replicas: Vec<Vec<NodeId>>,
+    replication: usize,
+}
+
+impl NameNode {
+    /// Creates a NameNode managing `num_nodes` machines of
+    /// `capacity_bytes` each, targeting `replication` replicas per block.
+    pub fn new(num_nodes: usize, capacity_bytes: u64, replication: usize) -> Self {
+        assert!(num_nodes > 0, "cluster must have nodes");
+        assert!(replication > 0, "replication must be positive");
+        NameNode {
+            datanodes: (0..num_nodes)
+                .map(|i| DataNode::new(NodeId::new(i), capacity_bytes))
+                .collect(),
+            blocks: Vec::new(),
+            datasets: Vec::new(),
+            replicas: Vec::new(),
+            replication,
+        }
+    }
+
+    /// Number of machines.
+    pub fn num_nodes(&self) -> usize {
+        self.datanodes.len()
+    }
+
+    /// Target replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Total number of registered blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of registered datasets.
+    pub fn num_datasets(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// Registers a dataset of `total_bytes`, splitting it into blocks of
+    /// `block_size` and placing each block's replicas via `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no space for even one replica of some
+    /// block — the experiments size storage so this cannot happen, and
+    /// silently under-replicating would corrupt locality measurements.
+    pub fn create_dataset(
+        &mut self,
+        name: impl Into<String>,
+        total_bytes: u64,
+        block_size: u64,
+        policy: &mut dyn PlacementPolicy,
+        rng: &mut SimRng,
+    ) -> DatasetId {
+        let dataset_id = DatasetId::new(self.datasets.len());
+        let sizes = split_into_blocks(total_bytes, block_size);
+        let mut block_ids = Vec::with_capacity(sizes.len());
+        for (index, &size_bytes) in sizes.iter().enumerate() {
+            let block_id = BlockId::new(self.blocks.len());
+            let targets = policy.place(&self.datanodes, self.replication, size_bytes, rng);
+            assert!(
+                !targets.is_empty(),
+                "no node can store block {index} of dataset {name:?}",
+                name = dataset_id
+            );
+            self.blocks.push(Block {
+                id: block_id,
+                dataset: dataset_id,
+                index: index as u32,
+                size_bytes,
+            });
+            let mut locs = Vec::with_capacity(targets.len());
+            for node in targets {
+                let added = self.datanodes[node.index()].add(block_id, size_bytes);
+                assert!(added, "placement returned unusable node {node}");
+                locs.push(node);
+            }
+            locs.sort_unstable();
+            self.replicas.push(locs);
+            block_ids.push(block_id);
+        }
+        self.datasets.push(Dataset {
+            id: dataset_id,
+            name: name.into(),
+            total_bytes,
+            block_size,
+            blocks: block_ids,
+        });
+        dataset_id
+    }
+
+    /// Looks up a dataset.
+    pub fn dataset(&self, id: DatasetId) -> &Dataset {
+        &self.datasets[id.index()]
+    }
+
+    /// Looks up a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// The machines storing replicas of `block`, sorted by node id.
+    ///
+    /// This is *the* query Custody issues when a job is submitted: the
+    /// "desired locations" of each input task.
+    pub fn locations(&self, block: BlockId) -> &[NodeId] {
+        &self.replicas[block.index()]
+    }
+
+    /// Whether `node` stores a replica of `block` (i.e. a task reading
+    /// `block` would be data-local on `node`).
+    pub fn is_local(&self, node: NodeId, block: BlockId) -> bool {
+        self.replicas[block.index()].binary_search(&node).is_ok()
+    }
+
+    /// Per-machine storage state.
+    pub fn datanode(&self, node: NodeId) -> &DataNode {
+        &self.datanodes[node.index()]
+    }
+
+    /// All datanodes, indexed by node id.
+    pub fn datanodes(&self) -> &[DataNode] {
+        &self.datanodes
+    }
+
+    /// Adds a replica of `block` on `node`. Returns `false` if the replica
+    /// already exists or the node lacks space.
+    pub fn add_replica(&mut self, block: BlockId, node: NodeId) -> bool {
+        let size = self.blocks[block.index()].size_bytes;
+        if !self.datanodes[node.index()].add(block, size) {
+            return false;
+        }
+        let locs = &mut self.replicas[block.index()];
+        match locs.binary_search(&node) {
+            Ok(_) => unreachable!("datanode accepted a duplicate replica"),
+            Err(pos) => locs.insert(pos, node),
+        }
+        true
+    }
+
+    /// Removes the replica of `block` on `node`. Returns `false` if absent.
+    /// Refuses (returns `false`) to remove the last replica — the file
+    /// system never destroys data.
+    pub fn remove_replica(&mut self, block: BlockId, node: NodeId) -> bool {
+        let locs = &mut self.replicas[block.index()];
+        if locs.len() <= 1 {
+            return false;
+        }
+        let Ok(pos) = locs.binary_search(&node) else {
+            return false;
+        };
+        locs.remove(pos);
+        let size = self.blocks[block.index()].size_bytes;
+        let removed = self.datanodes[node.index()].remove(block, size);
+        debug_assert!(removed);
+        true
+    }
+
+    /// Scarlett-style re-replication: adds up to `extra_per_block` replicas
+    /// to each of the `top_k` most-accessed blocks, preferring the machines
+    /// with the most free space. Returns the number of replicas created.
+    pub fn replicate_hot_blocks(
+        &mut self,
+        tracker: &AccessTracker,
+        top_k: usize,
+        extra_per_block: usize,
+        rng: &mut SimRng,
+    ) -> usize {
+        let mut created = 0;
+        for (block, _) in tracker.top_k(top_k) {
+            let size = self.blocks[block.index()].size_bytes;
+            for _ in 0..extra_per_block {
+                // Candidate machines: have space, don't already store it.
+                let mut candidates: Vec<(u64, u64, NodeId)> = self
+                    .datanodes
+                    .iter()
+                    .filter(|dn| dn.fits(size) && !dn.stores(block))
+                    .map(|dn| (dn.used_bytes(), rng.draw_u64(), dn.node))
+                    .collect();
+                candidates.sort_unstable();
+                let Some(&(_, _, node)) = candidates.first() else {
+                    break;
+                };
+                let added = self.add_replica(block, node);
+                debug_assert!(added);
+                created += 1;
+            }
+        }
+        created
+    }
+
+    /// Fails a machine: decommissions its DataNode and drops every replica
+    /// it held. Returns the blocks whose replica there could **not** be
+    /// dropped because it was the last copy — the file system keeps serving
+    /// them (reads from a failed machine's surviving disk are a modelling
+    /// concession; with 3-way replication a single-node failure leaves
+    /// sole copies only in pathological layouts). Call
+    /// [`restore_replication`](Self::restore_replication) afterwards to
+    /// model HDFS's automatic re-replication of under-replicated blocks.
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<BlockId> {
+        let held: Vec<BlockId> = self.datanodes[node.index()].blocks().collect();
+        let mut pinned = Vec::new();
+        for block in held {
+            if !self.remove_replica(block, node) {
+                pinned.push(block);
+            }
+        }
+        self.datanodes[node.index()].decommission();
+        pinned
+    }
+
+    /// Brings every block back up to the target replication factor by
+    /// creating replicas on the machines with the most free space (HDFS's
+    /// under-replicated-block queue, collapsed to an instant). Returns the
+    /// number of replicas created.
+    pub fn restore_replication(&mut self, rng: &mut SimRng) -> usize {
+        let mut created = 0;
+        for b in 0..self.blocks.len() {
+            let block = BlockId::new(b);
+            while self.replicas[b].len() < self.replication {
+                let size = self.blocks[b].size_bytes;
+                let mut candidates: Vec<(u64, u64, NodeId)> = self
+                    .datanodes
+                    .iter()
+                    .filter(|dn| dn.fits(size) && !dn.stores(block))
+                    .map(|dn| (dn.used_bytes(), rng.draw_u64(), dn.node))
+                    .collect();
+                candidates.sort_unstable();
+                let Some(&(_, _, node)) = candidates.first() else {
+                    break; // no machine can take another replica
+                };
+                let added = self.add_replica(block, node);
+                debug_assert!(added);
+                created += 1;
+            }
+        }
+        created
+    }
+
+    /// Sanity check used by tests and property tests: every replica list is
+    /// sorted, within bounds, duplicate-free and consistent with the
+    /// DataNode states.
+    pub fn check_invariants(&self) {
+        for (i, locs) in self.replicas.iter().enumerate() {
+            let block = BlockId::new(i);
+            assert!(!locs.is_empty(), "{block} has no replicas");
+            assert!(
+                locs.windows(2).all(|w| w[0] < w[1]),
+                "{block} locations not strictly sorted: {locs:?}"
+            );
+            for &node in locs {
+                assert!(node.index() < self.datanodes.len());
+                assert!(
+                    self.datanodes[node.index()].stores(block),
+                    "{block} listed on {node} but datanode disagrees"
+                );
+            }
+        }
+        for dn in &self.datanodes {
+            for block in dn.blocks() {
+                assert!(
+                    self.replicas[block.index()].binary_search(&dn.node).is_ok(),
+                    "{} stores {block} but NameNode disagrees",
+                    dn.node
+                );
+            }
+            let used: u64 = dn.blocks().map(|b| self.blocks[b.index()].size_bytes).sum();
+            assert_eq!(used, dn.used_bytes(), "{} usage drift", dn.node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::DEFAULT_BLOCK_SIZE;
+    use crate::placement::{RandomPlacement, RoundRobinPlacement};
+
+    const GB: u64 = 1_000_000_000;
+
+    fn namenode() -> NameNode {
+        NameNode::new(10, 400 * GB, 3)
+    }
+
+    #[test]
+    fn create_dataset_splits_and_places() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(1);
+        let ds = nn.create_dataset("wiki", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let dataset = nn.dataset(ds);
+        assert_eq!(dataset.num_blocks(), 8); // ceil(1e9 / 128e6)
+        for &b in &dataset.blocks {
+            assert_eq!(nn.locations(b).len(), 3);
+            assert_eq!(nn.block(b).dataset, ds);
+        }
+        nn.check_invariants();
+    }
+
+    #[test]
+    fn locations_sorted_and_local_check() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(2);
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        for &b in &nn.dataset(ds).blocks.clone() {
+            let locs = nn.locations(b);
+            assert!(locs.windows(2).all(|w| w[0] < w[1]));
+            for &n in locs {
+                assert!(nn.is_local(n, b));
+            }
+            // Some node must be non-local in a 10-node cluster with 3 replicas.
+            let nonlocal = (0..10).map(NodeId::new).find(|&n| !nn.is_local(n, b));
+            assert!(nonlocal.is_some());
+        }
+    }
+
+    #[test]
+    fn round_robin_dataset_is_predictable() {
+        let mut nn = NameNode::new(4, 400 * GB, 1);
+        let mut rng = SimRng::seed_from_u64(0);
+        let ds = nn.create_dataset(
+            "fig1",
+            4 * DEFAULT_BLOCK_SIZE,
+            DEFAULT_BLOCK_SIZE,
+            &mut RoundRobinPlacement::default(),
+            &mut rng,
+        );
+        let blocks = nn.dataset(ds).blocks.clone();
+        for (i, &b) in blocks.iter().enumerate() {
+            assert_eq!(nn.locations(b), &[NodeId::new(i)]);
+        }
+    }
+
+    #[test]
+    fn add_and_remove_replica() {
+        let mut nn = NameNode::new(3, 400 * GB, 1);
+        let mut rng = SimRng::seed_from_u64(3);
+        let ds = nn.create_dataset(
+            "d",
+            DEFAULT_BLOCK_SIZE,
+            DEFAULT_BLOCK_SIZE,
+            &mut RoundRobinPlacement::default(),
+            &mut rng,
+        );
+        let b = nn.dataset(ds).blocks[0];
+        assert_eq!(nn.locations(b), &[NodeId::new(0)]);
+        assert!(nn.add_replica(b, NodeId::new(2)));
+        assert_eq!(nn.locations(b), &[NodeId::new(0), NodeId::new(2)]);
+        assert!(!nn.add_replica(b, NodeId::new(2)), "duplicate rejected");
+        assert!(nn.remove_replica(b, NodeId::new(0)));
+        assert_eq!(nn.locations(b), &[NodeId::new(2)]);
+        assert!(!nn.remove_replica(b, NodeId::new(2)), "last replica kept");
+        nn.check_invariants();
+    }
+
+    #[test]
+    fn remove_absent_replica_is_noop() {
+        let mut nn = NameNode::new(3, 400 * GB, 2);
+        let mut rng = SimRng::seed_from_u64(4);
+        let ds = nn.create_dataset(
+            "d",
+            DEFAULT_BLOCK_SIZE,
+            DEFAULT_BLOCK_SIZE,
+            &mut RoundRobinPlacement::default(),
+            &mut rng,
+        );
+        let b = nn.dataset(ds).blocks[0];
+        assert!(!nn.remove_replica(b, NodeId::new(2)));
+        nn.check_invariants();
+    }
+
+    #[test]
+    fn replication_clamped_by_cluster_size() {
+        let mut nn = NameNode::new(2, 400 * GB, 3);
+        let mut rng = SimRng::seed_from_u64(5);
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        for &b in &nn.dataset(ds).blocks.clone() {
+            assert_eq!(nn.locations(b).len(), 2);
+        }
+    }
+
+    #[test]
+    fn replicate_hot_blocks_adds_replicas() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(6);
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let hot = nn.dataset(ds).blocks[0];
+        let mut tracker = AccessTracker::new();
+        tracker.record_many(hot, 100);
+        let before = nn.locations(hot).len();
+        let created = nn.replicate_hot_blocks(&tracker, 1, 2, &mut rng);
+        assert_eq!(created, 2);
+        assert_eq!(nn.locations(hot).len(), before + 2);
+        nn.check_invariants();
+    }
+
+    #[test]
+    fn replicate_hot_blocks_saturates_at_cluster_size() {
+        let mut nn = NameNode::new(4, 400 * GB, 3);
+        let mut rng = SimRng::seed_from_u64(7);
+        let ds = nn.create_dataset(
+            "d",
+            DEFAULT_BLOCK_SIZE,
+            DEFAULT_BLOCK_SIZE,
+            &mut RandomPlacement,
+            &mut rng,
+        );
+        let b = nn.dataset(ds).blocks[0];
+        let mut tracker = AccessTracker::new();
+        tracker.record(b);
+        let created = nn.replicate_hot_blocks(&tracker, 1, 10, &mut rng);
+        assert_eq!(created, 1, "only one machine lacked a replica");
+        assert_eq!(nn.locations(b).len(), 4);
+    }
+
+    #[test]
+    fn multiple_datasets_get_distinct_blocks() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(8);
+        let a = nn.create_dataset("a", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let b = nn.create_dataset("b", 2 * GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        assert_eq!(nn.num_datasets(), 2);
+        let blocks_a = &nn.dataset(a).blocks;
+        let blocks_b = &nn.dataset(b).blocks;
+        assert!(blocks_a.iter().all(|x| !blocks_b.contains(x)));
+        assert_eq!(nn.num_blocks(), blocks_a.len() + blocks_b.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster must have nodes")]
+    fn zero_nodes_rejected() {
+        let _ = NameNode::new(0, GB, 3);
+    }
+
+    #[test]
+    fn fail_node_drops_replicas_and_decommissions() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(9);
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let victim = NodeId::new(0);
+        let before: Vec<BlockId> = nn.datanode(victim).blocks().collect();
+        let pinned = nn.fail_node(victim);
+        assert!(pinned.is_empty(), "3-way replication survives one failure");
+        assert!(nn.datanode(victim).is_decommissioned());
+        assert_eq!(nn.datanode(victim).block_count(), 0);
+        for b in before {
+            assert!(!nn.is_local(victim, b));
+            assert!(nn.locations(b).len() >= 2);
+        }
+        nn.check_invariants();
+        let _ = ds;
+    }
+
+    #[test]
+    fn restore_replication_heals_after_failure() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(10);
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let lost = nn.datanode(NodeId::new(3)).block_count();
+        nn.fail_node(NodeId::new(3));
+        let created = nn.restore_replication(&mut rng);
+        assert_eq!(created, lost, "one new replica per lost replica");
+        for &b in &nn.dataset(ds).blocks.clone() {
+            assert_eq!(nn.locations(b).len(), 3, "replication restored");
+            assert!(!nn.is_local(NodeId::new(3), b), "not on the dead node");
+        }
+        nn.check_invariants();
+    }
+
+    #[test]
+    fn failed_node_excluded_from_placement() {
+        let mut nn = NameNode::new(3, 400 * GB, 2);
+        let mut rng = SimRng::seed_from_u64(11);
+        nn.fail_node(NodeId::new(1));
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        for &b in &nn.dataset(ds).blocks.clone() {
+            assert!(!nn.is_local(NodeId::new(1), b));
+        }
+    }
+
+    #[test]
+    fn last_replica_survives_node_failure() {
+        let mut nn = NameNode::new(2, 400 * GB, 1);
+        let mut rng = SimRng::seed_from_u64(12);
+        let ds = nn.create_dataset(
+            "d",
+            DEFAULT_BLOCK_SIZE,
+            DEFAULT_BLOCK_SIZE,
+            &mut RoundRobinPlacement::default(),
+            &mut rng,
+        );
+        let b = nn.dataset(ds).blocks[0];
+        let home = nn.locations(b)[0];
+        let pinned = nn.fail_node(home);
+        assert_eq!(pinned, vec![b], "sole copy must be reported as pinned");
+        assert_eq!(nn.locations(b), &[home], "block still readable");
+        // Healing moves nothing (replication 1 already met).
+        assert_eq!(nn.restore_replication(&mut rng), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Block access-frequency tracking.
+//!
+//! "Recent popularity-based strategies \[9\] store different numbers of
+//! replicas for each of the data blocks based on its access frequency, such
+//! that applications will not all compete for the computing slots on worker
+//! nodes storing hot data" (§II). [`AccessTracker`] records accesses so the
+//! NameNode can re-replicate the hottest blocks (see
+//! [`NameNode::replicate_hot_blocks`](crate::NameNode::replicate_hot_blocks)).
+
+use std::collections::HashMap;
+
+use crate::block::BlockId;
+
+/// Records how often each block has been read.
+#[derive(Debug, Clone, Default)]
+pub struct AccessTracker {
+    counts: HashMap<BlockId, u64>,
+    total: u64,
+}
+
+impl AccessTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access to `block`.
+    pub fn record(&mut self, block: BlockId) {
+        *self.counts.entry(block).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` accesses to `block`.
+    pub fn record_many(&mut self, block: BlockId, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(block).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Access count of one block.
+    pub fn count(&self, block: BlockId) -> u64 {
+        self.counts.get(&block).copied().unwrap_or(0)
+    }
+
+    /// Total recorded accesses.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct blocks ever accessed.
+    pub fn distinct_blocks(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The `k` most-accessed blocks, hottest first. Ties break toward the
+    /// lower block id so the result is deterministic.
+    pub fn top_k(&self, k: usize) -> Vec<(BlockId, u64)> {
+        let mut all: Vec<(BlockId, u64)> = self.counts.iter().map(|(&b, &c)| (b, c)).collect();
+        all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Blocks whose access share exceeds `threshold` (fraction of all
+    /// accesses), hottest first.
+    pub fn hot_blocks(&self, threshold: f64) -> Vec<BlockId> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let mut hot: Vec<(BlockId, u64)> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c as f64 / self.total as f64 > threshold)
+            .map(|(&b, &c)| (b, c))
+            .collect();
+        hot.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hot.into_iter().map(|(b, _)| b).collect()
+    }
+
+    /// Forgets all history (e.g. at an epoch boundary).
+    pub fn reset(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+    }
+
+    /// Exponentially decays all counts by `factor` in `[0, 1]`, dropping
+    /// blocks whose count reaches zero. Models the sliding-window popularity
+    /// estimates of Scarlett.
+    pub fn decay(&mut self, factor: f64) {
+        assert!((0.0..=1.0).contains(&factor), "bad decay factor");
+        let mut new_total = 0;
+        self.counts.retain(|_, c| {
+            *c = (*c as f64 * factor).floor() as u64;
+            new_total += *c;
+            *c > 0
+        });
+        self.total = new_total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut t = AccessTracker::new();
+        t.record(BlockId::new(1));
+        t.record(BlockId::new(1));
+        t.record(BlockId::new(2));
+        assert_eq!(t.count(BlockId::new(1)), 2);
+        assert_eq!(t.count(BlockId::new(2)), 1);
+        assert_eq!(t.count(BlockId::new(3)), 0);
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.distinct_blocks(), 2);
+    }
+
+    #[test]
+    fn record_many() {
+        let mut t = AccessTracker::new();
+        t.record_many(BlockId::new(0), 5);
+        t.record_many(BlockId::new(0), 0);
+        assert_eq!(t.count(BlockId::new(0)), 5);
+        assert_eq!(t.total(), 5);
+    }
+
+    #[test]
+    fn top_k_sorted_with_deterministic_ties() {
+        let mut t = AccessTracker::new();
+        t.record_many(BlockId::new(3), 5);
+        t.record_many(BlockId::new(1), 5);
+        t.record_many(BlockId::new(2), 9);
+        let top = t.top_k(3);
+        assert_eq!(
+            top,
+            vec![
+                (BlockId::new(2), 9),
+                (BlockId::new(1), 5),
+                (BlockId::new(3), 5)
+            ]
+        );
+        assert_eq!(t.top_k(1), vec![(BlockId::new(2), 9)]);
+        assert_eq!(t.top_k(0), vec![]);
+    }
+
+    #[test]
+    fn hot_blocks_by_share() {
+        let mut t = AccessTracker::new();
+        t.record_many(BlockId::new(0), 80);
+        t.record_many(BlockId::new(1), 15);
+        t.record_many(BlockId::new(2), 5);
+        assert_eq!(t.hot_blocks(0.5), vec![BlockId::new(0)]);
+        assert_eq!(t.hot_blocks(0.1), vec![BlockId::new(0), BlockId::new(1)]);
+        assert!(t.hot_blocks(0.9).is_empty());
+    }
+
+    #[test]
+    fn hot_blocks_empty_tracker() {
+        let t = AccessTracker::new();
+        assert!(t.hot_blocks(0.0).is_empty());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut t = AccessTracker::new();
+        t.record(BlockId::new(0));
+        t.reset();
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.distinct_blocks(), 0);
+    }
+
+    #[test]
+    fn decay_halves_and_drops() {
+        let mut t = AccessTracker::new();
+        t.record_many(BlockId::new(0), 10);
+        t.record_many(BlockId::new(1), 1);
+        t.decay(0.5);
+        assert_eq!(t.count(BlockId::new(0)), 5);
+        assert_eq!(t.count(BlockId::new(1)), 0);
+        assert_eq!(t.distinct_blocks(), 1);
+        assert_eq!(t.total(), 5);
+    }
+}

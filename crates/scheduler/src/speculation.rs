@@ -1,0 +1,156 @@
+//! Speculative execution — the straggler-mitigation extension.
+//!
+//! §IV-B: "We can further utilize existing straggler mitigation schemes
+//! (e.g., \[26\], \[27\], \[10\]) to offset such performance degradation"
+//! for low-priority tasks that miss locality. This module implements the
+//! standard clone-based policy (Spark's `spark.speculation`): when a
+//! stage is mostly finished, tasks that have run far longer than the
+//! median completed-task duration get a speculative copy; the first copy
+//! to finish wins.
+
+use custody_simcore::{SimDuration, SimTime};
+
+/// Configuration of the speculative-execution policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationConfig {
+    /// Fraction of a stage's tasks that must have completed before any
+    /// speculation happens (Spark default: 0.75).
+    pub quantile: f64,
+    /// A running task is a straggler when its elapsed time exceeds
+    /// `multiplier ×` the median completed-task duration (Spark default:
+    /// 1.5).
+    pub multiplier: f64,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig {
+            quantile: 0.75,
+            multiplier: 1.5,
+        }
+    }
+}
+
+/// Tracks one stage's task durations and answers "should this running
+/// task be cloned?".
+#[derive(Debug, Clone)]
+pub struct SpeculationPolicy {
+    config: SpeculationConfig,
+    total_tasks: usize,
+    completed_durations: Vec<SimDuration>,
+    sorted: bool,
+}
+
+impl SpeculationPolicy {
+    /// Creates a policy for a stage of `total_tasks` tasks.
+    pub fn new(config: SpeculationConfig, total_tasks: usize) -> Self {
+        SpeculationPolicy {
+            config,
+            total_tasks,
+            completed_durations: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records a completed task's duration.
+    pub fn record_completion(&mut self, duration: SimDuration) {
+        self.completed_durations.push(duration);
+        self.sorted = false;
+    }
+
+    /// Number of recorded completions.
+    pub fn completed(&self) -> usize {
+        self.completed_durations.len()
+    }
+
+    /// Median duration of completed tasks, if any completed.
+    pub fn median_duration(&mut self) -> Option<SimDuration> {
+        if self.completed_durations.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.completed_durations.sort_unstable();
+            self.sorted = true;
+        }
+        Some(self.completed_durations[(self.completed_durations.len() - 1) / 2])
+    }
+
+    /// Whether a task that started at `started_at` should get a
+    /// speculative clone at time `now`.
+    pub fn should_speculate(&mut self, started_at: SimTime, now: SimTime) -> bool {
+        if self.total_tasks == 0 {
+            return false;
+        }
+        let done_fraction = self.completed_durations.len() as f64 / self.total_tasks as f64;
+        if done_fraction < self.config.quantile {
+            return false;
+        }
+        let Some(median) = self.median_duration() else {
+            return false;
+        };
+        let threshold =
+            SimDuration::from_secs_f64(median.as_secs_f64() * self.config.multiplier);
+        now.saturating_since(started_at) > threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(total: usize) -> SpeculationPolicy {
+        SpeculationPolicy::new(SpeculationConfig::default(), total)
+    }
+
+    #[test]
+    fn no_speculation_before_quantile() {
+        let mut p = policy(4);
+        p.record_completion(SimDuration::from_secs(1));
+        p.record_completion(SimDuration::from_secs(1));
+        // 2/4 = 50% < 75%.
+        assert!(!p.should_speculate(SimTime::ZERO, SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn speculates_on_slow_task_after_quantile() {
+        let mut p = policy(4);
+        for _ in 0..3 {
+            p.record_completion(SimDuration::from_secs(2));
+        }
+        // Median 2s, multiplier 1.5 → threshold 3s.
+        assert!(!p.should_speculate(SimTime::ZERO, SimTime::from_secs(3)));
+        assert!(p.should_speculate(SimTime::ZERO, SimTime::from_millis(3_001)));
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mut p = policy(5);
+        p.record_completion(SimDuration::from_secs(9));
+        p.record_completion(SimDuration::from_secs(1));
+        p.record_completion(SimDuration::from_secs(5));
+        assert_eq!(p.median_duration(), Some(SimDuration::from_secs(5)));
+        assert_eq!(p.completed(), 3);
+    }
+
+    #[test]
+    fn empty_stage_never_speculates() {
+        let mut p = policy(0);
+        assert!(!p.should_speculate(SimTime::ZERO, SimTime::from_secs(1000)));
+        assert_eq!(p.median_duration(), None);
+    }
+
+    #[test]
+    fn custom_config_thresholds() {
+        let mut p = SpeculationPolicy::new(
+            SpeculationConfig {
+                quantile: 0.5,
+                multiplier: 2.0,
+            },
+            2,
+        );
+        p.record_completion(SimDuration::from_secs(1));
+        // 1/2 ≥ 0.5; threshold = 2s.
+        assert!(!p.should_speculate(SimTime::ZERO, SimTime::from_secs(2)));
+        assert!(p.should_speculate(SimTime::ZERO, SimTime::from_millis(2_001)));
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline analysis over task traces.
+//!
+//! Operates on the [`TaskTrace`](crate::TaskTrace) a
+//! [`Simulation::run_traced`](crate::Simulation::run_traced) run emits:
+//! per-node busy time and utilization, cluster concurrency over time, and
+//! a terminal-friendly sparkline for eyeballing load shapes. Used by the
+//! `simulate` CLI's `--analyze` flag and by tests that sanity-check the
+//! driver's work conservation.
+
+use std::collections::BTreeMap;
+
+use custody_simcore::{SimDuration, SimTime};
+
+use crate::trace::TaskTrace;
+
+/// Total busy (task-executing) time per node, keyed by node index.
+pub fn node_busy_time(trace: &TaskTrace) -> BTreeMap<usize, SimDuration> {
+    let mut busy: BTreeMap<usize, SimDuration> = BTreeMap::new();
+    for r in trace.records() {
+        let dur = r.finished_at.saturating_since(r.launched_at);
+        *busy.entry(r.node).or_insert(SimDuration::ZERO) += dur;
+    }
+    busy
+}
+
+/// Per-node utilization over `[0, makespan]`: busy time divided by
+/// `executors_per_node × makespan`. Nodes that ran nothing report 0.
+/// Returns an empty vector for an empty trace.
+pub fn node_utilization(
+    trace: &TaskTrace,
+    num_nodes: usize,
+    executors_per_node: usize,
+) -> Vec<f64> {
+    let makespan = trace
+        .records()
+        .iter()
+        .map(|r| r.finished_at)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    if makespan == SimTime::ZERO {
+        return vec![0.0; num_nodes];
+    }
+    let busy = node_busy_time(trace);
+    let capacity = makespan.as_secs_f64() * executors_per_node.max(1) as f64;
+    (0..num_nodes)
+        .map(|n| {
+            busy.get(&n)
+                .map_or(0.0, |d| d.as_secs_f64() / capacity)
+        })
+        .collect()
+}
+
+/// Number of tasks running at the start of each `bucket`-wide interval
+/// from time zero to the trace's makespan (inclusive of the final bucket).
+pub fn concurrency_timeline(trace: &TaskTrace, bucket: SimDuration) -> Vec<u32> {
+    assert!(!bucket.is_zero(), "bucket must be positive");
+    let Some(makespan) = trace.records().iter().map(|r| r.finished_at).max() else {
+        return Vec::new();
+    };
+    let buckets = (makespan.as_micros() / bucket.as_micros() + 1) as usize;
+    let mut timeline = vec![0u32; buckets];
+    for r in trace.records() {
+        let first = (r.launched_at.as_micros() / bucket.as_micros()) as usize;
+        let last = (r.finished_at.as_micros() / bucket.as_micros()) as usize;
+        for slot in timeline.iter_mut().take(last.min(buckets - 1) + 1).skip(first) {
+            *slot += 1;
+        }
+    }
+    timeline
+}
+
+/// Renders a count series as a one-line unicode sparkline.
+pub fn sparkline(series: &[u32]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = series.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return "▁".repeat(series.len());
+    }
+    series
+        .iter()
+        .map(|&v| BARS[((v as usize * (BARS.len() - 1)) + max as usize / 2) / max as usize])
+        .collect()
+}
+
+/// Work-conservation check: the sum of busy time across nodes must equal
+/// the sum of per-task durations (each attempt counted once). Panics on
+/// violation; used by tests.
+pub fn check_work_conservation(trace: &TaskTrace) {
+    let total_busy: SimDuration = node_busy_time(trace).values().copied().sum();
+    let total_tasks: SimDuration = trace
+        .records()
+        .iter()
+        .map(|r| r.finished_at.saturating_since(r.launched_at))
+        .sum();
+    assert_eq!(total_busy, total_tasks, "busy time drifted from task time");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TaskRecord;
+    use custody_workload::{AppId, JobId};
+
+    fn record(node: usize, launch_s: u64, finish_s: u64) -> TaskRecord {
+        TaskRecord {
+            app: AppId::new(0),
+            job: JobId::new(0),
+            stage: 0,
+            task: node, // distinct per record for trace invariants
+            node,
+            runnable_at: SimTime::from_secs(launch_s),
+            launched_at: SimTime::from_secs(launch_s),
+            finished_at: SimTime::from_secs(finish_s),
+            local: true,
+        }
+    }
+
+    fn trace(records: Vec<TaskRecord>) -> TaskTrace {
+        let mut t = TaskTrace::new();
+        for r in records {
+            t.push(r);
+        }
+        t
+    }
+
+    #[test]
+    fn busy_time_sums_per_node() {
+        let t = trace(vec![record(0, 0, 2), record(0, 3, 4), record(1, 0, 5)]);
+        let busy = node_busy_time(&t);
+        assert_eq!(busy[&0], SimDuration::from_secs(3));
+        assert_eq!(busy[&1], SimDuration::from_secs(5));
+        check_work_conservation(&t);
+    }
+
+    #[test]
+    fn utilization_normalizes_by_capacity() {
+        // Makespan 4s, one executor per node.
+        let t = trace(vec![record(0, 0, 4), record(1, 0, 2)]);
+        let u = node_utilization(&t, 3, 1);
+        assert_eq!(u.len(), 3);
+        assert!((u[0] - 1.0).abs() < 1e-9);
+        assert!((u[1] - 0.5).abs() < 1e-9);
+        assert_eq!(u[2], 0.0);
+        // Two executors per node halve the utilization.
+        let u2 = node_utilization(&t, 3, 2);
+        assert!((u2[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = TaskTrace::new();
+        assert!(node_busy_time(&t).is_empty());
+        assert_eq!(node_utilization(&t, 2, 1), vec![0.0, 0.0]);
+        assert!(concurrency_timeline(&t, SimDuration::from_secs(1)).is_empty());
+        check_work_conservation(&t);
+    }
+
+    #[test]
+    fn timeline_counts_overlaps() {
+        let t = trace(vec![record(0, 0, 2), record(1, 1, 3)]);
+        let tl = concurrency_timeline(&t, SimDuration::from_secs(1));
+        // Buckets [0,1): task A; [1,2): A+B; [2,3): A(end)+B; [3,..]: B end.
+        assert_eq!(tl.len(), 4);
+        assert_eq!(tl[0], 1);
+        assert_eq!(tl[1], 2);
+        assert!(tl[2] >= 1);
+    }
+
+    #[test]
+    fn sparkline_scales() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        let s = sparkline(&[1, 8]);
+        assert_eq!(s.chars().count(), 2);
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket must be positive")]
+    fn zero_bucket_rejected() {
+        let t = TaskTrace::new();
+        let _ = concurrency_timeline(&t, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,252 @@
+//! Simulation configuration.
+
+use custody_cluster::ClusterSpec;
+use custody_core::AllocatorKind;
+use custody_dfs::NodeId;
+use custody_simcore::SimTime;
+use custody_dfs::{
+    PlacementPolicy, PopularityPlacement, RackAwarePlacement, RandomPlacement,
+    RoundRobinPlacement,
+};
+use custody_scheduler::speculation::SpeculationConfig;
+use custody_scheduler::SchedulerKind;
+use custody_workload::{Campaign, WorkloadKind};
+
+/// Which replica-placement policy the file system uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementKind {
+    /// HDFS-default uniform random (the paper's evaluation setting).
+    Random,
+    /// Deterministic round-robin (worked examples).
+    RoundRobin,
+    /// Least-loaded-first spreading (Scarlett-style extension).
+    Popularity,
+    /// HDFS's default rack-aware policy (needs `ClusterSpec::with_racks`).
+    RackAware,
+}
+
+impl PlacementKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementKind::Random => "random",
+            PlacementKind::RoundRobin => "round-robin",
+            PlacementKind::Popularity => "popularity",
+            PlacementKind::RackAware => "rack-aware",
+        }
+    }
+
+    /// Instantiates the policy for the given cluster topology.
+    pub fn build_for(self, cluster: &ClusterSpec) -> Box<dyn PlacementPolicy> {
+        match self {
+            PlacementKind::Random => Box::new(RandomPlacement),
+            PlacementKind::RoundRobin => Box::<RoundRobinPlacement>::default(),
+            PlacementKind::Popularity => Box::new(PopularityPlacement),
+            PlacementKind::RackAware => Box::new(RackAwarePlacement::new(
+                cluster
+                    .rack_assignment()
+                    .into_iter()
+                    .map(|r| r.index())
+                    .collect(),
+            )),
+        }
+    }
+}
+
+/// How much of the cluster each application may hold (σ_i).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaMode {
+    /// σ_i = total executors / number of applications — per-app capacity
+    /// grows with the cluster.
+    EqualShare,
+    /// σ_i fixed regardless of cluster size — the regime where the
+    /// paper's Fig. 7 baseline decay is most pronounced: a data-unaware
+    /// manager picking a *constant-size* executor set from an ever-larger
+    /// cluster is ever less likely "to select the set of executors that
+    /// store the right data blocks" (§VI-C).
+    FixedPerApp(usize),
+}
+
+/// A scripted machine failure: at `at`, `node` dies — its executors are
+/// lost, its running tasks are re-queued, and its block replicas vanish
+/// (HDFS re-replicates the under-replicated blocks immediately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFailure {
+    /// When the machine fails.
+    pub at: SimTime,
+    /// The machine.
+    pub node: NodeId,
+}
+
+/// Everything that determines a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The physical cluster.
+    pub cluster: ClusterSpec,
+    /// Applications and their job streams.
+    pub campaign: Campaign,
+    /// The cluster manager under test.
+    pub allocator: AllocatorKind,
+    /// The per-application task scheduler.
+    pub scheduler: SchedulerKind,
+    /// Block replica placement.
+    pub placement: PlacementKind,
+    /// Per-application executor quota.
+    pub quota: QuotaMode,
+    /// Scripted machine failures (failure-injection experiments).
+    pub failures: Vec<NodeFailure>,
+    /// Speculative execution (straggler mitigation, §IV-B); `None`
+    /// disables it (the paper's evaluation setting).
+    pub speculation: Option<SpeculationConfig>,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's experiment configuration: `num_nodes` paper-spec nodes,
+    /// four applications of `workload` submitting 30 jobs each, delay
+    /// scheduling, random 3-way replication.
+    pub fn paper(workload: WorkloadKind, num_nodes: usize, allocator: AllocatorKind, seed: u64) -> Self {
+        SimConfig {
+            cluster: ClusterSpec::paper(num_nodes),
+            campaign: Campaign::paper(workload),
+            allocator,
+            scheduler: SchedulerKind::spark_default(),
+            placement: PlacementKind::Random,
+            quota: QuotaMode::EqualShare,
+            failures: Vec::new(),
+            speculation: None,
+            seed,
+        }
+    }
+
+    /// A small fast configuration for tests, examples and doctests:
+    /// 10 nodes, four WordCount apps, 3 jobs each.
+    pub fn small_demo(seed: u64) -> Self {
+        SimConfig {
+            cluster: ClusterSpec::paper(10),
+            campaign: Campaign::paper(WorkloadKind::WordCount).with_jobs_per_app(3),
+            allocator: AllocatorKind::Custody,
+            scheduler: SchedulerKind::spark_default(),
+            placement: PlacementKind::Random,
+            quota: QuotaMode::EqualShare,
+            failures: Vec::new(),
+            speculation: None,
+            seed,
+        }
+    }
+
+    /// Swaps the allocator, keeping everything else identical — the
+    /// comparison the whole paper is built on.
+    pub fn with_allocator(mut self, allocator: AllocatorKind) -> Self {
+        self.allocator = allocator;
+        self
+    }
+
+    /// Swaps the task scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Swaps the placement policy.
+    pub fn with_placement(mut self, placement: PlacementKind) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Swaps the quota mode.
+    pub fn with_quota(mut self, quota: QuotaMode) -> Self {
+        self.quota = quota;
+        self
+    }
+
+    /// Adds scripted machine failures.
+    pub fn with_failures(mut self, failures: Vec<NodeFailure>) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Enables speculative execution.
+    pub fn with_speculation(mut self, config: SpeculationConfig) -> Self {
+        self.speculation = Some(config);
+        self
+    }
+
+    /// Resolves the per-application quota for this configuration.
+    pub fn quota_per_app(&self) -> usize {
+        match self.quota {
+            QuotaMode::EqualShare => {
+                (self.cluster.total_executors() / self.campaign.num_apps().max(1)).max(1)
+            }
+            QuotaMode::FixedPerApp(n) => n.max(1),
+        }
+    }
+
+    /// One-line description for reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{} nodes={} apps={} jobs/app={} sched={} placement={} seed={}",
+            self.allocator.name(),
+            self.cluster.num_nodes,
+            self.campaign.num_apps(),
+            self.campaign.jobs_per_app,
+            self.scheduler.name(),
+            self.placement.name(),
+            self.seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_setup() {
+        let c = SimConfig::paper(WorkloadKind::Sort, 100, AllocatorKind::Custody, 1);
+        assert_eq!(c.cluster.num_nodes, 100);
+        assert_eq!(c.campaign.total_jobs(), 120);
+        assert_eq!(c.allocator, AllocatorKind::Custody);
+        assert_eq!(c.placement, PlacementKind::Random);
+    }
+
+    #[test]
+    fn builders_swap_components() {
+        let c = SimConfig::small_demo(7)
+            .with_allocator(AllocatorKind::StaticSpread)
+            .with_scheduler(SchedulerKind::Fifo)
+            .with_placement(PlacementKind::RoundRobin);
+        assert_eq!(c.allocator, AllocatorKind::StaticSpread);
+        assert_eq!(c.scheduler, SchedulerKind::Fifo);
+        assert_eq!(c.placement, PlacementKind::RoundRobin);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn label_mentions_allocator_and_size() {
+        let c = SimConfig::small_demo(3);
+        let l = c.label();
+        assert!(l.contains("custody"));
+        assert!(l.contains("nodes=10"));
+        assert!(l.contains("seed=3"));
+    }
+
+    #[test]
+    fn placement_kinds_build() {
+        let spec = ClusterSpec::paper(4).with_racks(2);
+        assert_eq!(PlacementKind::Random.build_for(&spec).name(), "random");
+        assert_eq!(
+            PlacementKind::RoundRobin.build_for(&spec).name(),
+            "round-robin"
+        );
+        assert_eq!(
+            PlacementKind::Popularity.build_for(&spec).name(),
+            "popularity"
+        );
+        assert_eq!(
+            PlacementKind::RackAware.build_for(&spec).name(),
+            "rack-aware"
+        );
+    }
+}

@@ -1,0 +1,1191 @@
+//! The discrete-event simulation driver.
+//!
+//! Event types:
+//!
+//! * `Submit` — a user submits a job to an application (the moment Custody
+//!   extracts the job's input information from the NameNode, §IV-C).
+//! * `Finish` — a task completes on an executor.
+//! * `Wake` — a delayed-offer retry (delay scheduling declined an offer
+//!   and asked to be re-offered later).
+//!
+//! After every event the driver runs [`Driver::dispatch`], which loops to
+//! a fixed point over three steps:
+//!
+//! 1. **Release** — applications with no runnable work return their idle
+//!    executors ("Custody adds a new type of message to make the driver
+//!    proactively inform the cluster manager that a specific executor can
+//!    be released", §V).
+//! 2. **Allocate** — one allocation round through the configured cluster
+//!    manager over the current idle pool.
+//! 3. **Offer** — each application's idle executors are offered to its
+//!    task scheduler, which launches tasks (paying local or remote read
+//!    time) or declines while delay scheduling waits for locality.
+
+use std::collections::BTreeSet;
+
+use custody_cluster::{ClusterState, ExecutorId};
+use custody_core::{
+    AllocationView, AppState, ExecutorAllocator, ExecutorInfo, JobDemand, TaskDemand,
+};
+use custody_dfs::{DatasetId, NameNode};
+use custody_scheduler::speculation::{SpeculationConfig, SpeculationPolicy};
+use custody_scheduler::{Placement, RunnableTask, TaskScheduler};
+use custody_simcore::dist::{Distribution, TruncatedNormal, Zipf};
+use custody_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use custody_workload::{
+    AppId, DatasetMode, JobId, JobSpec, SubmissionSchedule,
+};
+
+use crate::config::SimConfig;
+use crate::job::{RuntimeJob, TaskState};
+use crate::metrics::{AppMetrics, RunMetrics, SimOutcome};
+use crate::trace::{TaskRecord, TaskTrace};
+
+/// Entry point: runs a configuration to completion.
+pub struct Simulation;
+
+impl Simulation {
+    /// Runs `config` and returns the collected metrics. Deterministic:
+    /// identical configs produce identical outcomes.
+    pub fn run(config: &SimConfig) -> SimOutcome {
+        Driver::new(config).run().0
+    }
+
+    /// Runs `config` and additionally returns the per-task trace
+    /// (completion order; winning attempts only).
+    pub fn run_traced(config: &SimConfig) -> (SimOutcome, TaskTrace) {
+        let mut driver = Driver::new(config);
+        driver.trace = Some(TaskTrace::new());
+        driver.run()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Submit { app: AppId, seq: usize },
+    Finish { executor: ExecutorId },
+    NodeFail { node: custody_dfs::NodeId },
+    Wake,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RunningTask {
+    job_idx: usize,
+    stage: usize,
+    task: usize,
+    remote_input: bool,
+}
+
+#[derive(Debug, Default)]
+struct SpecState {
+    config: SpeculationConfig,
+    policies: std::collections::HashMap<(usize, usize), SpeculationPolicy>,
+    cloned: std::collections::HashSet<(usize, usize, usize)>,
+    launches: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ExecState {
+    owner: Option<AppId>,
+    running: Option<RunningTask>,
+    /// The executor's host machine has failed; stale `Finish` events for
+    /// tasks killed by the failure are ignored.
+    dead: bool,
+    /// When the executor last became idle (start of run or last task
+    /// finish). A launched task's *scheduler delay* is how long it was
+    /// runnable while this executor sat idle — the delay-scheduling wait
+    /// of Fig. 10, as opposed to capacity queueing.
+    idle_since: SimTime,
+}
+
+struct AppRuntime {
+    scheduler: Box<dyn TaskScheduler>,
+    /// Indices into `Driver::jobs`, in submission order.
+    jobs: Vec<usize>,
+    quota: usize,
+    held: BTreeSet<ExecutorId>,
+    /// Pre-generated job specs (and their datasets), indexed by seq.
+    specs: Vec<(JobSpec, DatasetId)>,
+    // Locality accounting for the allocator view.
+    total_jobs: usize,
+    local_jobs: usize,
+    total_tasks: usize,
+    local_tasks: usize,
+    metrics: AppMetrics,
+}
+
+struct Driver {
+    queue: EventQueue<Event>,
+    namenode: NameNode,
+    cluster: ClusterState,
+    allocator: Box<dyn ExecutorAllocator>,
+    apps: Vec<AppRuntime>,
+    jobs: Vec<RuntimeJob>,
+    exec_state: Vec<ExecState>,
+    /// Idle, unowned executors.
+    pool: BTreeSet<ExecutorId>,
+    alloc_rng: SimRng,
+    fail_rng: SimRng,
+    noise: TruncatedNormal,
+    noise_rng: SimRng,
+    /// Pending wake timestamps (deduplicated).
+    wakes: BTreeSet<SimTime>,
+    /// Speculative-execution state, if enabled: per-(job, stage) policy
+    /// plus the set of tasks that already have a clone in flight.
+    speculation: Option<SpecState>,
+    remote_reads_in_flight: usize,
+    allocation_rounds: usize,
+    events_processed: usize,
+    nodes_failed: usize,
+    tasks_requeued: usize,
+    /// Optional per-task trace collector.
+    trace: Option<TaskTrace>,
+}
+
+impl Driver {
+    fn new(config: &SimConfig) -> Self {
+        let cluster = config.cluster.build_cluster();
+        let mut namenode = config.cluster.build_namenode();
+        let mut placement = config.placement.build_for(&config.cluster);
+        let mut placement_rng = SimRng::for_stream(config.seed, "placement");
+
+        // Pre-generate job specs and register datasets, per application.
+        let campaign = &config.campaign;
+        let quota = config.quota_per_app().min(cluster.num_executors());
+        let mut apps: Vec<AppRuntime> = Vec::with_capacity(campaign.num_apps());
+        for (i, app_spec) in campaign.apps.iter().enumerate() {
+            let mut gen_rng = SimRng::for_stream(config.seed, &format!("jobs/app-{i}"));
+            let specs = match campaign.dataset_mode {
+                DatasetMode::FreshPerJob => (0..campaign.jobs_per_app)
+                    .map(|seq| {
+                        let spec = app_spec.workload.generate_job(seq, &mut gen_rng);
+                        let ds = namenode.create_dataset(
+                            format!("{}/{}", app_spec.name, spec.name),
+                            spec.input_bytes,
+                            config.cluster_block_size(),
+                            placement.as_mut(),
+                            &mut placement_rng,
+                        );
+                        (spec, ds)
+                    })
+                    .collect(),
+                DatasetMode::SharedPool { pool_size, skew } => {
+                    let pool: Vec<DatasetId> = (0..pool_size)
+                        .map(|p| {
+                            let probe = app_spec.workload.generate_job(p, &mut gen_rng);
+                            namenode.create_dataset(
+                                format!("{}/pool-{p}", app_spec.name),
+                                probe.input_bytes,
+                                config.cluster_block_size(),
+                                placement.as_mut(),
+                                &mut placement_rng,
+                            )
+                        })
+                        .collect();
+                    let zipf = Zipf::new(pool.len(), skew);
+                    (0..campaign.jobs_per_app)
+                        .map(|seq| {
+                            let mut spec = app_spec.workload.generate_job(seq, &mut gen_rng);
+                            let ds = pool[zipf.sample_rank(&mut gen_rng)];
+                            spec.input_bytes = namenode.dataset(ds).total_bytes;
+                            (spec, ds)
+                        })
+                        .collect()
+                }
+            };
+            apps.push(AppRuntime {
+                scheduler: config.scheduler.build(),
+                jobs: Vec::new(),
+                quota,
+                held: BTreeSet::new(),
+                specs,
+                total_jobs: 0,
+                local_jobs: 0,
+                total_tasks: 0,
+                local_tasks: 0,
+                metrics: AppMetrics::new(
+                    AppId::new(i),
+                    app_spec.name.clone(),
+                    app_spec.workload,
+                ),
+            });
+        }
+
+        // Submission schedule → events.
+        let mut queue = EventQueue::new();
+        let schedule = SubmissionSchedule::generate(campaign, config.seed);
+        for s in schedule.submissions() {
+            queue.schedule(
+                s.time,
+                Event::Submit {
+                    app: s.app,
+                    seq: s.seq,
+                },
+            );
+        }
+        // Scripted failures.
+        for f in &config.failures {
+            assert!(
+                f.node.index() < cluster.num_nodes(),
+                "failure targets unknown {}",
+                f.node
+            );
+            queue.schedule(f.at, Event::NodeFail { node: f.node });
+        }
+
+        Driver {
+            queue,
+            exec_state: vec![ExecState::default(); cluster.num_executors()],
+            pool: (0..cluster.num_executors()).map(ExecutorId::new).collect(),
+            namenode,
+            cluster,
+            allocator: config.allocator.build(),
+            apps,
+            jobs: Vec::new(),
+            alloc_rng: SimRng::for_stream(config.seed, "allocator"),
+            fail_rng: SimRng::for_stream(config.seed, "failures"),
+            noise: TruncatedNormal::new(1.0, 0.05, 0.85, 1.15),
+            noise_rng: SimRng::for_stream(config.seed, "task-noise"),
+            wakes: BTreeSet::new(),
+            speculation: config.speculation.map(|sc| SpecState {
+                config: sc,
+                policies: std::collections::HashMap::new(),
+                cloned: std::collections::HashSet::new(),
+                launches: 0,
+            }),
+            remote_reads_in_flight: 0,
+            allocation_rounds: 0,
+            events_processed: 0,
+            nodes_failed: 0,
+            tasks_requeued: 0,
+            trace: None,
+        }
+    }
+
+    fn run(mut self) -> (SimOutcome, TaskTrace) {
+        while let Some(ev) = self.queue.pop() {
+            self.events_processed += 1;
+            let now = ev.time;
+            match ev.event {
+                Event::Submit { app, seq } => self.on_submit(app, seq, now),
+                Event::Finish { executor } => self.on_finish(executor, now),
+                Event::NodeFail { node } => self.on_node_fail(node, now),
+                Event::Wake => {
+                    self.wakes.remove(&now);
+                }
+            }
+            self.dispatch(now);
+        }
+        self.finish()
+    }
+
+    /// Records a winning task completion into the trace, if enabled.
+    fn trace_completion(&mut self, running: RunningTask, executor: ExecutorId, now: SimTime) {
+        if self.trace.is_none() {
+            return;
+        }
+        let job = &self.jobs[running.job_idx];
+        let t = &job.stages[running.stage].tasks[running.task];
+        let record = TaskRecord {
+            app: job.app,
+            job: job.id,
+            stage: running.stage,
+            task: running.task,
+            node: self.cluster.node_of(executor).index(),
+            runnable_at: t.runnable_since.expect("was runnable"),
+            launched_at: t.launched_at.expect("was launched"),
+            finished_at: now,
+            local: t.local == Some(true),
+        };
+        self.trace.as_mut().expect("checked").push(record);
+    }
+
+    fn on_submit(&mut self, app: AppId, seq: usize, now: SimTime) {
+        let a = &mut self.apps[app.index()];
+        let (spec, dataset) = a.specs[seq].clone();
+        let job_id = JobId::new(self.jobs.len());
+        let job = RuntimeJob::instantiate(
+            job_id,
+            app,
+            a.metrics.workload,
+            &spec,
+            dataset,
+            &self.namenode,
+            now,
+        );
+        a.total_jobs += 1;
+        a.total_tasks += job.num_input_tasks();
+        a.jobs.push(self.jobs.len());
+        self.jobs.push(job);
+    }
+
+    fn on_finish(&mut self, executor: ExecutorId, now: SimTime) {
+        let state = &mut self.exec_state[executor.index()];
+        if state.dead {
+            return; // stale completion for a task killed by a failure
+        }
+        let running = state.running.take().expect("finish on idle executor");
+        state.idle_since = now;
+        if running.remote_input {
+            self.remote_reads_in_flight -= 1;
+        }
+        if self.jobs[running.job_idx].stages[running.stage].tasks[running.task].state
+            == crate::job::TaskState::Done
+        {
+            return; // the other attempt of a speculated task won
+        }
+        let job = &mut self.jobs[running.job_idx];
+        let attempt_started = job.stages[running.stage].tasks[running.task]
+            .launched_at
+            .expect("running task was launched");
+        let total = job.stages[running.stage].tasks.len();
+        job.mark_done(running.stage, running.task, now);
+        if let Some(spec) = &mut self.speculation {
+            let config = spec.config;
+            spec.policies
+                .entry((running.job_idx, running.stage))
+                .or_insert_with(|| SpeculationPolicy::new(config, total))
+                .record_completion(now.saturating_since(attempt_started));
+        }
+        self.trace_completion(running, executor, now);
+        let job = &mut self.jobs[running.job_idx];
+        if job.is_finished() {
+            let app = &mut self.apps[job.app.index()];
+            let locality = job
+                .input_locality()
+                .expect("finished job has launched all inputs");
+            app.metrics.jobs_completed += 1;
+            if locality == 1.0 {
+                app.metrics.local_jobs += 1;
+            }
+            app.metrics.input_locality.push(locality);
+            app.metrics
+                .job_completion_secs
+                .push(job.completion_time().expect("finished").as_secs_f64());
+            app.metrics.input_stage_secs.push(
+                job.input_stage()
+                    .duration()
+                    .expect("input stage complete")
+                    .as_secs_f64(),
+            );
+        }
+    }
+
+    /// Accounting hook: called when a job's input stage fully launches,
+    /// so Algorithm 1's historical fractions advance. Guarded by the
+    /// job's `settled_local` flag so a failure-induced re-queue and
+    /// relaunch cannot double-credit.
+    fn settle_input_accounting(&mut self, job_idx: usize) {
+        let job = &mut self.jobs[job_idx];
+        let stage = &job.stages[0];
+        if !job.settled_local && stage.launched == stage.tasks.len() {
+            let all_local = stage.tasks.iter().all(|t| t.local == Some(true));
+            if all_local {
+                job.settled_local = true;
+                self.apps[job.app.index()].local_jobs += 1;
+            }
+        }
+    }
+
+    /// A machine dies: its replicas vanish (HDFS immediately re-replicates
+    /// under-replicated blocks elsewhere), its executors are lost for the
+    /// rest of the run, tasks running on them are re-queued, and
+    /// unlaunched input tasks re-resolve their preferred nodes against the
+    /// post-failure replica map.
+    fn on_node_fail(&mut self, node: custody_dfs::NodeId, now: SimTime) {
+        self.nodes_failed += 1;
+        let _sole_copies = self.namenode.fail_node(node);
+        self.namenode.restore_replication(&mut self.fail_rng);
+
+        let executors: Vec<ExecutorId> = self.cluster.executors_on(node).to_vec();
+        for e in executors {
+            let state = &mut self.exec_state[e.index()];
+            if state.dead {
+                continue;
+            }
+            state.dead = true;
+            if let Some(running) = state.running.take() {
+                if running.remote_input {
+                    self.remote_reads_in_flight -= 1;
+                }
+                // If another executor runs a clone of the same task, this
+                // attempt just dies; the clone carries on.
+                let twin_alive = self.exec_state.iter().enumerate().any(|(other, st)| {
+                    other != e.index()
+                        && !st.dead
+                        && st.running.is_some_and(|r| {
+                            (r.job_idx, r.stage, r.task)
+                                == (running.job_idx, running.stage, running.task)
+                        })
+                });
+                if twin_alive {
+                    self.tasks_requeued += 1;
+                    continue;
+                }
+                let job = &mut self.jobs[running.job_idx];
+                let app_idx = job.app.index();
+                let was_local = job.mark_requeued(running.stage, running.task, now);
+                if running.stage == 0 {
+                    if was_local {
+                        self.apps[app_idx].local_tasks -= 1;
+                    }
+                    if self.jobs[running.job_idx].settled_local {
+                        self.jobs[running.job_idx].settled_local = false;
+                        self.apps[app_idx].local_jobs -= 1;
+                    }
+                }
+                self.tasks_requeued += 1;
+            }
+            if let Some(owner) = self.exec_state[e.index()].owner.take() {
+                self.apps[owner.index()].held.remove(&e);
+            }
+            self.pool.remove(&e);
+        }
+
+        for job in &mut self.jobs {
+            if !job.is_finished() {
+                job.refresh_preferred(&self.namenode);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime) {
+        self.release_idle_executors();
+        self.allocation_round(now);
+        let (_launched, min_retry) = self.offer_pass(now);
+        if let Some(retry) = min_retry {
+            self.schedule_wake(now + retry);
+        }
+    }
+
+    /// Step 1: every idle executor returns to the pool so the next
+    /// allocation round re-places it with full, current information —
+    /// the paper's proactive-release message (§V): "Custody can keep
+    /// track of all the idle executors and dynamically allocate executors
+    /// once new jobs are submitted". Static allocators re-grant released
+    /// executors to their fixed owners, so their semantics are unchanged.
+    fn release_idle_executors(&mut self) -> usize {
+        let mut released = 0;
+        for i in 0..self.apps.len() {
+            let idle: Vec<ExecutorId> = self.apps[i]
+                .held
+                .iter()
+                .copied()
+                .filter(|e| self.exec_state[e.index()].running.is_none())
+                .collect();
+            for e in idle {
+                self.apps[i].held.remove(&e);
+                self.exec_state[e.index()].owner = None;
+                self.pool.insert(e);
+                released += 1;
+            }
+        }
+        released
+    }
+
+    /// Step 2: one allocation round through the cluster manager.
+    fn allocation_round(&mut self, _now: SimTime) -> usize {
+        if self.pool.is_empty() {
+            return 0;
+        }
+        let view = self.build_view();
+        if view.total_demand() == 0 {
+            return 0;
+        }
+        self.allocation_rounds += 1;
+        let assignments = self.allocator.allocate(&view, &mut self.alloc_rng);
+        if cfg!(debug_assertions) {
+            custody_core::allocator::validate_assignments(&view, &assignments);
+        }
+        let granted = assignments.len();
+        for a in assignments {
+            let removed = self.pool.remove(&a.executor);
+            assert!(removed, "allocator granted non-pooled executor");
+            self.exec_state[a.executor.index()].owner = Some(a.app);
+            self.apps[a.app.index()].held.insert(a.executor);
+        }
+        granted
+    }
+
+    fn build_view(&self) -> AllocationView {
+        let idle: Vec<ExecutorInfo> = self
+            .pool
+            .iter()
+            .map(|&id| ExecutorInfo {
+                id,
+                node: self.cluster.node_of(id),
+            })
+            .collect();
+        let all_executors: Vec<ExecutorInfo> = self
+            .cluster
+            .executors()
+            .iter()
+            .map(|e| ExecutorInfo {
+                id: e.id,
+                node: e.node,
+            })
+            .collect();
+        let apps = self
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let pending_jobs = a
+                    .jobs
+                    .iter()
+                    .filter_map(|&j| {
+                        let job = &self.jobs[j];
+                        let pending = job.pending_tasks();
+                        if job.is_finished() || pending == 0 {
+                            return None;
+                        }
+                        let stage = job.input_stage();
+                        let unsatisfied_inputs: Vec<TaskDemand> = stage
+                            .tasks
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, t)| t.state == TaskState::Runnable)
+                            .map(|(idx, t)| TaskDemand {
+                                task_index: idx,
+                                preferred_nodes: t.preferred.clone(),
+                            })
+                            .collect();
+                        let satisfied_inputs = stage
+                            .tasks
+                            .iter()
+                            .filter(|t| t.local == Some(true))
+                            .count();
+                        Some(JobDemand {
+                            job: job.id,
+                            unsatisfied_inputs,
+                            pending_tasks: pending,
+                            total_inputs: stage.tasks.len(),
+                            satisfied_inputs,
+                        })
+                    })
+                    .collect();
+                AppState {
+                    app: AppId::new(i),
+                    quota: a.quota,
+                    held: a.held.len(),
+                    local_jobs: a.local_jobs,
+                    total_jobs: a.total_jobs,
+                    local_tasks: a.local_tasks,
+                    total_tasks: a.total_tasks,
+                    pending_jobs,
+                }
+            })
+            .collect();
+        AllocationView {
+            idle,
+            all_executors,
+            apps,
+        }
+    }
+
+    /// Step 3: offer idle held executors to their applications' task
+    /// schedulers. Returns `(tasks launched, earliest decline retry)`.
+    fn offer_pass(&mut self, now: SimTime) -> (usize, Option<SimDuration>) {
+        let mut launched_total = 0;
+        let mut min_retry: Option<SimDuration> = None;
+        loop {
+            let mut launched_this_pass = 0;
+            for i in 0..self.apps.len() {
+                let idle: Vec<ExecutorId> = self.apps[i]
+                    .held
+                    .iter()
+                    .copied()
+                    .filter(|e| self.exec_state[e.index()].running.is_none())
+                    .collect();
+                for e in idle {
+                    let runnable = self.runnable_tasks(i, now);
+                    if runnable.is_empty() {
+                        if self.try_speculate(i, e, now) {
+                            launched_this_pass += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                    let node = self.cluster.node_of(e);
+                    match self.apps[i].scheduler.on_offer(node, &runnable, now) {
+                        Placement::NoWork => break,
+                        Placement::Decline { retry_after } => {
+                            // The executor would idle through the
+                            // locality wait — the moment Spark launches
+                            // speculative copies of stragglers instead.
+                            if self.try_speculate(i, e, now) {
+                                launched_this_pass += 1;
+                            } else {
+                                min_retry = Some(match min_retry {
+                                    Some(r) => r.min(retry_after),
+                                    None => retry_after,
+                                });
+                            }
+                        }
+                        Placement::Launch {
+                            job,
+                            stage,
+                            task_index,
+                            local,
+                        } => {
+                            self.launch(i, e, job, stage, task_index, local, now);
+                            launched_this_pass += 1;
+                        }
+                    }
+                }
+            }
+            launched_total += launched_this_pass;
+            if launched_this_pass == 0 {
+                return (launched_total, min_retry);
+            }
+        }
+    }
+
+    /// Runnable, unlaunched tasks of app `i`, in (job, stage, task) order.
+    fn runnable_tasks(&self, i: usize, _now: SimTime) -> Vec<RunnableTask> {
+        let mut out = Vec::new();
+        for &j in &self.apps[i].jobs {
+            let job = &self.jobs[j];
+            if job.is_finished() {
+                continue;
+            }
+            for (s, stage) in job.stages.iter().enumerate() {
+                if stage.ready_at.is_none() || stage.is_complete() {
+                    continue;
+                }
+                for (t, task) in stage.tasks.iter().enumerate() {
+                    if task.state == TaskState::Runnable {
+                        out.push(RunnableTask {
+                            job: job.id,
+                            stage: s,
+                            task_index: t,
+                            preferred_nodes: if s == 0 { task.preferred.clone() } else { Vec::new() },
+                            runnable_since: task.runnable_since.expect("runnable task"),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Attempts to launch a speculative copy of a straggling task of app
+    /// `i` on idle executor `e`. Returns whether a clone was launched.
+    fn try_speculate(&mut self, i: usize, e: ExecutorId, now: SimTime) -> bool {
+        if self.speculation.is_none() {
+            return false;
+        }
+        // Find the first straggler without a clone, in deterministic
+        // (job, stage, task) order.
+        let mut candidate: Option<(usize, usize, usize)> = None;
+        'outer: for &j in &self.apps[i].jobs {
+            if self.jobs[j].is_finished() {
+                continue;
+            }
+            for (st, stage) in self.jobs[j].stages.iter().enumerate() {
+                if stage.ready_at.is_none() || stage.is_complete() {
+                    continue;
+                }
+                for (t, task) in stage.tasks.iter().enumerate() {
+                    if task.state != crate::job::TaskState::Running {
+                        continue;
+                    }
+                    let key = (j, st, t);
+                    let spec = self.speculation.as_mut().expect("checked above");
+                    if spec.cloned.contains(&key) {
+                        continue;
+                    }
+                    let Some(policy) = spec.policies.get_mut(&(j, st)) else {
+                        continue;
+                    };
+                    let started = task.launched_at.expect("running task");
+                    if policy.should_speculate(started, now) {
+                        candidate = Some(key);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some((j, st, t)) = candidate else {
+            return false;
+        };
+        let spec = self.speculation.as_mut().expect("checked above");
+        spec.cloned.insert((j, st, t));
+        spec.launches += 1;
+        // Launch the clone on `e` without touching the task record: the
+        // first attempt to finish wins (`on_finish` ignores the loser).
+        let node = self.cluster.node_of(e);
+        let network = self.cluster.network().clone();
+        let stage_ref = &self.jobs[j].stages[st];
+        let is_input = st == 0;
+        let local = is_input && stage_ref.tasks[t].preferred.contains(&node);
+        let (io_time, remote_input) = if is_input {
+            let block = stage_ref.tasks[t].block.expect("input task has block");
+            let bytes = self.namenode.block(block).size_bytes;
+            let locality = self.classify_locality(node, &stage_ref.tasks[t].preferred);
+            (
+                network.read_time_at(bytes, locality, self.remote_reads_in_flight),
+                locality == custody_cluster::DataLocality::Remote,
+            )
+        } else {
+            (network.shuffle_time(stage_ref.shuffle_bytes_per_task), false)
+        };
+        let compute = SimDuration::from_secs_f64(
+            stage_ref.compute_per_task.as_secs_f64() * self.noise.sample(&mut self.noise_rng),
+        );
+        let _ = local;
+        if remote_input {
+            self.remote_reads_in_flight += 1;
+        }
+        self.exec_state[e.index()].running = Some(RunningTask {
+            job_idx: j,
+            stage: st,
+            task: t,
+            remote_input,
+        });
+        self.queue
+            .schedule(now + io_time + compute, Event::Finish { executor: e });
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        &mut self,
+        app_idx: usize,
+        executor: ExecutorId,
+        job: JobId,
+        stage: usize,
+        task: usize,
+        local: bool,
+        now: SimTime,
+    ) {
+        // JobId is the global index into self.jobs by construction.
+        let job_idx = job.index();
+        debug_assert_eq!(self.jobs[job_idx].id, job);
+        let node = self.cluster.node_of(executor);
+
+        // Trust but verify the scheduler's locality claim for input tasks.
+        let is_input = stage == 0;
+        let actual_local = is_input && self.jobs[job_idx].stages[0].tasks[task]
+            .preferred
+            .contains(&node);
+        debug_assert!(
+            !is_input || actual_local == local,
+            "scheduler locality flag mismatch"
+        );
+
+        let idle_since = self.exec_state[executor.index()].idle_since;
+        let runnable_since = self.jobs[job_idx].stages[stage].tasks[task]
+            .runnable_since
+            .expect("launching a runnable task");
+        let queueing = self.jobs[job_idx].mark_launched(
+            stage,
+            task,
+            now,
+            is_input.then_some(actual_local),
+        );
+        // Delay-scheduling wait: overlap of [runnable, launch] with the
+        // executor's idle period.
+        let wait_start = idle_since.max(runnable_since);
+        let sched_delay = now.saturating_since(wait_start);
+        self.apps[app_idx]
+            .metrics
+            .scheduler_delay_secs
+            .push(sched_delay.as_secs_f64());
+        self.apps[app_idx]
+            .metrics
+            .queueing_delay_secs
+            .push(queueing.as_secs_f64());
+
+        if is_input {
+            if actual_local {
+                self.apps[app_idx].local_tasks += 1;
+            }
+            self.settle_input_accounting(job_idx);
+        }
+
+        // Duration: read/shuffle + compute × noise.
+        let network = self.cluster.network().clone();
+        let stage_ref = &self.jobs[job_idx].stages[stage];
+        let (io_time, remote_input) = if is_input {
+            let block = stage_ref.tasks[task].block.expect("input task has block");
+            let bytes = self.namenode.block(block).size_bytes;
+            let locality = self.classify_locality(node, &stage_ref.tasks[task].preferred);
+            (
+                network.read_time_at(bytes, locality, self.remote_reads_in_flight),
+                locality == custody_cluster::DataLocality::Remote,
+            )
+        } else {
+            (network.shuffle_time(stage_ref.shuffle_bytes_per_task), false)
+        };
+        let compute = SimDuration::from_secs_f64(
+            stage_ref.compute_per_task.as_secs_f64() * self.noise.sample(&mut self.noise_rng),
+        );
+        if remote_input {
+            self.remote_reads_in_flight += 1;
+        }
+        self.exec_state[executor.index()].running = Some(RunningTask {
+            job_idx,
+            stage,
+            task,
+            remote_input,
+        });
+        self.queue
+            .schedule(now + io_time + compute, Event::Finish { executor });
+    }
+
+    /// Locality tier of reading from one of `preferred` on `node`:
+    /// node-local beats rack-local beats a core-fabric transfer. The
+    /// rack tier only exists on multi-rack topologies — in a flat
+    /// cluster (the paper's setting) every cross-node read crosses the
+    /// shared fabric.
+    fn classify_locality(
+        &self,
+        node: custody_dfs::NodeId,
+        preferred: &[custody_dfs::NodeId],
+    ) -> custody_cluster::DataLocality {
+        if preferred.contains(&node) {
+            custody_cluster::DataLocality::NodeLocal
+        } else if self.cluster.num_racks() > 1
+            && preferred.iter().any(|&p| self.cluster.same_rack(p, node))
+        {
+            custody_cluster::DataLocality::RackLocal
+        } else {
+            custody_cluster::DataLocality::Remote
+        }
+    }
+
+    fn schedule_wake(&mut self, at: SimTime) {
+        // Skip if an earlier-or-equal wake is already pending.
+        if self.wakes.range(..=at).next_back().is_some() {
+            return;
+        }
+        self.wakes.insert(at);
+        self.queue.schedule(at, Event::Wake);
+    }
+
+    fn finish(mut self) -> (SimOutcome, TaskTrace) {
+        let makespan = self.queue.now();
+        // Sanity: every submitted job must have completed.
+        for job in &self.jobs {
+            assert!(
+                job.is_finished(),
+                "{} ({}) did not finish — executor leak or deadlock",
+                job.id,
+                job.name
+            );
+        }
+        for (e, state) in self.exec_state.iter().enumerate() {
+            assert!(
+                state.running.is_none(),
+                "executor {e} still busy at the end of the run"
+            );
+        }
+        let nodes_failed = self.nodes_failed;
+        let tasks_requeued = self.tasks_requeued;
+        let tasks_speculated = self.speculation.as_ref().map_or(0, |s| s.launches);
+        let jobs_completed = self.apps.iter().map(|a| a.metrics.jobs_completed).sum();
+        let trace = self.trace.take().unwrap_or_default();
+        let outcome = SimOutcome {
+            label: String::new(),
+            cluster_metrics: RunMetrics {
+                per_app: self.apps.into_iter().map(|a| a.metrics).collect(),
+                jobs_completed,
+                makespan,
+                allocation_rounds: self.allocation_rounds,
+                events_processed: self.events_processed,
+                nodes_failed,
+                tasks_requeued,
+                tasks_speculated,
+            },
+        };
+        (outcome, trace)
+    }
+}
+
+/// Block-size accessor kept on the config so the driver reads one source
+/// of truth.
+impl SimConfig {
+    /// The block size datasets are split into (the paper's 128 MB).
+    pub fn cluster_block_size(&self) -> u64 {
+        custody_dfs::DEFAULT_BLOCK_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlacementKind;
+    use custody_core::AllocatorKind;
+    use custody_workload::{Campaign, WorkloadKind};
+
+    fn small(allocator: AllocatorKind, seed: u64) -> SimConfig {
+        SimConfig::small_demo(seed).with_allocator(allocator)
+    }
+
+    #[test]
+    fn small_demo_completes_all_jobs() {
+        let out = Simulation::run(&small(AllocatorKind::Custody, 1));
+        assert_eq!(out.cluster_metrics.jobs_completed, 12);
+        assert!(out.cluster_metrics.makespan > SimTime::ZERO);
+        assert!(out.cluster_metrics.allocation_rounds > 0);
+    }
+
+    #[test]
+    fn all_allocators_complete_all_jobs() {
+        for kind in AllocatorKind::ALL {
+            let out = Simulation::run(&small(kind, 2));
+            assert_eq!(
+                out.cluster_metrics.jobs_completed, 12,
+                "{kind} lost jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = Simulation::run(&small(AllocatorKind::Custody, 3));
+        let b = Simulation::run(&small(AllocatorKind::Custody, 3));
+        assert_eq!(a.cluster_metrics.makespan, b.cluster_metrics.makespan);
+        assert_eq!(
+            a.cluster_metrics.input_locality().mean(),
+            b.cluster_metrics.input_locality().mean()
+        );
+        assert_eq!(
+            a.cluster_metrics.events_processed,
+            b.cluster_metrics.events_processed
+        );
+    }
+
+    #[test]
+    fn custody_beats_static_locality_on_demo() {
+        let custody = Simulation::run(&small(AllocatorKind::Custody, 4));
+        let spark = Simulation::run(&small(AllocatorKind::StaticSpread, 4));
+        let c = custody.cluster_metrics.input_locality().mean();
+        let s = spark.cluster_metrics.input_locality().mean();
+        assert!(
+            c >= s,
+            "custody locality {c:.3} should be ≥ static {s:.3}"
+        );
+    }
+
+    #[test]
+    fn locality_fractions_within_bounds() {
+        let out = Simulation::run(&small(AllocatorKind::Custody, 5));
+        let loc = out.cluster_metrics.input_locality();
+        assert!(loc.min().unwrap() >= 0.0);
+        assert!(loc.max().unwrap() <= 1.0);
+        for f in out.cluster_metrics.local_job_fractions() {
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn scheduler_delays_are_recorded() {
+        let out = Simulation::run(&small(AllocatorKind::StaticRandom, 6));
+        let d = out.cluster_metrics.scheduler_delay_secs();
+        assert!(d.count() > 0);
+        assert!(d.min().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn popularity_placement_also_completes() {
+        let cfg = small(AllocatorKind::Custody, 7).with_placement(PlacementKind::Popularity);
+        let out = Simulation::run(&cfg);
+        assert_eq!(out.cluster_metrics.jobs_completed, 12);
+    }
+
+    #[test]
+    fn shared_pool_datasets_complete() {
+        let mut cfg = small(AllocatorKind::Custody, 8);
+        cfg.campaign = cfg.campaign.with_dataset_mode(DatasetMode::SharedPool {
+            pool_size: 2,
+            skew: 1.0,
+        });
+        let out = Simulation::run(&cfg);
+        assert_eq!(out.cluster_metrics.jobs_completed, 12);
+    }
+
+    #[test]
+    fn fifo_scheduler_completes() {
+        let cfg = small(AllocatorKind::Custody, 9).with_scheduler(custody_scheduler::SchedulerKind::Fifo);
+        let out = Simulation::run(&cfg);
+        assert_eq!(out.cluster_metrics.jobs_completed, 12);
+    }
+
+    #[test]
+    fn node_failures_requeue_and_still_complete() {
+        use crate::config::NodeFailure;
+        use custody_dfs::NodeId;
+        let mut cfg = small(AllocatorKind::Custody, 11);
+        cfg.failures = vec![
+            NodeFailure {
+                at: SimTime::from_secs(5),
+                node: NodeId::new(0),
+            },
+            NodeFailure {
+                at: SimTime::from_secs(9),
+                node: NodeId::new(7),
+            },
+        ];
+        let out = Simulation::run(&cfg).cluster_metrics;
+        assert_eq!(out.jobs_completed, 12, "all jobs survive two failures");
+        assert_eq!(out.nodes_failed, 2);
+        // The mid-run failures almost certainly killed something; at
+        // minimum the counter must be consistent.
+        assert!(out.tasks_requeued < 1000);
+        let loc = out.input_locality();
+        assert!(loc.min().unwrap() >= 0.0 && loc.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn failure_runs_are_deterministic() {
+        use crate::config::NodeFailure;
+        use custody_dfs::NodeId;
+        let mut cfg = small(AllocatorKind::StaticSpread, 12);
+        cfg.failures = vec![NodeFailure {
+            at: SimTime::from_secs(4),
+            node: NodeId::new(3),
+        }];
+        let a = Simulation::run(&cfg).cluster_metrics;
+        let b = Simulation::run(&cfg).cluster_metrics;
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.tasks_requeued, b.tasks_requeued);
+    }
+
+    #[test]
+    fn failure_before_start_only_shrinks_cluster() {
+        use crate::config::NodeFailure;
+        use custody_dfs::NodeId;
+        let mut cfg = small(AllocatorKind::Custody, 13);
+        cfg.failures = vec![NodeFailure {
+            at: SimTime::from_micros(1),
+            node: NodeId::new(9),
+        }];
+        let out = Simulation::run(&cfg).cluster_metrics;
+        assert_eq!(out.jobs_completed, 12);
+        assert_eq!(out.tasks_requeued, 0, "nothing was running yet");
+    }
+
+    #[test]
+    #[should_panic(expected = "failure targets unknown")]
+    fn failure_on_unknown_node_rejected() {
+        use crate::config::NodeFailure;
+        use custody_dfs::NodeId;
+        let mut cfg = small(AllocatorKind::Custody, 14);
+        cfg.failures = vec![NodeFailure {
+            at: SimTime::from_secs(1),
+            node: NodeId::new(99),
+        }];
+        let _ = Simulation::run(&cfg);
+    }
+
+    #[test]
+    fn speculation_completes_and_launches_clones() {
+        use custody_scheduler::speculation::SpeculationConfig;
+        // Aggressive speculation on a congested cluster so clones fire.
+        let mut cfg = small(AllocatorKind::StaticSpread, 15).with_speculation(
+            SpeculationConfig {
+                quantile: 0.25,
+                multiplier: 1.0,
+            },
+        );
+        cfg.cluster.num_nodes = 4;
+        let out = Simulation::run(&cfg).cluster_metrics;
+        assert_eq!(out.jobs_completed, 12);
+        assert!(
+            out.tasks_speculated > 0,
+            "aggressive config should clone something"
+        );
+    }
+
+    #[test]
+    fn speculation_never_loses_jobs_with_default_config() {
+        use custody_scheduler::speculation::SpeculationConfig;
+        let cfg = small(AllocatorKind::Custody, 16)
+            .with_speculation(SpeculationConfig::default());
+        let out = Simulation::run(&cfg).cluster_metrics;
+        assert_eq!(out.jobs_completed, 12);
+        // Metrics stay physical.
+        let loc = out.input_locality();
+        assert!(loc.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn speculation_with_failures_still_completes() {
+        use crate::config::NodeFailure;
+        use custody_dfs::NodeId;
+        use custody_scheduler::speculation::SpeculationConfig;
+        let mut cfg = small(AllocatorKind::Custody, 17).with_speculation(
+            SpeculationConfig {
+                quantile: 0.25,
+                multiplier: 1.0,
+            },
+        );
+        cfg.failures = vec![NodeFailure {
+            at: SimTime::from_secs(6),
+            node: NodeId::new(2),
+        }];
+        let out = Simulation::run(&cfg).cluster_metrics;
+        assert_eq!(out.jobs_completed, 12);
+    }
+
+    #[test]
+    fn racked_cluster_with_rack_aware_placement_completes() {
+        // Averaged over seeds: single racked-10-node runs are noisy.
+        let mut custody_sum = 0.0;
+        let mut spark_sum = 0.0;
+        for seed in [18, 19, 20] {
+            for (kind, acc) in [
+                (AllocatorKind::Custody, &mut custody_sum),
+                (AllocatorKind::StaticSpread, &mut spark_sum),
+            ] {
+                let mut cfg = small(kind, seed).with_placement(PlacementKind::RackAware);
+                cfg.cluster = cfg.cluster.with_racks(3);
+                let out = Simulation::run(&cfg).cluster_metrics;
+                assert_eq!(out.jobs_completed, 12, "{kind} seed {seed}");
+                *acc += out.input_locality().mean();
+            }
+        }
+        assert!(
+            custody_sum >= spark_sum - 1e-9,
+            "custody {custody_sum:.3} vs spark {spark_sum:.3} (sum of 3 seeds)"
+        );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_is_consistent() {
+        let cfg = small(AllocatorKind::Custody, 21);
+        let plain = Simulation::run(&cfg).cluster_metrics;
+        let (traced, trace) = Simulation::run_traced(&cfg);
+        assert_eq!(plain.makespan, traced.cluster_metrics.makespan);
+        trace.check_invariants();
+        assert!(!trace.is_empty());
+        // Trace-level locality equals the metrics' task-weighted locality.
+        let inputs: usize = trace.records().iter().filter(|r| r.stage == 0).count();
+        let local: usize = trace
+            .records()
+            .iter()
+            .filter(|r| r.stage == 0 && r.local)
+            .count();
+        let from_trace = local as f64 / inputs as f64;
+        assert!((from_trace - trace.input_locality()).abs() < 1e-12);
+        // Round-trip through TSV.
+        let back = crate::trace::TaskTrace::from_tsv(&trace.to_tsv()).expect("roundtrip");
+        assert_eq!(back.records(), trace.records());
+    }
+
+    #[test]
+    fn mixed_campaign_completes() {
+        let mut cfg = SimConfig::small_demo(10);
+        cfg.campaign = Campaign::mixed().with_jobs_per_app(2);
+        let out = Simulation::run(&cfg);
+        assert_eq!(out.cluster_metrics.jobs_completed, 8);
+        // One metrics record per app, with the right workloads.
+        assert_eq!(out.cluster_metrics.per_app.len(), 4);
+        assert_eq!(
+            out.cluster_metrics.per_app[1].workload,
+            WorkloadKind::WordCount
+        );
+    }
+}

@@ -1,0 +1,561 @@
+//! Runtime state of jobs, stages and tasks inside a simulation.
+//!
+//! A [`RuntimeJob`] is an instantiated
+//! [`JobSpec`](custody_workload::JobSpec): its input dataset exists, each
+//! input task is bound to a block (and hence to the replica nodes the
+//! NameNode reports), and downstream stage widths are resolved. The DAG
+//! unlock logic lives here so it can be tested without the event loop.
+
+use custody_dfs::{BlockId, DatasetId, NameNode, NodeId};
+use custody_simcore::{SimDuration, SimTime};
+use custody_workload::{AppId, JobId, JobSpec, WorkloadKind};
+
+/// Lifecycle of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Waiting for upstream stages.
+    Blocked,
+    /// Ready to launch.
+    Runnable,
+    /// Executing on some executor.
+    Running,
+    /// Finished.
+    Done,
+}
+
+/// One task's runtime record.
+#[derive(Debug, Clone)]
+pub struct RuntimeTask {
+    /// Lifecycle state.
+    pub state: TaskState,
+    /// The input block this task reads (input-stage tasks only).
+    pub block: Option<BlockId>,
+    /// Nodes where this task is data-local (input-stage tasks only).
+    pub preferred: Vec<NodeId>,
+    /// When the task became runnable.
+    pub runnable_since: Option<SimTime>,
+    /// When the task was launched.
+    pub launched_at: Option<SimTime>,
+    /// When the task finished.
+    pub finished_at: Option<SimTime>,
+    /// Whether the launch was data-local (input tasks; `None` before
+    /// launch and for downstream tasks).
+    pub local: Option<bool>,
+}
+
+impl RuntimeTask {
+    fn blocked() -> Self {
+        RuntimeTask {
+            state: TaskState::Blocked,
+            block: None,
+            preferred: Vec::new(),
+            runnable_since: None,
+            launched_at: None,
+            finished_at: None,
+            local: None,
+        }
+    }
+}
+
+/// One stage's runtime record.
+#[derive(Debug, Clone)]
+pub struct RuntimeStage {
+    /// Stage label.
+    pub name: String,
+    /// Pure computation per task.
+    pub compute_per_task: SimDuration,
+    /// Network bytes each task fetches before computing (downstream
+    /// stages; zero for the input stage, whose read cost depends on
+    /// locality).
+    pub shuffle_bytes_per_task: u64,
+    /// Upstream stage indices.
+    pub deps: Vec<usize>,
+    /// Dependencies not yet complete.
+    pub deps_remaining: usize,
+    /// Task records.
+    pub tasks: Vec<RuntimeTask>,
+    /// Completed task count.
+    pub completed: usize,
+    /// Launched task count (running or done).
+    pub launched: usize,
+    /// When the stage became runnable.
+    pub ready_at: Option<SimTime>,
+    /// When the stage's last task finished.
+    pub finished_at: Option<SimTime>,
+}
+
+impl RuntimeStage {
+    /// All tasks finished.
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.tasks.len()
+    }
+
+    /// Tasks not yet launched.
+    pub fn unlaunched(&self) -> usize {
+        self.tasks.len() - self.launched
+    }
+
+    /// Stage duration (ready → last finish), if complete.
+    pub fn duration(&self) -> Option<SimDuration> {
+        Some(self.finished_at?.saturating_since(self.ready_at?))
+    }
+
+    fn make_runnable(&mut self, now: SimTime) {
+        self.ready_at = Some(now);
+        for t in &mut self.tasks {
+            debug_assert_eq!(t.state, TaskState::Blocked);
+            t.state = TaskState::Runnable;
+            t.runnable_since = Some(now);
+        }
+    }
+}
+
+/// One job's runtime record.
+#[derive(Debug, Clone)]
+pub struct RuntimeJob {
+    /// Globally unique id.
+    pub id: JobId,
+    /// Owning application.
+    pub app: AppId,
+    /// Workload the job belongs to.
+    pub workload: WorkloadKind,
+    /// Job label.
+    pub name: String,
+    /// The input dataset.
+    pub dataset: DatasetId,
+    /// Stage records; index 0 is the input stage.
+    pub stages: Vec<RuntimeStage>,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Completion time of the last stage.
+    pub finished_at: Option<SimTime>,
+    /// Whether the job has been credited as fully-locally-launched in the
+    /// allocator's accounting (undone if a failure re-queues an input
+    /// task).
+    pub settled_local: bool,
+}
+
+impl RuntimeJob {
+    /// Instantiates a job from its spec: binds input tasks to the blocks
+    /// of `dataset` (locations resolved through the NameNode — the query
+    /// Custody performs at submission), resolves downstream stages, and
+    /// marks the input stage runnable at `now`.
+    pub fn instantiate(
+        id: JobId,
+        app: AppId,
+        workload: WorkloadKind,
+        spec: &JobSpec,
+        dataset: DatasetId,
+        namenode: &NameNode,
+        now: SimTime,
+    ) -> Self {
+        let blocks = &namenode.dataset(dataset).blocks;
+        let input_tasks: Vec<RuntimeTask> = blocks
+            .iter()
+            .map(|&b| RuntimeTask {
+                block: Some(b),
+                preferred: namenode.locations(b).to_vec(),
+                ..RuntimeTask::blocked()
+            })
+            .collect();
+        let mut stages = vec![RuntimeStage {
+            name: "input".into(),
+            compute_per_task: spec.input_compute_per_block,
+            shuffle_bytes_per_task: 0,
+            deps: Vec::new(),
+            deps_remaining: 0,
+            tasks: input_tasks,
+            completed: 0,
+            launched: 0,
+            ready_at: None,
+            finished_at: None,
+        }];
+        for resolved in spec.resolve_stages(blocks.len()) {
+            stages.push(RuntimeStage {
+                name: resolved.name,
+                compute_per_task: resolved.compute_per_task,
+                shuffle_bytes_per_task: resolved.shuffle_bytes_per_task,
+                deps_remaining: resolved.deps.len(),
+                deps: resolved.deps,
+                tasks: (0..resolved.num_tasks).map(|_| RuntimeTask::blocked()).collect(),
+                completed: 0,
+                launched: 0,
+                ready_at: None,
+                finished_at: None,
+            });
+        }
+        stages[0].make_runnable(now);
+        RuntimeJob {
+            id,
+            app,
+            workload,
+            name: spec.name.clone(),
+            dataset,
+            stages,
+            submitted_at: now,
+            finished_at: None,
+            settled_local: false,
+        }
+    }
+
+    /// True when every stage completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    /// The input (map) stage.
+    pub fn input_stage(&self) -> &RuntimeStage {
+        &self.stages[0]
+    }
+
+    /// Number of input tasks (µ for single-job analysis, τ contribution).
+    pub fn num_input_tasks(&self) -> usize {
+        self.stages[0].tasks.len()
+    }
+
+    /// Fraction of input tasks launched data-locally; `None` until every
+    /// input task has launched.
+    pub fn input_locality(&self) -> Option<f64> {
+        let stage = &self.stages[0];
+        if stage.launched < stage.tasks.len() {
+            return None;
+        }
+        let local = stage
+            .tasks
+            .iter()
+            .filter(|t| t.local == Some(true))
+            .count();
+        Some(local as f64 / stage.tasks.len().max(1) as f64)
+    }
+
+    /// True when every *launched-so-far* input task was local (projection
+    /// used for Algorithm 1 accounting).
+    pub fn inputs_all_local_so_far(&self) -> bool {
+        self.stages[0]
+            .tasks
+            .iter()
+            .all(|t| t.local != Some(false))
+    }
+
+    /// Tasks not yet launched across currently runnable stages — the
+    /// job's immediate executor demand.
+    pub fn pending_tasks(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| s.ready_at.is_some() && !s.is_complete())
+            .map(RuntimeStage::unlaunched)
+            .sum()
+    }
+
+    /// Marks a task launched. Returns the task's scheduler delay.
+    pub fn mark_launched(
+        &mut self,
+        stage: usize,
+        task: usize,
+        now: SimTime,
+        local: Option<bool>,
+    ) -> SimDuration {
+        let t = &mut self.stages[stage].tasks[task];
+        assert_eq!(t.state, TaskState::Runnable, "launching non-runnable task");
+        t.state = TaskState::Running;
+        t.launched_at = Some(now);
+        t.local = local;
+        let since = t.runnable_since.expect("runnable task has timestamp");
+        self.stages[stage].launched += 1;
+        now.saturating_since(since)
+    }
+
+    /// Marks a task done. Unlocks dependent stages whose dependencies all
+    /// completed, making their tasks runnable at `now`; returns the indices
+    /// of newly runnable stages. Sets `finished_at` when the job completes.
+    pub fn mark_done(&mut self, stage: usize, task: usize, now: SimTime) -> Vec<usize> {
+        let t = &mut self.stages[stage].tasks[task];
+        assert_eq!(t.state, TaskState::Running, "finishing non-running task");
+        t.state = TaskState::Done;
+        t.finished_at = Some(now);
+        self.stages[stage].completed += 1;
+        let mut unlocked = Vec::new();
+        if self.stages[stage].is_complete() {
+            self.stages[stage].finished_at = Some(now);
+            for i in 0..self.stages.len() {
+                if self.stages[i].ready_at.is_none() && self.stages[i].deps.contains(&stage) {
+                    self.stages[i].deps_remaining -= 1;
+                    if self.stages[i].deps_remaining == 0 {
+                        self.stages[i].make_runnable(now);
+                        unlocked.push(i);
+                    }
+                }
+            }
+            if self.stages.iter().all(RuntimeStage::is_complete) {
+                self.finished_at = Some(now);
+            }
+        }
+        unlocked
+    }
+
+    /// Job completion time, if finished.
+    pub fn completion_time(&self) -> Option<SimDuration> {
+        Some(self.finished_at?.saturating_since(self.submitted_at))
+    }
+
+    /// Re-queues a running task after its executor died: the task becomes
+    /// runnable again at `now` with a fresh locality slate. Returns
+    /// whether the killed attempt had been counted data-local.
+    pub fn mark_requeued(&mut self, stage: usize, task: usize, now: SimTime) -> bool {
+        let t = &mut self.stages[stage].tasks[task];
+        assert_eq!(t.state, TaskState::Running, "re-queueing non-running task");
+        let was_local = t.local == Some(true);
+        t.state = TaskState::Runnable;
+        t.runnable_since = Some(now);
+        t.launched_at = None;
+        t.local = None;
+        self.stages[stage].launched -= 1;
+        was_local
+    }
+
+    /// Refreshes input tasks' preferred nodes from the NameNode — after a
+    /// failure changes replica locations, unlaunched tasks should chase
+    /// the surviving/new replicas (what Spark does on the next scheduling
+    /// round).
+    pub fn refresh_preferred(&mut self, namenode: &NameNode) {
+        for t in &mut self.stages[0].tasks {
+            if matches!(t.state, TaskState::Blocked | TaskState::Runnable) {
+                let block = t.block.expect("input task has a block");
+                t.preferred = namenode.locations(block).to_vec();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use custody_dfs::{RoundRobinPlacement, DEFAULT_BLOCK_SIZE};
+    use custody_simcore::SimRng;
+    use custody_workload::{ShuffleVolume, StageSpec, StageWidth};
+
+    fn setup() -> (NameNode, DatasetId) {
+        let mut nn = NameNode::new(4, 1 << 40, 1);
+        let mut rng = SimRng::seed_from_u64(0);
+        let ds = nn.create_dataset(
+            "d",
+            2 * DEFAULT_BLOCK_SIZE,
+            DEFAULT_BLOCK_SIZE,
+            &mut RoundRobinPlacement::default(),
+            &mut rng,
+        );
+        (nn, ds)
+    }
+
+    fn two_stage_spec() -> JobSpec {
+        JobSpec {
+            name: "test".into(),
+            input_bytes: 2 * DEFAULT_BLOCK_SIZE,
+            input_compute_per_block: SimDuration::from_secs(1),
+            downstream: vec![StageSpec {
+                name: "reduce".into(),
+                width: StageWidth::Fixed(1),
+                compute_per_task: SimDuration::from_secs(1),
+                shuffle: ShuffleVolume::PerTaskBytes(100),
+                deps: vec![0],
+            }],
+        }
+    }
+
+    fn job() -> RuntimeJob {
+        let (nn, ds) = setup();
+        RuntimeJob::instantiate(
+            JobId::new(0),
+            AppId::new(0),
+            WorkloadKind::WordCount,
+            &two_stage_spec(),
+            ds,
+            &nn,
+            SimTime::from_secs(10),
+        )
+    }
+
+    #[test]
+    fn instantiation_binds_blocks_and_locations() {
+        let j = job();
+        assert_eq!(j.num_input_tasks(), 2);
+        assert_eq!(j.stages.len(), 2);
+        let t0 = &j.stages[0].tasks[0];
+        assert_eq!(t0.state, TaskState::Runnable);
+        assert_eq!(t0.preferred, vec![NodeId::new(0)]);
+        assert_eq!(j.stages[0].tasks[1].preferred, vec![NodeId::new(1)]);
+        assert_eq!(j.stages[1].tasks.len(), 1);
+        assert_eq!(j.stages[1].tasks[0].state, TaskState::Blocked);
+        assert_eq!(j.pending_tasks(), 2, "only the input stage is runnable");
+    }
+
+    #[test]
+    fn launch_and_finish_lifecycle() {
+        let mut j = job();
+        let delay = j.mark_launched(0, 0, SimTime::from_secs(12), Some(true));
+        assert_eq!(delay, SimDuration::from_secs(2));
+        assert_eq!(j.pending_tasks(), 1);
+        let unlocked = j.mark_done(0, 0, SimTime::from_secs(13));
+        assert!(unlocked.is_empty(), "stage not complete yet");
+        j.mark_launched(0, 1, SimTime::from_secs(13), Some(false));
+        let unlocked = j.mark_done(0, 1, SimTime::from_secs(14));
+        assert_eq!(unlocked, vec![1], "reduce stage unlocked");
+        assert_eq!(j.stages[1].tasks[0].state, TaskState::Runnable);
+        assert_eq!(j.stages[1].ready_at, Some(SimTime::from_secs(14)));
+        assert_eq!(j.pending_tasks(), 1);
+        assert_eq!(j.input_locality(), Some(0.5));
+        assert!(!j.is_finished());
+        j.mark_launched(1, 0, SimTime::from_secs(14), None);
+        let unlocked = j.mark_done(1, 0, SimTime::from_secs(15));
+        assert!(unlocked.is_empty());
+        assert!(j.is_finished());
+        assert_eq!(j.completion_time(), Some(SimDuration::from_secs(5)));
+        assert_eq!(
+            j.input_stage().duration(),
+            Some(SimDuration::from_secs(4))
+        );
+    }
+
+    #[test]
+    fn locality_fraction_requires_all_launched() {
+        let mut j = job();
+        assert_eq!(j.input_locality(), None);
+        j.mark_launched(0, 0, SimTime::from_secs(10), Some(true));
+        assert_eq!(j.input_locality(), None);
+        j.mark_launched(0, 1, SimTime::from_secs(10), Some(true));
+        assert_eq!(j.input_locality(), Some(1.0));
+    }
+
+    #[test]
+    fn all_local_so_far_projection() {
+        let mut j = job();
+        assert!(j.inputs_all_local_so_far(), "nothing launched yet");
+        j.mark_launched(0, 0, SimTime::from_secs(10), Some(true));
+        assert!(j.inputs_all_local_so_far());
+        j.mark_launched(0, 1, SimTime::from_secs(10), Some(false));
+        assert!(!j.inputs_all_local_so_far());
+    }
+
+    #[test]
+    #[should_panic(expected = "launching non-runnable")]
+    fn double_launch_panics() {
+        let mut j = job();
+        j.mark_launched(0, 0, SimTime::from_secs(10), Some(true));
+        j.mark_launched(0, 0, SimTime::from_secs(10), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "finishing non-running")]
+    fn finishing_unlaunched_panics() {
+        let mut j = job();
+        j.mark_done(0, 0, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn requeue_resets_task_and_reports_locality() {
+        let mut j = job();
+        j.mark_launched(0, 0, SimTime::from_secs(11), Some(true));
+        assert_eq!(j.stages[0].launched, 1);
+        let was_local = j.mark_requeued(0, 0, SimTime::from_secs(12));
+        assert!(was_local);
+        assert_eq!(j.stages[0].launched, 0);
+        let t = &j.stages[0].tasks[0];
+        assert_eq!(t.state, TaskState::Runnable);
+        assert_eq!(t.runnable_since, Some(SimTime::from_secs(12)));
+        assert_eq!(t.local, None);
+        // Relaunch non-locally this time.
+        let delay = j.mark_launched(0, 0, SimTime::from_secs(13), Some(false));
+        assert_eq!(delay, SimDuration::from_secs(1));
+        assert!(!j.mark_requeued(0, 0, SimTime::from_secs(14)));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-queueing non-running")]
+    fn requeue_of_unlaunched_task_panics() {
+        let mut j = job();
+        j.mark_requeued(0, 0, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn refresh_preferred_follows_namenode() {
+        let (mut nn, ds) = setup();
+        let mut j = RuntimeJob::instantiate(
+            JobId::new(0),
+            AppId::new(0),
+            WorkloadKind::WordCount,
+            &two_stage_spec(),
+            ds,
+            &nn,
+            SimTime::ZERO,
+        );
+        let b = j.stages[0].tasks[0].block.unwrap();
+        assert!(nn.add_replica(b, NodeId::new(3)));
+        j.refresh_preferred(&nn);
+        assert_eq!(
+            j.stages[0].tasks[0].preferred,
+            vec![NodeId::new(0), NodeId::new(3)]
+        );
+        // Launched tasks keep their snapshot.
+        j.mark_launched(0, 1, SimTime::ZERO, Some(true));
+        let before = j.stages[0].tasks[1].preferred.clone();
+        j.refresh_preferred(&nn);
+        assert_eq!(j.stages[0].tasks[1].preferred, before);
+    }
+
+    #[test]
+    fn diamond_dag_unlocks_once() {
+        let (nn, ds) = setup();
+        let spec = JobSpec {
+            name: "diamond".into(),
+            input_bytes: 2 * DEFAULT_BLOCK_SIZE,
+            input_compute_per_block: SimDuration::ZERO,
+            downstream: vec![
+                StageSpec {
+                    name: "a".into(),
+                    width: StageWidth::Fixed(1),
+                    compute_per_task: SimDuration::ZERO,
+                    shuffle: ShuffleVolume::PerTaskBytes(0),
+                    deps: vec![0],
+                },
+                StageSpec {
+                    name: "b".into(),
+                    width: StageWidth::Fixed(1),
+                    compute_per_task: SimDuration::ZERO,
+                    shuffle: ShuffleVolume::PerTaskBytes(0),
+                    deps: vec![0],
+                },
+                StageSpec {
+                    name: "join".into(),
+                    width: StageWidth::Fixed(1),
+                    compute_per_task: SimDuration::ZERO,
+                    shuffle: ShuffleVolume::PerTaskBytes(0),
+                    deps: vec![1, 2],
+                },
+            ],
+        };
+        let mut j = RuntimeJob::instantiate(
+            JobId::new(1),
+            AppId::new(0),
+            WorkloadKind::Sort,
+            &spec,
+            ds,
+            &nn,
+            SimTime::ZERO,
+        );
+        let t = SimTime::from_secs(1);
+        j.mark_launched(0, 0, t, Some(true));
+        j.mark_launched(0, 1, t, Some(true));
+        j.mark_done(0, 0, t);
+        let unlocked = j.mark_done(0, 1, t);
+        assert_eq!(unlocked, vec![1, 2], "both branches unlock");
+        j.mark_launched(1, 0, t, None);
+        assert!(j.mark_done(1, 0, t).is_empty(), "join still blocked");
+        j.mark_launched(2, 0, t, None);
+        let unlocked = j.mark_done(2, 0, t);
+        assert_eq!(unlocked, vec![3], "join unlocked exactly once");
+        assert!(!j.is_finished());
+        j.mark_launched(3, 0, t, None);
+        j.mark_done(3, 0, t);
+        assert!(j.is_finished());
+    }
+}

@@ -1,0 +1,221 @@
+//! Metric collection: exactly what the paper's figures report.
+//!
+//! * **Fig. 7** — per-job percentage of data-local input tasks
+//!   (mean ± standard deviation per workload).
+//! * **Fig. 8** — average job completion time.
+//! * **Fig. 9** — average completion time of the map (input) stage.
+//! * **Fig. 10** — average scheduler delay: "the time period between the
+//!   task is submitted to the system and the task is actually launched
+//!   onto an idle executor".
+
+use custody_simcore::stats::Summary;
+use custody_simcore::SimTime;
+use custody_workload::{AppId, WorkloadKind};
+
+/// Metrics of one application.
+#[derive(Debug, Clone)]
+pub struct AppMetrics {
+    /// The application.
+    pub app: AppId,
+    /// Display name.
+    pub name: String,
+    /// The workload the application ran.
+    pub workload: WorkloadKind,
+    /// Jobs that ran to completion.
+    pub jobs_completed: usize,
+    /// Completed jobs whose every input task was data-local.
+    pub local_jobs: usize,
+    /// Per-job fraction of local input tasks, in `[0, 1]`.
+    pub input_locality: Summary,
+    /// Per-job completion time in seconds.
+    pub job_completion_secs: Summary,
+    /// Per-job input-stage duration in seconds.
+    pub input_stage_secs: Summary,
+    /// Per-task scheduler delay in seconds: how long a launched task
+    /// waited *while an executor sat idle* — the cost of delay
+    /// scheduling's locality wait, the quantity Fig. 10 plots. Excludes
+    /// capacity queueing (no executor available), which
+    /// [`queueing_delay_secs`](Self::queueing_delay_secs) reports.
+    pub scheduler_delay_secs: Summary,
+    /// Per-task total wait from runnable to launch, in seconds (includes
+    /// waiting for any executor to free up).
+    pub queueing_delay_secs: Summary,
+}
+
+impl AppMetrics {
+    /// Creates an empty record.
+    pub fn new(app: AppId, name: String, workload: WorkloadKind) -> Self {
+        AppMetrics {
+            app,
+            name,
+            workload,
+            jobs_completed: 0,
+            local_jobs: 0,
+            input_locality: Summary::new(),
+            job_completion_secs: Summary::new(),
+            input_stage_secs: Summary::new(),
+            scheduler_delay_secs: Summary::new(),
+            queueing_delay_secs: Summary::new(),
+        }
+    }
+
+    /// Fraction of completed jobs with perfect input locality — the U_ij
+    /// average of Eq. 6.
+    pub fn local_job_fraction(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.local_jobs as f64 / self.jobs_completed as f64
+        }
+    }
+}
+
+/// Metrics of one whole run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Per-application breakdown, app-id order.
+    pub per_app: Vec<AppMetrics>,
+    /// Total jobs completed.
+    pub jobs_completed: usize,
+    /// Time of the last event.
+    pub makespan: SimTime,
+    /// Allocation rounds executed.
+    pub allocation_rounds: usize,
+    /// Events processed.
+    pub events_processed: usize,
+    /// Machines that failed during the run (failure injection).
+    pub nodes_failed: usize,
+    /// Tasks re-queued because their executor died.
+    pub tasks_requeued: usize,
+    /// Speculative task copies launched (straggler mitigation).
+    pub tasks_speculated: usize,
+}
+
+impl RunMetrics {
+    /// Merged per-job input locality across applications.
+    pub fn input_locality(&self) -> Summary {
+        let mut s = Summary::new();
+        for a in &self.per_app {
+            s.merge(&a.input_locality);
+        }
+        s
+    }
+
+    /// Merged per-job completion times (seconds).
+    pub fn job_completion_secs(&self) -> Summary {
+        let mut s = Summary::new();
+        for a in &self.per_app {
+            s.merge(&a.job_completion_secs);
+        }
+        s
+    }
+
+    /// Merged per-job input-stage durations (seconds).
+    pub fn input_stage_secs(&self) -> Summary {
+        let mut s = Summary::new();
+        for a in &self.per_app {
+            s.merge(&a.input_stage_secs);
+        }
+        s
+    }
+
+    /// Merged per-task scheduler delays (seconds).
+    pub fn scheduler_delay_secs(&self) -> Summary {
+        let mut s = Summary::new();
+        for a in &self.per_app {
+            s.merge(&a.scheduler_delay_secs);
+        }
+        s
+    }
+
+    /// Merged per-task queueing delays (seconds).
+    pub fn queueing_delay_secs(&self) -> Summary {
+        let mut s = Summary::new();
+        for a in &self.per_app {
+            s.merge(&a.queueing_delay_secs);
+        }
+        s
+    }
+
+    /// Per-application local-job fractions — the max-min fairness vector
+    /// of Eq. 6.
+    pub fn local_job_fractions(&self) -> Vec<f64> {
+        self.per_app.iter().map(AppMetrics::local_job_fraction).collect()
+    }
+
+    /// The minimum local-job fraction across applications (the paper's
+    /// fairness objective).
+    pub fn min_local_job_fraction(&self) -> f64 {
+        self.local_job_fractions()
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+}
+
+/// A finished simulation: configuration label plus metrics.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Human-readable configuration description.
+    pub label: String,
+    /// The collected metrics.
+    pub cluster_metrics: RunMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app_metrics(local: usize, total: usize) -> AppMetrics {
+        let mut m = AppMetrics::new(AppId::new(0), "a".into(), WorkloadKind::Sort);
+        m.jobs_completed = total;
+        m.local_jobs = local;
+        for i in 0..total {
+            m.input_locality.push(if i < local { 1.0 } else { 0.5 });
+            m.job_completion_secs.push(10.0 + i as f64);
+        }
+        m
+    }
+
+    #[test]
+    fn local_job_fraction() {
+        assert_eq!(app_metrics(2, 4).local_job_fraction(), 0.5);
+        assert_eq!(
+            AppMetrics::new(AppId::new(0), "x".into(), WorkloadKind::Sort).local_job_fraction(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn run_metrics_merge_across_apps() {
+        let run = RunMetrics {
+            per_app: vec![app_metrics(1, 2), app_metrics(2, 2)],
+            jobs_completed: 4,
+            makespan: SimTime::from_secs(100),
+            allocation_rounds: 10,
+            events_processed: 50,
+            nodes_failed: 0,
+            tasks_requeued: 0,
+            tasks_speculated: 0,
+        };
+        assert_eq!(run.input_locality().count(), 4);
+        assert_eq!(run.job_completion_secs().count(), 4);
+        assert_eq!(run.local_job_fractions(), vec![0.5, 1.0]);
+        assert_eq!(run.min_local_job_fraction(), 0.5);
+    }
+
+    #[test]
+    fn min_fraction_of_empty_run_is_capped() {
+        let run = RunMetrics {
+            per_app: vec![],
+            jobs_completed: 0,
+            makespan: SimTime::ZERO,
+            allocation_rounds: 0,
+            events_processed: 0,
+            nodes_failed: 0,
+            tasks_requeued: 0,
+            tasks_speculated: 0,
+        };
+        assert_eq!(run.min_local_job_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Parallel experiment sweeps.
+//!
+//! Every simulation run is a pure function of its [`SimConfig`], so runs
+//! are embarrassingly parallel; [`Sweep`] expands a parameter grid
+//! (workloads × cluster sizes × allocators × seeds) and executes it on
+//! all cores via rayon. Determinism is preserved: results come back in
+//! grid order regardless of which thread ran which cell.
+
+use rayon::prelude::*;
+
+use custody_core::AllocatorKind;
+use custody_workload::WorkloadKind;
+
+use crate::config::SimConfig;
+use crate::driver::Simulation;
+use crate::metrics::RunMetrics;
+
+/// Runs many configurations in parallel, preserving input order.
+pub fn run_many(configs: &[SimConfig]) -> Vec<RunMetrics> {
+    configs
+        .par_iter()
+        .map(|cfg| Simulation::run(cfg).cluster_metrics)
+        .collect()
+}
+
+/// One cell of a sweep grid, together with its result.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The configuration that ran.
+    pub config: SimConfig,
+    /// Its metrics.
+    pub metrics: RunMetrics,
+}
+
+/// A parameter grid over the main experimental axes.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Workloads to run.
+    pub workloads: Vec<WorkloadKind>,
+    /// Cluster sizes (nodes).
+    pub sizes: Vec<usize>,
+    /// Cluster managers.
+    pub allocators: Vec<AllocatorKind>,
+    /// Seeds (each adds a full replication of the grid).
+    pub seeds: Vec<u64>,
+    /// Jobs per application.
+    pub jobs_per_app: usize,
+}
+
+impl Sweep {
+    /// The paper's comparison grid: three workloads × three sizes ×
+    /// {Custody, Spark-static} × one seed.
+    pub fn paper(seed: u64) -> Self {
+        Sweep {
+            workloads: WorkloadKind::ALL.to_vec(),
+            sizes: vec![25, 50, 100],
+            allocators: vec![AllocatorKind::Custody, AllocatorKind::StaticSpread],
+            seeds: vec![seed],
+            jobs_per_app: 30,
+        }
+    }
+
+    /// Expands the grid into concrete configurations, in
+    /// (seed, size, workload, allocator) lexicographic order.
+    pub fn configs(&self) -> Vec<SimConfig> {
+        let mut out =
+            Vec::with_capacity(self.seeds.len() * self.sizes.len() * self.workloads.len() * self.allocators.len());
+        for &seed in &self.seeds {
+            for &size in &self.sizes {
+                for &workload in &self.workloads {
+                    for &allocator in &self.allocators {
+                        let mut cfg = SimConfig::paper(workload, size, allocator, seed);
+                        cfg.campaign = cfg.campaign.with_jobs_per_app(self.jobs_per_app);
+                        out.push(cfg);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs the whole grid in parallel.
+    pub fn run(&self) -> Vec<SweepResult> {
+        let configs = self.configs();
+        let metrics = run_many(&configs);
+        configs
+            .into_iter()
+            .zip(metrics)
+            .map(|(config, metrics)| SweepResult { config, metrics })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Sweep {
+        Sweep {
+            workloads: vec![WorkloadKind::WordCount, WorkloadKind::Sort],
+            sizes: vec![8, 12],
+            allocators: vec![AllocatorKind::Custody, AllocatorKind::StaticSpread],
+            seeds: vec![1],
+            jobs_per_app: 1,
+        }
+    }
+
+    #[test]
+    fn grid_expansion_order_and_count() {
+        let sweep = tiny();
+        let configs = sweep.configs();
+        assert_eq!(configs.len(), 8);
+        assert_eq!(configs[0].cluster.num_nodes, 8);
+        assert_eq!(configs[0].allocator, AllocatorKind::Custody);
+        assert_eq!(configs[1].allocator, AllocatorKind::StaticSpread);
+        assert_eq!(configs[4].cluster.num_nodes, 12);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let sweep = tiny();
+        let configs = sweep.configs();
+        let parallel = run_many(&configs);
+        let sequential: Vec<RunMetrics> = configs
+            .iter()
+            .map(|c| Simulation::run(c).cluster_metrics)
+            .collect();
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.makespan, s.makespan);
+            assert_eq!(p.events_processed, s.events_processed);
+            assert_eq!(p.input_locality().samples(), s.input_locality().samples());
+        }
+    }
+
+    #[test]
+    fn sweep_results_pair_config_with_metrics() {
+        let results = tiny().run();
+        assert_eq!(results.len(), 8);
+        for r in &results {
+            assert_eq!(
+                r.metrics.jobs_completed,
+                r.config.campaign.total_jobs(),
+                "{}",
+                r.config.label()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_grid_shape() {
+        let sweep = Sweep::paper(42);
+        assert_eq!(sweep.configs().len(), 3 * 3 * 2);
+        assert_eq!(sweep.jobs_per_app, 30);
+    }
+}

@@ -1,0 +1,223 @@
+//! Task-level trace export.
+//!
+//! A [`TaskTrace`] is a flat, per-task record of everything a run decided:
+//! when each task became runnable, launched and finished, where it ran,
+//! and whether it was data-local. Traces serialize to a simple
+//! tab-separated text format (one header line, one row per task) so they
+//! can be diffed, grepped, and loaded into any analysis tool without
+//! extra dependencies.
+//!
+//! The driver fills a trace when [`SimConfig`](crate::SimConfig) runs via
+//! [`Simulation::run_traced`](crate::Simulation::run_traced).
+
+use std::fmt::Write as _;
+
+use custody_simcore::SimTime;
+use custody_workload::{AppId, JobId};
+
+/// One task attempt, as recorded by the driver at launch/finish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// Owning application.
+    pub app: AppId,
+    /// Owning job.
+    pub job: JobId,
+    /// Stage index (0 = input).
+    pub stage: usize,
+    /// Task index within the stage.
+    pub task: usize,
+    /// Node the task ran on.
+    pub node: usize,
+    /// When the task became runnable.
+    pub runnable_at: SimTime,
+    /// When it launched.
+    pub launched_at: SimTime,
+    /// When it finished.
+    pub finished_at: SimTime,
+    /// Data-local? (input tasks; `false` for downstream tasks).
+    pub local: bool,
+}
+
+/// A run's complete task log.
+#[derive(Debug, Clone, Default)]
+pub struct TaskTrace {
+    records: Vec<TaskRecord>,
+}
+
+impl TaskTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TaskRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in completion order.
+    pub fn records(&self) -> &[TaskRecord] {
+        &self.records
+    }
+
+    /// Number of recorded task completions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no tasks were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serializes to tab-separated text (header + one row per task).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from(
+            "app\tjob\tstage\ttask\tnode\trunnable_us\tlaunched_us\tfinished_us\tlocal\n",
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                r.app.index(),
+                r.job.index(),
+                r.stage,
+                r.task,
+                r.node,
+                r.runnable_at.as_micros(),
+                r.launched_at.as_micros(),
+                r.finished_at.as_micros(),
+                u8::from(r.local),
+            );
+        }
+        out
+    }
+
+    /// Parses the TSV format produced by [`to_tsv`](Self::to_tsv).
+    /// Returns `None` on any malformed line.
+    pub fn from_tsv(text: &str) -> Option<Self> {
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        if !header.starts_with("app\tjob\t") {
+            return None;
+        }
+        let mut trace = TaskTrace::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut f = line.split('\t');
+            let mut next_u64 = || f.next()?.parse::<u64>().ok();
+            let app = next_u64()? as usize;
+            let job = next_u64()? as usize;
+            let stage = next_u64()? as usize;
+            let task = next_u64()? as usize;
+            let node = next_u64()? as usize;
+            let runnable = next_u64()?;
+            let launched = next_u64()?;
+            let finished = next_u64()?;
+            let local = next_u64()? == 1;
+            trace.push(TaskRecord {
+                app: AppId::new(app),
+                job: JobId::new(job),
+                stage,
+                task,
+                node,
+                runnable_at: SimTime::from_micros(runnable),
+                launched_at: SimTime::from_micros(launched),
+                finished_at: SimTime::from_micros(finished),
+                local,
+            });
+        }
+        Some(trace)
+    }
+
+    /// Fraction of stage-0 task attempts that were data-local.
+    pub fn input_locality(&self) -> f64 {
+        let inputs: Vec<&TaskRecord> = self.records.iter().filter(|r| r.stage == 0).collect();
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        inputs.iter().filter(|r| r.local).count() as f64 / inputs.len() as f64
+    }
+
+    /// Verifies internal consistency: timestamps ordered, at most one
+    /// record per (job, stage, task) attempt... one record per completed
+    /// attempt is guaranteed by the driver; duplicates indicate a bug.
+    pub fn check_invariants(&self) {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for r in &self.records {
+            assert!(r.runnable_at <= r.launched_at, "launch before runnable: {r:?}");
+            assert!(r.launched_at <= r.finished_at, "finish before launch: {r:?}");
+            assert!(
+                seen.insert((r.job, r.stage, r.task)),
+                "duplicate completion for {r:?}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(job: usize, stage: usize, task: usize, local: bool) -> TaskRecord {
+        TaskRecord {
+            app: AppId::new(0),
+            job: JobId::new(job),
+            stage,
+            task,
+            node: 3,
+            runnable_at: SimTime::from_secs(1),
+            launched_at: SimTime::from_secs(2),
+            finished_at: SimTime::from_secs(4),
+            local,
+        }
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let mut t = TaskTrace::new();
+        t.push(record(0, 0, 0, true));
+        t.push(record(0, 0, 1, false));
+        t.push(record(1, 1, 0, false));
+        let text = t.to_tsv();
+        let back = TaskTrace::from_tsv(&text).expect("well-formed");
+        assert_eq!(back.records(), t.records());
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn malformed_tsv_rejected() {
+        assert!(TaskTrace::from_tsv("nonsense").is_none());
+        assert!(TaskTrace::from_tsv("app\tjob\tstage\nbad\tline").is_none());
+    }
+
+    #[test]
+    fn input_locality_counts_stage_zero_only() {
+        let mut t = TaskTrace::new();
+        t.push(record(0, 0, 0, true));
+        t.push(record(0, 0, 1, false));
+        t.push(record(0, 1, 0, false)); // downstream: excluded
+        assert!((t.input_locality() - 0.5).abs() < 1e-12);
+        assert_eq!(TaskTrace::new().input_locality(), 0.0);
+    }
+
+    #[test]
+    fn invariants_catch_duplicates() {
+        let mut t = TaskTrace::new();
+        t.push(record(0, 0, 0, true));
+        t.check_invariants();
+        t.push(record(0, 0, 0, false));
+        let result = std::panic::catch_unwind(move || t.check_invariants());
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = TaskTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.to_tsv().lines().count(), 1, "header only");
+    }
+}

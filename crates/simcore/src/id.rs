@@ -1,0 +1,211 @@
+//! Typed index newtypes.
+//!
+//! The simulator is index-based: nodes, executors, blocks, datasets,
+//! applications, jobs and tasks are all stored in dense `Vec`s and referred
+//! to by typed indices. The [`define_id!`] macro stamps out a `u32`-backed
+//! newtype with the conversions and trait impls every id needs. Using `u32`
+//! rather than `usize` keeps hot structs small (see the type-size guidance
+//! in the Rust Performance Book) — no experiment in the reproduction needs
+//! more than 4 billion of anything.
+
+/// Defines a `u32`-backed id newtype.
+///
+/// ```
+/// custody_simcore::define_id!(pub struct WidgetId, "widget");
+///
+/// let w = WidgetId::new(3);
+/// assert_eq!(w.index(), 3);
+/// assert_eq!(format!("{w}"), "widget-3");
+/// let as_usize: usize = w.into();
+/// assert_eq!(as_usize, 3);
+/// ```
+#[macro_export]
+macro_rules! define_id {
+    ($(#[$meta:meta])* pub struct $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Builds an id from a dense index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                assert!(index <= u32::MAX as usize);
+                Self(index as u32)
+            }
+
+            /// The dense index this id wraps.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Iterates ids `0..n`.
+            pub fn iter_upto(n: usize) -> impl Iterator<Item = Self> + Clone {
+                (0..n).map(Self::new)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+
+        impl ::std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, "{}-{}", $tag, self.0)
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, "{}-{}", $tag, self.0)
+            }
+        }
+    };
+}
+
+/// A dense map from a typed id to values, backed by a `Vec`.
+///
+/// Thin convenience over `Vec<V>` that keeps indexing by typed ids explicit
+/// and panics with the id in the message on out-of-range access.
+#[derive(Debug, Clone)]
+pub struct IdVec<I, V> {
+    items: Vec<V>,
+    _marker: std::marker::PhantomData<fn(I)>,
+}
+
+impl<I, V> Default for IdVec<I, V> {
+    fn default() -> Self {
+        IdVec {
+            items: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<I: Copy + Into<usize> + std::fmt::Debug, V> IdVec<I, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        IdVec {
+            items: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Creates a map with `n` copies of `value`.
+    pub fn filled(n: usize, value: V) -> Self
+    where
+        V: Clone,
+    {
+        IdVec {
+            items: vec![value; n],
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Appends a value, returning the index it landed at.
+    pub fn push(&mut self, value: V) -> usize {
+        self.items.push(value);
+        self.items.len() - 1
+    }
+
+    /// Immutable access.
+    pub fn get(&self, id: I) -> &V {
+        let i: usize = id.into();
+        self.items
+            .get(i)
+            .unwrap_or_else(|| panic!("id {id:?} out of range (len {})", self.items.len()))
+    }
+
+    /// Mutable access.
+    pub fn get_mut(&mut self, id: I) -> &mut V {
+        let len = self.items.len();
+        let i: usize = id.into();
+        self.items
+            .get_mut(i)
+            .unwrap_or_else(|| panic!("id {id:?} out of range (len {len})"))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates values.
+    pub fn iter(&self) -> std::slice::Iter<'_, V> {
+        self.items.iter()
+    }
+
+    /// Iterates values mutably.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, V> {
+        self.items.iter_mut()
+    }
+
+    /// Raw slice view.
+    pub fn as_slice(&self) -> &[V] {
+        &self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    define_id!(pub struct TestId, "test");
+
+    use super::IdVec;
+
+    #[test]
+    fn id_roundtrip() {
+        let id = TestId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(usize::from(id), 7);
+        assert_eq!(format!("{id}"), "test-7");
+        assert_eq!(format!("{id:?}"), "test-7");
+    }
+
+    #[test]
+    fn id_ordering() {
+        assert!(TestId::new(1) < TestId::new(2));
+        assert_eq!(TestId::new(3), TestId::new(3));
+    }
+
+    #[test]
+    fn iter_upto_counts() {
+        let ids: Vec<TestId> = TestId::iter_upto(3).collect();
+        assert_eq!(ids, vec![TestId::new(0), TestId::new(1), TestId::new(2)]);
+    }
+
+    #[test]
+    fn idvec_basics() {
+        let mut v: IdVec<TestId, String> = IdVec::new();
+        assert!(v.is_empty());
+        let i = v.push("a".into());
+        assert_eq!(i, 0);
+        v.push("b".into());
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(TestId::new(1)), "b");
+        *v.get_mut(TestId::new(0)) = "z".into();
+        assert_eq!(v.get(TestId::new(0)), "z");
+        assert_eq!(v.iter().count(), 2);
+    }
+
+    #[test]
+    fn idvec_filled() {
+        let v: IdVec<TestId, u8> = IdVec::filled(4, 9);
+        assert_eq!(v.as_slice(), &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn idvec_out_of_range_panics() {
+        let v: IdVec<TestId, u8> = IdVec::new();
+        let _ = v.get(TestId::new(0));
+    }
+}

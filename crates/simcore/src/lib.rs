@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # custody-simcore
+//!
+//! Foundation crate for the Custody reproduction: a small, deterministic
+//! discrete-event simulation toolkit.
+//!
+//! The Custody paper (CLUSTER 2016) evaluates its executor-allocation
+//! framework on a 100-node Linode cluster running Spark 1.4 over HDFS. This
+//! reproduction replaces that testbed with a discrete-event simulator, so
+//! every higher-level crate (`custody-dfs`, `custody-cluster`,
+//! `custody-sim`, ...) is built on the primitives defined here:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time.
+//! * [`EventQueue`] — a stable priority queue of timestamped events
+//!   (FIFO among events that share a timestamp, so runs are deterministic).
+//! * [`rng::SimRng`] — a seeded, splittable PRNG wrapper so experiments are
+//!   reproducible and sub-systems can draw independent streams.
+//! * [`dist`] — the distributions the paper's workloads need (exponential
+//!   inter-arrival times with mean 4 s, uniform job sizes, Zipf popularity
+//!   for the Scarlett-style placement extension).
+//! * [`stats`] — online estimators (Welford mean/variance, percentiles,
+//!   histograms) used by the metrics pipeline to report the mean ± std bars
+//!   of Fig. 7/8 and the latency curves of Fig. 9/10.
+//! * [`define_id!`] — typed-index newtypes used across the workspace.
+
+pub mod dist;
+pub mod event;
+pub mod id;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

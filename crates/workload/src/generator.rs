@@ -1,0 +1,331 @@
+//! The paper's three workloads (§VI-A2).
+//!
+//! Each generator produces a [`JobSpec`] matching the qualitative structure
+//! described in the paper:
+//!
+//! * **PageRank** — "a graph-based algorithm ... PageRank jobs usually
+//!   involve a large amount of network transfers and are thus identified as
+//!   network-heavy jobs. The size of the input data file for a PageRank job
+//!   is 1 GB." Modelled as an input (parse) stage followed by several
+//!   iteration stages, each shuffling the rank vector.
+//! * **WordCount** — "the intermediate results of WordCount are
+//!   significantly reduced in comparison with the input ... a
+//!   representative of network-light jobs. The size of the input file ...
+//!   ranges between 4 GB and 8 GB." One map stage plus one tiny reduce.
+//! * **Sort** — "not only call[s] for extensive computation resources but
+//!   also incur[s] a large amount of network transmissions. The size of the
+//!   input file for a Sort job ranges between 1 GB and 8 GB." Map plus a
+//!   full-input-size shuffle into a per-block reduce.
+//!
+//! Per-task compute constants are calibrated so a 128 MB block costs on the
+//! order of a second of CPU — the regime where the input stage dominates
+//! short analytics jobs (the paper cites map stages consuming 59 % of
+//! MapReduce job lifetimes).
+
+use custody_simcore::dist::{Distribution, Uniform};
+use custody_simcore::{SimDuration, SimRng};
+
+use crate::spec::{JobSpec, ShuffleVolume, StageSpec, StageWidth};
+
+const GB: u64 = 1_000_000_000;
+
+/// The three evaluation workloads, plus two extension workloads for
+/// broader studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Iterative, network-heavy graph computation.
+    PageRank,
+    /// Map-heavy, network-light aggregation.
+    WordCount,
+    /// Compute- and shuffle-heavy repartition.
+    Sort,
+    /// Extension: a selective SQL-style scan — map-only, the purest
+    /// input-locality workload (Shark-style queries, the paper's \[18\]).
+    SqlScan,
+    /// Extension: k-means-style iterative ML — like PageRank but with
+    /// heavier per-iteration compute and a tiny model shuffle (the
+    /// "machine learning algorithms for recommendation systems" of §II).
+    KMeans,
+}
+
+impl WorkloadKind {
+    /// The paper's three workloads, in its presentation order.
+    pub const ALL: [WorkloadKind; 3] = [
+        WorkloadKind::PageRank,
+        WorkloadKind::WordCount,
+        WorkloadKind::Sort,
+    ];
+
+    /// Every workload, including the extension generators.
+    pub const EXTENDED: [WorkloadKind; 5] = [
+        WorkloadKind::PageRank,
+        WorkloadKind::WordCount,
+        WorkloadKind::Sort,
+        WorkloadKind::SqlScan,
+        WorkloadKind::KMeans,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::PageRank => "pagerank",
+            WorkloadKind::WordCount => "wordcount",
+            WorkloadKind::Sort => "sort",
+            WorkloadKind::SqlScan => "sqlscan",
+            WorkloadKind::KMeans => "kmeans",
+        }
+    }
+
+    /// Number of PageRank iterations modelled (the paper notes "multiple
+    /// iterations involved in the PageRank algorithm").
+    pub const PAGERANK_ITERATIONS: usize = 5;
+
+    /// Number of k-means iterations modelled.
+    pub const KMEANS_ITERATIONS: usize = 8;
+
+    /// Generates the `seq`-th job of this workload, drawing its input size
+    /// from the paper's per-workload range.
+    pub fn generate_job(self, seq: usize, rng: &mut SimRng) -> JobSpec {
+        match self {
+            WorkloadKind::PageRank => pagerank_job(seq, rng),
+            WorkloadKind::WordCount => wordcount_job(seq, rng),
+            WorkloadKind::Sort => sort_job(seq, rng),
+            WorkloadKind::SqlScan => sqlscan_job(seq, rng),
+            WorkloadKind::KMeans => kmeans_job(seq, rng),
+        }
+    }
+
+    /// The input-size range `[lo, hi]` in bytes for this workload.
+    pub fn input_range(self) -> (u64, u64) {
+        match self {
+            WorkloadKind::PageRank => (GB, GB),
+            WorkloadKind::WordCount => (4 * GB, 8 * GB),
+            WorkloadKind::Sort => (GB, 8 * GB),
+            WorkloadKind::SqlScan => (2 * GB, 16 * GB),
+            WorkloadKind::KMeans => (GB, 2 * GB),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn draw_input_bytes(kind: WorkloadKind, rng: &mut SimRng) -> u64 {
+    let (lo, hi) = kind.input_range();
+    if lo == hi {
+        lo
+    } else {
+        Uniform::new(lo as f64, hi as f64).sample(rng) as u64
+    }
+}
+
+/// PageRank: parse stage + `PAGERANK_ITERATIONS` iteration stages, each
+/// one task per input block, shuffling ~10 % of the input (the rank/edge
+/// messages) every iteration.
+fn pagerank_job(seq: usize, rng: &mut SimRng) -> JobSpec {
+    let input_bytes = draw_input_bytes(WorkloadKind::PageRank, rng);
+    let mut downstream = Vec::with_capacity(WorkloadKind::PAGERANK_ITERATIONS);
+    for i in 0..WorkloadKind::PAGERANK_ITERATIONS {
+        downstream.push(StageSpec {
+            name: format!("iter-{i}"),
+            width: StageWidth::PerInputBlock,
+            compute_per_task: SimDuration::from_millis(400),
+            shuffle: ShuffleVolume::InputFraction(0.10),
+            // Each iteration depends on the previous stage.
+            deps: vec![i],
+        });
+    }
+    JobSpec {
+        name: format!("pagerank-{seq:03}"),
+        input_bytes,
+        input_compute_per_block: SimDuration::from_millis(800),
+        downstream,
+    }
+}
+
+/// WordCount: map stage + a tiny fixed-width reduce shuffling ~0.1 % of
+/// the input (aggregated word counts).
+fn wordcount_job(seq: usize, rng: &mut SimRng) -> JobSpec {
+    let input_bytes = draw_input_bytes(WorkloadKind::WordCount, rng);
+    JobSpec {
+        name: format!("wordcount-{seq:03}"),
+        input_bytes,
+        input_compute_per_block: SimDuration::from_millis(600),
+        downstream: vec![StageSpec {
+            name: "reduce".into(),
+            width: StageWidth::Fixed(4),
+            compute_per_task: SimDuration::from_millis(200),
+            shuffle: ShuffleVolume::InputFraction(0.001),
+            deps: vec![0],
+        }],
+    }
+}
+
+/// Sort: map stage + a per-block reduce that shuffles the full input
+/// (repartition) and sorts it.
+fn sort_job(seq: usize, rng: &mut SimRng) -> JobSpec {
+    let input_bytes = draw_input_bytes(WorkloadKind::Sort, rng);
+    JobSpec {
+        name: format!("sort-{seq:03}"),
+        input_bytes,
+        input_compute_per_block: SimDuration::from_millis(500),
+        downstream: vec![StageSpec {
+            name: "reduce".into(),
+            width: StageWidth::PerInputBlock,
+            compute_per_task: SimDuration::from_millis(700),
+            shuffle: ShuffleVolume::InputFraction(1.0),
+            deps: vec![0],
+        }],
+    }
+}
+
+/// SQL scan: a single map stage filtering its input; no downstream
+/// stages at all, so locality is the entire story.
+fn sqlscan_job(seq: usize, rng: &mut SimRng) -> JobSpec {
+    let input_bytes = draw_input_bytes(WorkloadKind::SqlScan, rng);
+    JobSpec::map_only(
+        format!("sqlscan-{seq:03}"),
+        input_bytes,
+        SimDuration::from_millis(300),
+    )
+}
+
+/// K-means: parse stage + `KMEANS_ITERATIONS` compute-heavy iterations,
+/// each broadcasting/collecting a tiny model (centroids) over the
+/// network.
+fn kmeans_job(seq: usize, rng: &mut SimRng) -> JobSpec {
+    let input_bytes = draw_input_bytes(WorkloadKind::KMeans, rng);
+    let mut downstream = Vec::with_capacity(WorkloadKind::KMEANS_ITERATIONS);
+    for i in 0..WorkloadKind::KMEANS_ITERATIONS {
+        downstream.push(StageSpec {
+            name: format!("iter-{i}"),
+            width: StageWidth::PerInputBlock,
+            compute_per_task: SimDuration::from_millis(900),
+            shuffle: ShuffleVolume::PerTaskBytes(1_000_000), // ~1 MB of centroids
+            deps: vec![i],
+        });
+    }
+    JobSpec {
+        name: format!("kmeans-{seq:03}"),
+        input_bytes,
+        input_compute_per_block: SimDuration::from_millis(700),
+        downstream,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pagerank_shape() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let j = WorkloadKind::PageRank.generate_job(0, &mut rng);
+        assert_eq!(j.input_bytes, GB);
+        assert_eq!(j.downstream.len(), WorkloadKind::PAGERANK_ITERATIONS);
+        assert_eq!(j.num_stages(), 1 + WorkloadKind::PAGERANK_ITERATIONS);
+        assert_eq!(j.name, "pagerank-000");
+        // Chain dependencies: iter-i depends on stage i.
+        for (i, s) in j.downstream.iter().enumerate() {
+            assert_eq!(s.deps, vec![i]);
+        }
+    }
+
+    #[test]
+    fn wordcount_sizes_in_range() {
+        let mut rng = SimRng::seed_from_u64(2);
+        for seq in 0..50 {
+            let j = WorkloadKind::WordCount.generate_job(seq, &mut rng);
+            assert!((4 * GB..=8 * GB).contains(&j.input_bytes), "{}", j.input_bytes);
+            assert_eq!(j.downstream.len(), 1);
+        }
+    }
+
+    #[test]
+    fn sort_sizes_in_range_and_full_shuffle() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for seq in 0..50 {
+            let j = WorkloadKind::Sort.generate_job(seq, &mut rng);
+            assert!((GB..=8 * GB).contains(&j.input_bytes));
+            assert_eq!(j.downstream[0].shuffle, ShuffleVolume::InputFraction(1.0));
+            assert_eq!(j.downstream[0].width, StageWidth::PerInputBlock);
+        }
+    }
+
+    #[test]
+    fn wordcount_is_network_light_relative_to_sort() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let wc = WorkloadKind::WordCount.generate_job(0, &mut rng);
+        let sort = WorkloadKind::Sort.generate_job(0, &mut rng);
+        let wc_shuffle = wc.downstream[0].shuffle.resolve(wc.input_bytes, 4);
+        let sort_tasks = 8;
+        let sort_shuffle = sort.downstream[0]
+            .shuffle
+            .resolve(sort.input_bytes, sort_tasks);
+        assert!(
+            (wc_shuffle * 4) < sort_shuffle * sort_tasks as u64 / 100,
+            "WordCount shuffles <1% of Sort's volume"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for seq in 0..10 {
+            assert_eq!(
+                WorkloadKind::Sort.generate_job(seq, &mut a),
+                WorkloadKind::Sort.generate_job(seq, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(WorkloadKind::PageRank.to_string(), "pagerank");
+        assert_eq!(WorkloadKind::ALL.len(), 3);
+        assert_eq!(WorkloadKind::EXTENDED.len(), 5);
+        assert_eq!(WorkloadKind::SqlScan.to_string(), "sqlscan");
+        assert_eq!(WorkloadKind::KMeans.to_string(), "kmeans");
+    }
+
+    #[test]
+    fn sqlscan_is_map_only() {
+        let mut rng = SimRng::seed_from_u64(20);
+        for seq in 0..20 {
+            let j = WorkloadKind::SqlScan.generate_job(seq, &mut rng);
+            assert_eq!(j.num_stages(), 1);
+            assert!((2 * GB..=16 * GB).contains(&j.input_bytes));
+        }
+    }
+
+    #[test]
+    fn kmeans_iterations_shuffle_tiny_models() {
+        let mut rng = SimRng::seed_from_u64(21);
+        let j = WorkloadKind::KMeans.generate_job(0, &mut rng);
+        assert_eq!(j.downstream.len(), WorkloadKind::KMEANS_ITERATIONS);
+        for (i, st) in j.downstream.iter().enumerate() {
+            assert_eq!(st.deps, vec![i], "chain dependency");
+            assert_eq!(st.shuffle.resolve(j.input_bytes, 8), 1_000_000);
+        }
+        // Network-light per iteration compared to PageRank.
+        let pr = WorkloadKind::PageRank.generate_job(0, &mut rng);
+        let pr_shuffle = pr.downstream[0].shuffle.resolve(pr.input_bytes, 8);
+        assert!(pr_shuffle > 10 * 1_000_000);
+    }
+
+    #[test]
+    fn resolved_pagerank_stages_are_per_block() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let j = WorkloadKind::PageRank.generate_job(0, &mut rng);
+        let stages = j.resolve_stages(8);
+        for s in &stages {
+            assert_eq!(s.num_tasks, 8);
+            // 10% of 1 GB over 8 tasks = 12.5 MB/task.
+            assert_eq!(s.shuffle_bytes_per_task, 12_500_000);
+        }
+    }
+}

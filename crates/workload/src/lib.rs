@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # custody-workload
+//!
+//! Applications, jobs, stages and the paper's three workloads.
+//!
+//! The paper's application model (§III-A): an application `A_i` consists of
+//! `ρ_i` jobs; each job is a DAG of tasks whose **input tasks** each read
+//! one block of the job's input dataset. Only input tasks can be
+//! data-local — "for tasks that depend on multiple upstream tasks, it is
+//! unlikely for them to achieve data locality" — so downstream stages are
+//! modelled by their computation and shuffle volume only.
+//!
+//! The evaluation (§VI-A2) drives three workloads:
+//!
+//! * **PageRank** — network-heavy, iterative; 1 GB input per job.
+//! * **WordCount** — network-light; 4–8 GB input, tiny reduce.
+//! * **Sort** — compute- and network-heavy; 1–8 GB input, full-size shuffle.
+//!
+//! and submits "30 jobs with an independent submission schedule to each
+//! [of four] application[s]", inter-arrival times exponential with mean
+//! 4 s (Facebook trace).
+//!
+//! * [`spec`] — [`JobSpec`]/[`StageSpec`]: declarative job shapes.
+//! * [`generator`] — [`WorkloadKind`]: produces the paper's job specs.
+//! * [`app`] — application identities and campaign descriptions.
+//! * [`arrival`] — seeded submission schedules.
+
+pub mod app;
+pub mod arrival;
+pub mod generator;
+pub mod spec;
+
+pub use app::{AppId, ApplicationSpec, Campaign, DatasetMode, JobId};
+pub use arrival::{SubmissionSchedule, Submission};
+pub use generator::WorkloadKind;
+pub use spec::{JobSpec, ShuffleVolume, StageSpec, StageWidth};

@@ -1,0 +1,244 @@
+//! Declarative job shapes.
+//!
+//! A [`JobSpec`] describes a job before its input dataset exists: the input
+//! size, the per-block computation of the input (map) stage, and the
+//! downstream stages. Once the dataset is registered with the NameNode and
+//! its block count is known, [`JobSpec::resolve_stages`] turns the
+//! symbolic stage widths and shuffle volumes into concrete numbers.
+
+use custody_simcore::SimDuration;
+
+/// How many tasks a downstream stage launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageWidth {
+    /// A fixed task count.
+    Fixed(usize),
+    /// One task per input block of the job (common for per-partition
+    /// stages such as PageRank iterations or Sort's reduce).
+    PerInputBlock,
+}
+
+impl StageWidth {
+    /// Resolves to a concrete task count given the job's input block count.
+    pub fn resolve(self, num_blocks: usize) -> usize {
+        match self {
+            StageWidth::Fixed(n) => n.max(1),
+            StageWidth::PerInputBlock => num_blocks.max(1),
+        }
+    }
+}
+
+/// How much intermediate data a downstream stage shuffles in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShuffleVolume {
+    /// Each task reads a fixed number of bytes over the network.
+    PerTaskBytes(u64),
+    /// The stage as a whole shuffles `fraction × input_bytes`, split evenly
+    /// across its tasks. `1.0` models Sort's full repartition; small values
+    /// model aggregated intermediates (WordCount).
+    InputFraction(f64),
+}
+
+impl ShuffleVolume {
+    /// Resolves to per-task bytes.
+    pub fn resolve(self, input_bytes: u64, num_tasks: usize) -> u64 {
+        match self {
+            ShuffleVolume::PerTaskBytes(b) => b,
+            ShuffleVolume::InputFraction(f) => {
+                debug_assert!(f >= 0.0);
+                ((input_bytes as f64 * f) / num_tasks.max(1) as f64) as u64
+            }
+        }
+    }
+}
+
+/// A downstream (non-input) stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpec {
+    /// Stage label for reports (e.g. `"reduce"`, `"iter-3"`).
+    pub name: String,
+    /// Task count.
+    pub width: StageWidth,
+    /// Pure computation per task.
+    pub compute_per_task: SimDuration,
+    /// Network bytes each task must fetch before computing.
+    pub shuffle: ShuffleVolume,
+    /// Indices of stages this one depends on. `0` is the input stage;
+    /// downstream stage `i` (0-based in `JobSpec::downstream`) is overall
+    /// stage `i + 1`. Every stage must depend only on earlier stages.
+    pub deps: Vec<usize>,
+}
+
+/// A resolved downstream stage (concrete task count / shuffle bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedStage {
+    /// Stage label.
+    pub name: String,
+    /// Concrete task count.
+    pub num_tasks: usize,
+    /// Pure computation per task.
+    pub compute_per_task: SimDuration,
+    /// Per-task shuffle bytes.
+    pub shuffle_bytes_per_task: u64,
+    /// Dependencies (overall stage indices, `0` = input stage).
+    pub deps: Vec<usize>,
+}
+
+/// A declarative job description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Job label (e.g. `"pagerank-007"`).
+    pub name: String,
+    /// Total input bytes; the job's input stage launches one task per
+    /// block of this much data.
+    pub input_bytes: u64,
+    /// Pure computation each input task performs after reading its block.
+    pub input_compute_per_block: SimDuration,
+    /// Downstream stages in submission order.
+    pub downstream: Vec<StageSpec>,
+}
+
+impl JobSpec {
+    /// A single-stage (map-only) job: reads its input and computes.
+    pub fn map_only(
+        name: impl Into<String>,
+        input_bytes: u64,
+        input_compute_per_block: SimDuration,
+    ) -> Self {
+        JobSpec {
+            name: name.into(),
+            input_bytes,
+            input_compute_per_block,
+            downstream: Vec::new(),
+        }
+    }
+
+    /// Total number of stages including the input stage.
+    pub fn num_stages(&self) -> usize {
+        1 + self.downstream.len()
+    }
+
+    /// Resolves downstream stages given the concrete input block count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stage's dependency list references itself or a later
+    /// stage (the DAG must be topologically ordered).
+    pub fn resolve_stages(&self, num_blocks: usize) -> Vec<ResolvedStage> {
+        self.downstream
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let overall = i + 1;
+                for &d in &s.deps {
+                    assert!(
+                        d < overall,
+                        "stage {overall} ({}) depends on later stage {d}",
+                        s.name
+                    );
+                }
+                let num_tasks = s.width.resolve(num_blocks);
+                ResolvedStage {
+                    name: s.name.clone(),
+                    num_tasks,
+                    compute_per_task: s.compute_per_task,
+                    shuffle_bytes_per_task: s.shuffle.resolve(self.input_bytes, num_tasks),
+                    deps: s.deps.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_resolution() {
+        assert_eq!(StageWidth::Fixed(4).resolve(100), 4);
+        assert_eq!(StageWidth::Fixed(0).resolve(100), 1, "clamped to 1");
+        assert_eq!(StageWidth::PerInputBlock.resolve(8), 8);
+        assert_eq!(StageWidth::PerInputBlock.resolve(0), 1);
+    }
+
+    #[test]
+    fn shuffle_resolution() {
+        assert_eq!(ShuffleVolume::PerTaskBytes(500).resolve(1_000_000, 4), 500);
+        assert_eq!(
+            ShuffleVolume::InputFraction(1.0).resolve(1_000_000, 4),
+            250_000
+        );
+        assert_eq!(
+            ShuffleVolume::InputFraction(0.1).resolve(1_000_000, 2),
+            50_000
+        );
+        assert_eq!(ShuffleVolume::InputFraction(0.0).resolve(1_000_000, 2), 0);
+    }
+
+    #[test]
+    fn map_only_job() {
+        let j = JobSpec::map_only("wc", 1_000, SimDuration::from_millis(100));
+        assert_eq!(j.num_stages(), 1);
+        assert!(j.resolve_stages(8).is_empty());
+    }
+
+    #[test]
+    fn resolve_stages_concretizes() {
+        let j = JobSpec {
+            name: "sort".into(),
+            input_bytes: 1_024,
+            input_compute_per_block: SimDuration::from_millis(10),
+            downstream: vec![StageSpec {
+                name: "reduce".into(),
+                width: StageWidth::PerInputBlock,
+                compute_per_task: SimDuration::from_millis(20),
+                shuffle: ShuffleVolume::InputFraction(1.0),
+                deps: vec![0],
+            }],
+        };
+        let stages = j.resolve_stages(8);
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].num_tasks, 8);
+        assert_eq!(stages[0].shuffle_bytes_per_task, 128);
+        assert_eq!(stages[0].deps, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on later stage")]
+    fn forward_dependency_rejected() {
+        let j = JobSpec {
+            name: "bad".into(),
+            input_bytes: 1,
+            input_compute_per_block: SimDuration::ZERO,
+            downstream: vec![StageSpec {
+                name: "s".into(),
+                width: StageWidth::Fixed(1),
+                compute_per_task: SimDuration::ZERO,
+                shuffle: ShuffleVolume::PerTaskBytes(0),
+                deps: vec![1],
+            }],
+        };
+        let _ = j.resolve_stages(1);
+    }
+
+    #[test]
+    fn chain_of_stages_resolves_in_order() {
+        let mk = |name: &str, deps: Vec<usize>| StageSpec {
+            name: name.into(),
+            width: StageWidth::Fixed(2),
+            compute_per_task: SimDuration::from_millis(1),
+            shuffle: ShuffleVolume::PerTaskBytes(10),
+            deps,
+        };
+        let j = JobSpec {
+            name: "pr".into(),
+            input_bytes: 100,
+            input_compute_per_block: SimDuration::ZERO,
+            downstream: vec![mk("a", vec![0]), mk("b", vec![1]), mk("c", vec![1, 2])],
+        };
+        let stages = j.resolve_stages(4);
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[2].deps, vec![1, 2]);
+    }
+}

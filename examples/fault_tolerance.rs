@@ -1,0 +1,60 @@
+//! Fault tolerance: node failures with replica re-replication and task
+//! re-queues, plus speculative execution for stragglers.
+//!
+//! A 20-node cluster runs a Sort campaign while two machines die mid-run.
+//! HDFS immediately re-replicates the lost blocks, running tasks on the
+//! dead executors are re-queued, and unlaunched tasks chase the surviving
+//! replicas — so Custody keeps finding local executors for them. With
+//! speculative execution enabled, stragglers (e.g. remote readers on a
+//! contended fabric) get cloned onto idle executors.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use custody::core::AllocatorKind;
+use custody::dfs::NodeId;
+use custody::scheduler::speculation::SpeculationConfig;
+use custody::sim::report::pct_mean_std;
+use custody::sim::{NodeFailure, SimConfig, Simulation};
+use custody::simcore::SimTime;
+use custody::workload::WorkloadKind;
+
+fn main() {
+    let mut base = SimConfig::paper(WorkloadKind::Sort, 20, AllocatorKind::Custody, 99);
+    base.campaign = base.campaign.with_jobs_per_app(8);
+    base.failures = vec![
+        NodeFailure {
+            at: SimTime::from_secs(10),
+            node: NodeId::new(2),
+        },
+        NodeFailure {
+            at: SimTime::from_secs(25),
+            node: NodeId::new(11),
+        },
+    ];
+
+    println!("20 nodes, 4 Sort apps x 8 jobs; nodes 2 and 11 die at t=10s and t=25s\n");
+    for (label, speculation) in [
+        ("failures only", None),
+        ("failures + speculation", Some(SpeculationConfig::default())),
+    ] {
+        let mut cfg = base.clone();
+        cfg.speculation = speculation;
+        for allocator in [AllocatorKind::Custody, AllocatorKind::StaticSpread] {
+            let m = Simulation::run(&cfg.clone().with_allocator(allocator)).cluster_metrics;
+            println!(
+                "{label:<24} {:<14} jobs {}/{}  locality {}  jct {:6.2} s  requeued {}  clones {}",
+                allocator.name(),
+                m.jobs_completed,
+                cfg.campaign.total_jobs(),
+                pct_mean_std(&m.input_locality()),
+                m.job_completion_secs().mean(),
+                m.tasks_requeued,
+                m.tasks_speculated,
+            );
+        }
+    }
+    println!("\nEvery job completes despite losing 10% of the cluster, and");
+    println!("Custody's locality advantage survives the re-replication shuffle.");
+}

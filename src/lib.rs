@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # custody — data-aware executor allocation for big-data clusters
+//!
+//! Facade crate for the reproduction of *"Custody: Towards Data-Aware
+//! Resource Sharing in Cloud-Based Big Data Processing"* (Ma, Jiang, Li, Li
+//! — IEEE CLUSTER 2016). It re-exports the workspace crates under stable
+//! module names so downstream users depend on a single crate:
+//!
+//! * [`simcore`] — deterministic discrete-event simulation toolkit.
+//! * [`dfs`] — HDFS-like distributed-file-system model (blocks, replicas,
+//!   NameNode, placement policies).
+//! * [`cluster`] — worker nodes, executors and the network model.
+//! * [`workload`] — applications, jobs, tasks and the paper's three
+//!   workloads (PageRank, WordCount, Sort).
+//! * [`core`] — the paper's contribution: the Custody two-level
+//!   data-aware executor allocator, the baseline cluster managers, and the
+//!   flow/matching theory behind them.
+//! * [`scheduler`] — in-application task schedulers (delay scheduling et al.).
+//! * [`sim`] — the end-to-end cluster simulation driver and metrics.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the short version:
+//!
+//! ```
+//! use custody::prelude::*;
+//!
+//! let config = SimConfig::small_demo(42);
+//! let outcome = Simulation::run(&config);
+//! assert!(outcome.cluster_metrics.jobs_completed > 0);
+//! ```
+
+pub use custody_cluster as cluster;
+pub use custody_core as core;
+pub use custody_dfs as dfs;
+pub use custody_scheduler as scheduler;
+pub use custody_sim as sim;
+pub use custody_simcore as simcore;
+pub use custody_workload as workload;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use custody_cluster::{ClusterSpec, NetworkModel};
+    pub use custody_core::{AllocatorKind, ExecutorAllocator};
+    pub use custody_dfs::{NameNode, PlacementPolicy};
+    pub use custody_scheduler::SchedulerKind;
+    pub use custody_sim::{SimConfig, Simulation};
+    pub use custody_simcore::{SimDuration, SimRng, SimTime};
+    pub use custody_workload::WorkloadKind;
+}

