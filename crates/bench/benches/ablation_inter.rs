@@ -4,11 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use custody_bench::{ablation_inter_table, FigureOptions};
+use custody_cluster::ExecutorId;
 use custody_core::{
     AllocationView, AppState, CustodyAllocator, ExecutorAllocator, ExecutorInfo, JobDemand,
     TaskDemand,
 };
-use custody_cluster::ExecutorId;
 use custody_dfs::NodeId;
 use custody_simcore::SimRng;
 use custody_workload::{AppId, JobId};

@@ -1,0 +1,194 @@
+//! `alloc_round` — allocator throughput, not simulation fidelity.
+//!
+//! Measures single allocation rounds on synthetic grant-heavy views
+//! (every executor idle, demand sized to drain the pool) at
+//! 100/500/1000 nodes × 4/16 applications, for:
+//!
+//! * `custody` — the production round (lazy-deletion heap MINLOCALITY,
+//!   cached per-node demand, recycled scratch);
+//! * `reference` — the scan-everything executable specification
+//!   (`custody_core::custody::reference_allocate`), the "before" the
+//!   incremental engine is compared against;
+//! * `static-spread` and `dynamic-offer` — the data-unaware baselines,
+//!   for context on what a round costs when locality is ignored.
+//!
+//! Besides the usual per-bench lines, the run writes `BENCH_alloc.json`
+//! at the repository root: median ns/round, rounds/sec, and the
+//! custody-vs-reference speedup per configuration.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use criterion::{black_box, BenchResult, Criterion};
+use custody_cluster::ExecutorId;
+use custody_core::custody::reference_allocate;
+use custody_core::{
+    AllocationView, AppState, CustodyAllocator, DynamicOfferAllocator, ExecutorAllocator,
+    ExecutorInfo, JobDemand, StaticSpreadAllocator, TaskDemand,
+};
+use custody_dfs::NodeId;
+use custody_simcore::SimRng;
+use custody_workload::{AppId, JobId};
+
+/// Cluster sizes × app counts, matching the ISSUE's acceptance grid.
+const CONFIGS: [(usize, usize); 6] = [
+    (100, 4),
+    (100, 16),
+    (500, 4),
+    (500, 16),
+    (1000, 4),
+    (1000, 16),
+];
+
+/// A grant-heavy round: one idle executor per node, per-app quotas that
+/// together cover the whole pool, and enough pending tasks (3 replicas,
+/// random placement) that both the locality and filler phases run hot.
+fn synthetic_view(nodes: usize, apps: usize, seed: u64) -> AllocationView {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let executors: Vec<ExecutorInfo> = (0..nodes)
+        .map(|i| ExecutorInfo {
+            id: ExecutorId::new(i),
+            node: NodeId::new(i),
+        })
+        .collect();
+    let quota = nodes.div_ceil(apps);
+    let mut job_counter = 0;
+    let app_states: Vec<AppState> = (0..apps)
+        .map(|i| {
+            let mut pending_jobs = Vec::new();
+            let mut demand = 0;
+            // Demand slightly over quota so the app stays hungry all round.
+            while demand < quota + quota / 4 + 1 {
+                let total_inputs = 4 + rng.below(9);
+                let unsatisfied_inputs: Vec<TaskDemand> = (0..total_inputs)
+                    .map(|t| {
+                        let mut prefs: Vec<NodeId> =
+                            (0..3).map(|_| NodeId::new(rng.below(nodes))).collect();
+                        prefs.sort_unstable();
+                        prefs.dedup();
+                        TaskDemand {
+                            task_index: t,
+                            preferred_nodes: Arc::from(prefs),
+                        }
+                    })
+                    .collect();
+                pending_jobs.push(JobDemand {
+                    job: JobId::new(job_counter),
+                    unsatisfied_inputs,
+                    pending_tasks: total_inputs,
+                    total_inputs,
+                    satisfied_inputs: 0,
+                });
+                job_counter += 1;
+                demand += total_inputs;
+            }
+            let total_jobs = 10 + rng.below(10);
+            let total_tasks = total_jobs * 8;
+            AppState {
+                app: AppId::new(i),
+                quota,
+                held: 0,
+                local_jobs: rng.below(total_jobs),
+                total_jobs,
+                local_tasks: rng.below(total_tasks),
+                total_tasks,
+                pending_jobs,
+            }
+        })
+        .collect();
+    AllocationView {
+        idle: executors.clone(),
+        all_executors: executors,
+        apps: app_states,
+    }
+}
+
+fn median_ns(results: &[BenchResult], id: &str) -> u128 {
+    results
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or_else(|| panic!("missing bench result {id}"))
+        .median()
+        .as_nanos()
+}
+
+fn bench(c: &mut Criterion) {
+    for &(nodes, apps) in &CONFIGS {
+        let view = synthetic_view(nodes, apps, 0xA110C);
+
+        // Sanity outside the timed region: the production round and the
+        // reference specification must agree on the benched view, so the
+        // two rows below measure identical work.
+        {
+            let mut rng = SimRng::seed_from_u64(0);
+            let fast = CustodyAllocator::new().allocate(&view, &mut rng);
+            assert_eq!(reference_allocate(&view), fast, "{nodes}x{apps}");
+            assert!(!fast.is_empty(), "bench view must produce grants");
+        }
+
+        let mut g = c.benchmark_group(format!("alloc_round/{nodes}n_{apps}a"));
+        g.sample_size(10);
+
+        // Long-lived allocators: steady-state rounds reuse scratch, which
+        // is exactly how the simulation driver calls them.
+        let mut custody = CustodyAllocator::new();
+        let mut rng = SimRng::seed_from_u64(1);
+        g.bench_function("custody", |b| {
+            b.iter(|| custody.allocate(black_box(&view), &mut rng))
+        });
+        g.bench_function("reference", |b| {
+            b.iter(|| reference_allocate(black_box(&view)))
+        });
+        let mut spread = StaticSpreadAllocator::new();
+        g.bench_function("static-spread", |b| {
+            b.iter(|| spread.allocate(black_box(&view), &mut rng))
+        });
+        let mut offer = DynamicOfferAllocator::new();
+        g.bench_function("dynamic-offer", |b| {
+            b.iter(|| offer.allocate(black_box(&view), &mut rng))
+        });
+        g.finish();
+    }
+
+    write_json(&c.take_results());
+}
+
+/// Emits `BENCH_alloc.json` at the repository root: one entry per
+/// configuration with median ns/round, rounds/sec, and the
+/// custody-vs-reference speedup.
+fn write_json(results: &[BenchResult]) {
+    let mut out = String::from("{\n  \"bench\": \"alloc_round\",\n");
+    out.push_str("  \"command\": \"cargo bench -p custody-bench --bench alloc_round\",\n");
+    out.push_str("  \"unit\": \"median wall time per allocation round\",\n");
+    out.push_str("  \"configs\": [\n");
+    for (idx, &(nodes, apps)) in CONFIGS.iter().enumerate() {
+        let group = format!("alloc_round/{nodes}n_{apps}a");
+        let ns = |name: &str| median_ns(results, &format!("{group}/{name}"));
+        let row = |name: &str| {
+            let t = ns(name);
+            format!(
+                "        \"{name}\": {{ \"median_ns\": {t}, \"rounds_per_sec\": {:.1} }}",
+                1e9 / t as f64
+            )
+        };
+        let speedup = ns("reference") as f64 / ns("custody") as f64;
+        let _ = write!(
+            out,
+            "    {{\n      \"nodes\": {nodes},\n      \"apps\": {apps},\n      \"results\": {{\n{},\n{},\n{},\n{}\n      }},\n      \"speedup_custody_vs_reference\": {speedup:.2}\n    }}{}\n",
+            row("custody"),
+            row("reference"),
+            row("static-spread"),
+            row("dynamic-offer"),
+            if idx + 1 < CONFIGS.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_alloc.json");
+    std::fs::write(path, &out).expect("write BENCH_alloc.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench(&mut c);
+}

@@ -14,8 +14,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("run_wordcount_25_congested", |b| {
         b.iter(|| {
-            let mut cfg =
-                SimConfig::paper(WorkloadKind::WordCount, 25, AllocatorKind::Custody, 7);
+            let mut cfg = SimConfig::paper(WorkloadKind::WordCount, 25, AllocatorKind::Custody, 7);
             cfg.campaign = cfg.campaign.with_jobs_per_app(3);
             Simulation::run(&cfg)
         })

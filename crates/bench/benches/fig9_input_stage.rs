@@ -14,8 +14,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("run_sort_100_custody", |b| {
         b.iter(|| {
-            let mut cfg =
-                SimConfig::paper(WorkloadKind::Sort, 100, AllocatorKind::Custody, 5);
+            let mut cfg = SimConfig::paper(WorkloadKind::Sort, 100, AllocatorKind::Custody, 5);
             cfg.campaign = cfg.campaign.with_jobs_per_app(3);
             Simulation::run(&cfg)
         })

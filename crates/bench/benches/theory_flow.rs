@@ -4,12 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use custody_bench::theory_quality_table;
+use custody_cluster::ExecutorId;
 use custody_core::theory::{
     greedy_local_jobs, hopcroft_karp, max_concurrent_rate, max_min_locality_vector, Dinic,
     FlowNetwork,
 };
 use custody_core::{AllocationView, AppState, ExecutorInfo, JobDemand, TaskDemand};
-use custody_cluster::ExecutorId;
 use custody_dfs::NodeId;
 use custody_simcore::SimRng;
 use custody_workload::{AppId, JobId};
@@ -92,11 +92,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| hopcroft_karp(&adj, 200))
     });
     let jobs: Vec<Vec<Vec<usize>>> = (0..20)
-        .map(|_| {
-            (0..8)
-                .map(|_| rng.choose_distinct(64, 3))
-                .collect()
-        })
+        .map(|_| (0..8).map(|_| rng.choose_distinct(64, 3)).collect())
         .collect();
     g.bench_function("greedy_matching_20_jobs", |b| {
         b.iter(|| greedy_local_jobs(&jobs, 64, 48))

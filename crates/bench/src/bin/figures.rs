@@ -12,8 +12,8 @@
 
 use custody_bench::{
     ablation_delay_table, ablation_inter_table, ablation_intra_table, ablation_placement_table,
-    ablation_speculation_table, fig10_table, fig7_fixed_quota_table, fig7_table, fig8_table,
-    fig9_table, run_sweep, theory_quality_table, FigureOptions,
+    ablation_speculation_table, allocator_cost_summary, fig10_table, fig7_fixed_quota_table,
+    fig7_table, fig8_table, fig9_table, run_sweep, theory_quality_table, FigureOptions,
 };
 
 fn main() {
@@ -65,6 +65,7 @@ fn main() {
         if wants("fig10") {
             println!("{}", fig10_table(&cells));
         }
+        println!("{}", allocator_cost_summary(&cells));
     }
     if wants("fig7-fixed") || wants("fig7") {
         println!("{}", fig7_fixed_quota_table(&opts));

@@ -16,9 +16,7 @@ use custody_dfs::NodeId;
 use custody_scheduler::speculation::SpeculationConfig;
 use custody_scheduler::SchedulerKind;
 use custody_sim::report::summary_row;
-use custody_sim::{
-    NodeFailure, PlacementKind, QuotaMode, SimConfig, Simulation, WorkloadKind,
-};
+use custody_sim::{NodeFailure, PlacementKind, QuotaMode, SimConfig, Simulation, WorkloadKind};
 use custody_simcore::{SimDuration, SimTime};
 
 fn parse_workload(s: &str) -> WorkloadKind {
@@ -127,7 +125,10 @@ fn main() {
 
     println!("{}\n", cfg.label());
     let (outcome, trace) = Simulation::run_traced(&cfg);
-    println!("{}", summary_row(allocator.name(), &outcome.cluster_metrics));
+    println!(
+        "{}",
+        summary_row(allocator.name(), &outcome.cluster_metrics)
+    );
     let m = &outcome.cluster_metrics;
     println!(
         "jobs {}  makespan {}  events {}  alloc-rounds {}  requeued {}  clones {}",
@@ -137,6 +138,12 @@ fn main() {
         m.allocation_rounds,
         m.tasks_requeued,
         m.tasks_speculated,
+    );
+    println!(
+        "allocator: {:.3} ms wall total ({:.2} µs/round)  rounds skipped {}",
+        m.allocator_wall_secs * 1e3,
+        m.allocator_wall_secs * 1e6 / m.allocation_rounds.max(1) as f64,
+        m.rounds_skipped,
     );
 
     if let Some(base) = baseline {

@@ -23,9 +23,7 @@ use custody_core::theory::{exact_max_local_jobs, greedy_local_jobs, roundrobin_l
 use custody_core::AllocatorKind;
 use custody_sim::experiment::{locality_and_jct_sweep, ComparisonCell, PAPER_CLUSTER_SIZES};
 use custody_sim::report::{pct_mean_std, render_table};
-use custody_sim::{
-    PlacementKind, QuotaMode, SimConfig, Simulation, WorkloadKind,
-};
+use custody_sim::{PlacementKind, QuotaMode, SimConfig, Simulation, WorkloadKind};
 use custody_simcore::SimRng;
 
 /// Options shared by all figure generators.
@@ -103,8 +101,9 @@ pub fn fig7_fixed_quota_table(opts: &FigureOptions) -> String {
                 SimConfig::paper(workload, n, AllocatorKind::Custody, opts.seed).with_quota(quota);
             cfg.campaign = cfg.campaign.with_jobs_per_app(opts.jobs_per_app);
             let custody = Simulation::run(&cfg).cluster_metrics;
-            let baseline = Simulation::run(&cfg.clone().with_allocator(AllocatorKind::StaticSpread))
-                .cluster_metrics;
+            let baseline =
+                Simulation::run(&cfg.clone().with_allocator(AllocatorKind::StaticSpread))
+                    .cluster_metrics;
             rows.push(vec![
                 n.to_string(),
                 workload.name().to_string(),
@@ -123,6 +122,29 @@ pub fn fig7_fixed_quota_table(opts: &FigureOptions) -> String {
             &["nodes", "workload", "custody", "spark-static", "gain"],
             &rows
         )
+    )
+}
+
+/// Where the driver's time went: cumulative allocator wall time, executed
+/// rounds, and rounds the incremental engine skipped outright, aggregated
+/// over a sweep's runs. Printed by the `figures` binary so regressions in
+/// allocator cost show up next to the figures they would distort.
+pub fn allocator_cost_summary(cells: &[ComparisonCell]) -> String {
+    let line = |name: &str, pick: &dyn Fn(&ComparisonCell) -> &custody_sim::RunMetrics| {
+        let wall: f64 = cells.iter().map(|c| pick(c).allocator_wall_secs).sum();
+        let rounds: usize = cells.iter().map(|c| pick(c).allocation_rounds).sum();
+        let skipped: usize = cells.iter().map(|c| pick(c).rounds_skipped).sum();
+        format!(
+            "  {name:<14} {:>9.1} ms allocator wall  {rounds:>8} rounds ({:.2} µs/round)  {skipped} skipped\n",
+            wall * 1e3,
+            wall * 1e6 / rounds.max(1) as f64,
+        )
+    };
+    format!(
+        "Allocator cost across the sweep ({} runs per system):\n{}{}",
+        cells.len(),
+        line("custody", &|c| &c.custody),
+        line("spark-static", &|c| &c.baseline),
     )
 }
 
@@ -455,8 +477,7 @@ pub fn theory_quality_table(trials: usize, seed: u64) -> String {
         let (hk, _) = hopcroft_karp(&adj, num_exec);
         let task_bound = hk.min(budget);
         if task_bound > 0 {
-            worst_task_ratio =
-                worst_task_ratio.min(greedy.local_tasks as f64 / task_bound as f64);
+            worst_task_ratio = worst_task_ratio.min(greedy.local_tasks as f64 / task_bound as f64);
         }
     }
     format!(

@@ -106,8 +106,7 @@ impl NetworkModel {
     /// Time to read `bytes` from a node in the same rack: pays the setup
     /// latency but only the top-of-rack hop, with no core contention.
     pub fn rack_read_time(&self, bytes: u64) -> SimDuration {
-        self.remote_latency
-            + SimDuration::from_secs_f64(bytes as f64 / self.rack_bytes_per_sec)
+        self.remote_latency + SimDuration::from_secs_f64(bytes as f64 / self.rack_bytes_per_sec)
     }
 
     /// Time to read `bytes`, local or remote.

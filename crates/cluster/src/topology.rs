@@ -238,7 +238,11 @@ impl ClusterState {
 
     /// Number of racks.
     pub fn num_racks(&self) -> usize {
-        self.racks.iter().map(|r| r.index()).max().map_or(1, |m| m + 1)
+        self.racks
+            .iter()
+            .map(|r| r.index())
+            .max()
+            .map_or(1, |m| m + 1)
     }
 }
 

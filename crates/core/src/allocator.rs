@@ -13,6 +13,8 @@
 //! locality achieved so far (the inputs to Algorithm 1's `MINLOCALITY`).
 //! Data-unaware baselines simply ignore the preferred-node fields.
 
+use std::sync::Arc;
+
 use custody_cluster::ExecutorId;
 use custody_dfs::NodeId;
 use custody_simcore::SimRng;
@@ -33,7 +35,10 @@ pub struct TaskDemand {
     /// Index of the task within its job's input stage.
     pub task_index: usize,
     /// Nodes storing replicas of the task's input block, sorted by id.
-    pub preferred_nodes: Vec<NodeId>,
+    /// Shared (`Arc`) because the same list travels from the runtime's
+    /// per-task state through every allocation round the task stays
+    /// pending in — views and rounds clone the handle, never the list.
+    pub preferred_nodes: Arc<[NodeId]>,
 }
 
 /// One job's outstanding demand.
@@ -202,7 +207,7 @@ mod tests {
             unsatisfied_inputs: (0..unsatisfied)
                 .map(|i| TaskDemand {
                     task_index: i,
-                    preferred_nodes: vec![NodeId::new(i)],
+                    preferred_nodes: [NodeId::new(i)].into(),
                 })
                 .collect(),
             pending_tasks: pending,

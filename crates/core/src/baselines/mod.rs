@@ -268,7 +268,7 @@ mod tests {
                 unsatisfied_inputs: (0..tasks)
                     .map(|t| TaskDemand {
                         task_index: t,
-                        preferred_nodes: vec![NodeId::new(t)],
+                        preferred_nodes: vec![NodeId::new(t)].into(),
                     })
                     .collect(),
                 pending_tasks: tasks,
@@ -316,11 +316,7 @@ mod tests {
 
     #[test]
     fn spread_gives_each_app_equal_share() {
-        let v = view(
-            10,
-            2,
-            (0..4).map(|i| app_with_demand(i, 5, 5)).collect(),
-        );
+        let v = view(10, 2, (0..4).map(|i| app_with_demand(i, 5, 5)).collect());
         let owner = spread_partition(&v);
         let mut counts = [0usize; 4];
         for app in owner.values() {

@@ -5,19 +5,54 @@
 //! the sorted list." Percentages are *projected*: locality bought earlier
 //! in the same round counts immediately ("Update executors and re-sort
 //! apps during allocation").
+//!
+//! The sort key stores the percentages as exact rationals and compares
+//! them by `u128` cross-multiplication, so the ordering is total, NaN-free
+//! and safe to keep inside a binary heap: `1/2` and `2/4` compare equal by
+//! construction, where a float division could (on other fraction pairs)
+//! round two distinct fractions onto the same double or two equal ones
+//! apart.
 
 use std::cmp::Ordering;
 
 use crate::custody::round::RoundApp;
 
+/// One projected locality percentage as an exact fraction.
+///
+/// An empty history (denominator 0) normalizes to `1/1`: brand-new apps
+/// rank *behind* apps with real, imperfect history.
+#[derive(Debug, Clone, Copy)]
+struct Fraction {
+    num: u64,
+    den: u64,
+}
+
+impl Fraction {
+    fn new(num: usize, den: usize) -> Self {
+        if den == 0 {
+            Fraction { num: 1, den: 1 }
+        } else {
+            Fraction {
+                num: num as u64,
+                den: den as u64,
+            }
+        }
+    }
+
+    fn cmp_exact(&self, other: &Fraction) -> Ordering {
+        // a/b vs c/d  ⇔  a·d vs c·b (denominators are positive).
+        let lhs = u128::from(self.num) * u128::from(other.den);
+        let rhs = u128::from(other.num) * u128::from(self.den);
+        lhs.cmp(&rhs)
+    }
+}
+
 /// The sort key of Algorithm 1: (local-job %, local-task %), with the app
 /// index as the final deterministic tie-breaker.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct LocalityKey {
-    /// Projected fraction of local jobs.
-    pub job_fraction: f64,
-    /// Projected fraction of local tasks.
-    pub task_fraction: f64,
+    job: Fraction,
+    task: Fraction,
     /// App index (total order guarantee).
     pub index: usize,
 }
@@ -25,11 +60,42 @@ pub struct LocalityKey {
 impl LocalityKey {
     /// Extracts the key from round state.
     pub fn of(app: &RoundApp, index: usize) -> Self {
+        let (job_num, job_den) = app.projected_local_jobs();
+        let (task_num, task_den) = app.projected_local_tasks();
+        Self::from_fractions(job_num, job_den, task_num, task_den, index)
+    }
+
+    /// Builds a key from raw counts; a zero denominator means "no history"
+    /// and normalizes to `1/1`.
+    pub fn from_fractions(
+        job_num: usize,
+        job_den: usize,
+        task_num: usize,
+        task_den: usize,
+        index: usize,
+    ) -> Self {
         LocalityKey {
-            job_fraction: app.projected_local_job_fraction(),
-            task_fraction: app.projected_local_task_fraction(),
+            job: Fraction::new(job_num, job_den),
+            task: Fraction::new(task_num, task_den),
             index,
         }
+    }
+
+    /// The projected local-job fraction as a float (diagnostics only —
+    /// ordering never goes through floats).
+    pub fn job_fraction(&self) -> f64 {
+        self.job.num as f64 / self.job.den as f64
+    }
+
+    /// The projected local-task fraction as a float (diagnostics only).
+    pub fn task_fraction(&self) -> f64 {
+        self.task.num as f64 / self.task.den as f64
+    }
+}
+
+impl PartialEq for LocalityKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
     }
 }
 
@@ -43,19 +109,19 @@ impl PartialOrd for LocalityKey {
 
 impl Ord for LocalityKey {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.job_fraction
-            .partial_cmp(&other.job_fraction)
-            .expect("locality fractions are finite")
-            .then_with(|| {
-                self.task_fraction
-                    .partial_cmp(&other.task_fraction)
-                    .expect("locality fractions are finite")
-            })
+        self.job
+            .cmp_exact(&other.job)
+            .then_with(|| self.task.cmp_exact(&other.task))
             .then_with(|| self.index.cmp(&other.index))
     }
 }
 
 /// `MINLOCALITY`: the least-localized app among those passing `eligible`.
+///
+/// The linear reference implementation. The hot path ([`super::Round`])
+/// keeps the same ordering in a lazy-deletion binary heap so each grant
+/// costs O(log A) instead of a rescan; this function remains the
+/// specification the heap is property-tested against.
 pub fn min_locality<F>(apps: &[RoundApp], mut eligible: F) -> Option<usize>
 where
     F: FnMut(usize, &RoundApp) -> bool,
@@ -73,7 +139,12 @@ mod tests {
     use crate::custody::round::RoundApp;
     use custody_workload::AppId;
 
-    fn app(hist_local_jobs: usize, total_jobs: usize, hist_local_tasks: usize, total_tasks: usize) -> RoundApp {
+    fn app(
+        hist_local_jobs: usize,
+        total_jobs: usize,
+        hist_local_tasks: usize,
+        total_tasks: usize,
+    ) -> RoundApp {
         RoundApp::for_test(
             AppId::new(0),
             4,
@@ -84,40 +155,47 @@ mod tests {
         )
     }
 
+    fn key(jn: usize, jd: usize, tn: usize, td: usize, index: usize) -> LocalityKey {
+        LocalityKey::from_fractions(jn, jd, tn, td, index)
+    }
+
     #[test]
     fn key_orders_by_job_fraction_first() {
-        let a = LocalityKey {
-            job_fraction: 0.2,
-            task_fraction: 0.9,
-            index: 5,
-        };
-        let b = LocalityKey {
-            job_fraction: 0.5,
-            task_fraction: 0.1,
-            index: 0,
-        };
+        // 1/5 jobs beats 1/2 jobs even with a worse task fraction.
+        let a = key(1, 5, 9, 10, 5);
+        let b = key(1, 2, 1, 10, 0);
         assert!(a < b);
     }
 
     #[test]
     fn key_ties_break_by_task_fraction_then_index() {
-        let a = LocalityKey {
-            job_fraction: 0.5,
-            task_fraction: 0.2,
-            index: 3,
-        };
-        let b = LocalityKey {
-            job_fraction: 0.5,
-            task_fraction: 0.4,
-            index: 0,
-        };
+        let a = key(1, 2, 2, 10, 3);
+        let b = key(1, 2, 4, 10, 0);
         assert!(a < b);
-        let c = LocalityKey {
-            job_fraction: 0.5,
-            task_fraction: 0.2,
-            index: 1,
-        };
+        let c = key(1, 2, 2, 10, 1);
         assert!(c < a);
+    }
+
+    #[test]
+    fn equal_fractions_with_different_denominators_tie() {
+        // 1/2 vs 2/4 and 3/9 vs 1/3: exactly equal, index decides.
+        let a = key(1, 2, 3, 9, 7);
+        let b = key(2, 4, 1, 3, 2);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Greater, "index 7 > 2");
+        assert_eq!(key(1, 2, 1, 3, 0), key(2, 4, 3, 9, 0));
+    }
+
+    #[test]
+    fn huge_denominators_do_not_overflow() {
+        let a = key(usize::MAX - 1, usize::MAX, 0, 1, 0);
+        let b = key(usize::MAX, usize::MAX, 0, 1, 1);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn zero_history_normalizes_to_one() {
+        assert_eq!(key(0, 0, 0, 0, 1), key(1, 1, 1, 1, 1));
+        assert!(key(0, 4, 0, 10, 0) < key(0, 0, 0, 0, 1));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! After every single grant the minimum-locality application is
 //! re-evaluated (`ALLOCATEEXECUTOR`'s flag): if the grant lifted this
 //! application above another one, control returns to the inter-application
-//! loop immediately.
+//! loop immediately. The check is O(log A) amortized — the round keeps a
+//! keyed heap instead of rescanning every application.
 //!
 //! When a task's block is replicated on several nodes with idle executors,
 //! we claim the executor on the **least contested** node — the one the
@@ -18,8 +19,9 @@
 //! this task burns as little of everyone else's locality as possible (the
 //! paper's hot-executor coordination, §IV-A).
 
+use std::sync::Arc;
+
 use custody_dfs::NodeId;
-use custody_workload::JobId;
 
 use crate::custody::round::Round;
 use crate::custody::IntraPolicy;
@@ -37,17 +39,23 @@ pub fn allocate_for_app(round: &mut Round, i: usize, policy: IntraPolicy) -> usi
 /// before either the job list was exhausted, the quota filled, or the app
 /// stopped being the minimum-locality application.
 fn priority_allocate(round: &mut Round, i: usize) -> usize {
-    let mut granted = 0;
-
     // Sort key per job: (unsatisfied count, total inputs, job id). The
     // paper randomizes ties; we use the job id so runs are reproducible.
-    let mut order: Vec<usize> = (0..round.app(i).jobs.len()).collect();
+    let mut order = round.take_order_scratch();
+    order.clear();
+    order.extend(0..round.app(i).jobs.len());
     order.sort_by_key(|&j| {
         let job = &round.app(i).jobs[j];
         (job.tasks.len(), job.total_inputs, job.job)
     });
+    let granted = priority_allocate_in_order(round, i, &order);
+    round.put_order_scratch(order);
+    granted
+}
 
-    for j in order {
+fn priority_allocate_in_order(round: &mut Round, i: usize, order: &[usize]) -> usize {
+    let mut granted = 0;
+    for &j in order {
         // Task indexes shift as tasks are removed, so walk manually: on a
         // grant the current slot now holds the next task, on a skip advance.
         let mut t = 0;
@@ -55,7 +63,7 @@ fn priority_allocate(round: &mut Round, i: usize) -> usize {
             if round.app(i).headroom() == 0 {
                 return granted;
             }
-            let preferred = round.app(i).jobs[j].tasks[t].1.clone();
+            let preferred = Arc::clone(&round.app(i).jobs[j].tasks[t].1);
             let Some(node) = pick_node(round, i, &preferred) else {
                 t += 1; // cannot be made local now; the filler handles it
                 continue;
@@ -63,7 +71,7 @@ fn priority_allocate(round: &mut Round, i: usize) -> usize {
             let executor = round
                 .take_executor_on(node)
                 .expect("picked node has an idle executor");
-            let (job_id, task_index) = satisfy_task(round, i, j, t);
+            let (job_id, task_index) = round.satisfy_task(i, j, t);
             round.record_grant(i, executor, Some((job_id, task_index)));
             granted += 1;
             if !round.is_min_locality(i) {
@@ -90,7 +98,7 @@ fn fair_allocate(round: &mut Round, i: usize) -> usize {
             // First satisfiable task of job j.
             let mut chosen = None;
             for t in 0..round.app(i).jobs[j].tasks.len() {
-                let preferred = round.app(i).jobs[j].tasks[t].1.clone();
+                let preferred = Arc::clone(&round.app(i).jobs[j].tasks[t].1);
                 if let Some(node) = pick_node(round, i, &preferred) {
                     chosen = Some((t, node));
                     break;
@@ -100,7 +108,7 @@ fn fair_allocate(round: &mut Round, i: usize) -> usize {
             let executor = round
                 .take_executor_on(node)
                 .expect("picked node has an idle executor");
-            let (job_id, task_index) = satisfy_task(round, i, j, t);
+            let (job_id, task_index) = round.satisfy_task(i, j, t);
             round.record_grant(i, executor, Some((job_id, task_index)));
             granted += 1;
             progress = true;
@@ -123,23 +131,4 @@ fn pick_node(round: &Round, i: usize, preferred: &[NodeId]) -> Option<NodeId> {
         .copied()
         .filter(|&n| round.node_has_idle(n))
         .min_by_key(|&n| (round.contention_excluding(n, i), n))
-}
-
-/// Marks task `t` of job `j` satisfied: removes it from the unsatisfied
-/// list, releases its pressure on the demand map, and updates the app's
-/// projected-locality counters. Returns `(job id, original task index)`.
-fn satisfy_task(round: &mut Round, i: usize, j: usize, t: usize) -> (JobId, usize) {
-    let app = round.app_mut(i);
-    let (task_index, nodes) = app.jobs[j].tasks.remove(t);
-    for n in nodes {
-        if let Some(c) = app.node_demand.get_mut(&n) {
-            *c -= 1;
-        }
-    }
-    app.jobs[j].satisfied += 1;
-    app.new_local_tasks += 1;
-    if app.jobs[j].fully_local() {
-        app.new_local_jobs += 1;
-    }
-    (app.jobs[j].job, task_index)
 }

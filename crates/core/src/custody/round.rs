@@ -1,6 +1,18 @@
 //! Mutable state of one allocation round, shared by both phases.
+//!
+//! Selection is incremental: instead of rescanning every application per
+//! grant (Algorithm 1's literal "re-sort"), the round keeps a lazy-deletion
+//! binary heap of [`LocalityKey`]s. Only the app whose projected locality
+//! changed is re-inserted (O(log A) per grant); stale entries are discarded
+//! on pop by comparing a per-app version counter. This is safe because
+//! within a round an app's eligibility is monotone non-increasing — `held`
+//! only grows, `demand_remaining` and per-node demand only shrink, and idle
+//! executors are only consumed — so an entry that fails an eligibility
+//! check can never become eligible again and may be dropped for good.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::Arc;
 
 use custody_cluster::ExecutorId;
 use custody_dfs::NodeId;
@@ -16,8 +28,9 @@ use crate::custody::{InterPolicy, IntraPolicy};
 pub struct RoundJob {
     /// The job.
     pub job: JobId,
-    /// Unsatisfied input tasks: `(task index, preferred nodes)`.
-    pub tasks: Vec<(usize, Vec<NodeId>)>,
+    /// Unsatisfied input tasks: `(task index, preferred nodes)`. The node
+    /// lists are shared handles into the runtime's task state, not copies.
+    pub tasks: Vec<(usize, Arc<[NodeId]>)>,
     /// Input tasks with assured locality (historical + this round).
     pub satisfied: usize,
     /// µ_ij.
@@ -52,12 +65,28 @@ pub struct RoundApp {
     pub demand_remaining: usize,
     /// Pending jobs.
     pub jobs: Vec<RoundJob>,
-    /// Per-node count of this app's unsatisfied tasks preferring the node.
-    pub node_demand: HashMap<NodeId, u32>,
+    /// Count of this app's unsatisfied tasks preferring each node,
+    /// indexed by node id (dense — nodes are numbered from zero).
+    node_demand: Vec<u32>,
 }
 
 impl RoundApp {
-    /// Projected fraction of local jobs (history + this round's gains).
+    /// Projected local jobs as an exact `(numerator, denominator)` pair
+    /// (history + this round's gains).
+    pub fn projected_local_jobs(&self) -> (usize, usize) {
+        (self.hist_local_jobs + self.new_local_jobs, self.total_jobs)
+    }
+
+    /// Projected local tasks as an exact `(numerator, denominator)` pair.
+    pub fn projected_local_tasks(&self) -> (usize, usize) {
+        (
+            self.hist_local_tasks + self.new_local_tasks,
+            self.total_tasks,
+        )
+    }
+
+    /// Projected fraction of local jobs (diagnostics; ordering uses the
+    /// exact pair).
     pub fn projected_local_job_fraction(&self) -> f64 {
         if self.total_jobs == 0 {
             1.0
@@ -72,6 +101,17 @@ impl RoundApp {
             1.0
         } else {
             (self.hist_local_tasks + self.new_local_tasks) as f64 / self.total_tasks as f64
+        }
+    }
+
+    /// This app's unsatisfied-task pressure on `node`.
+    pub fn node_demand(&self, node: NodeId) -> u32 {
+        self.node_demand.get(node.index()).copied().unwrap_or(0)
+    }
+
+    fn sub_node_demand(&mut self, node: NodeId) {
+        if let Some(c) = self.node_demand.get_mut(node.index()) {
+            *c -= 1;
         }
     }
 
@@ -107,9 +147,27 @@ impl RoundApp {
             new_local_tasks: 0,
             demand_remaining: quota,
             jobs: Vec::new(),
-            node_demand: HashMap::new(),
+            node_demand: Vec::new(),
         }
     }
+}
+
+/// A heap entry: the key at push time plus the app's version at push time.
+/// Entries whose version lags the app's current version are stale and are
+/// discarded on pop.
+type HeapEntry = Reverse<(LocalityKey, u32)>;
+
+/// Reusable allocations carried across rounds by [`CustodyAllocator`]
+/// (`crate::custody::CustodyAllocator`): the selection heap, version
+/// counters, and per-node demand buffers. A fresh default works too — the
+/// scratch only avoids re-allocating on every round.
+#[derive(Debug, Clone, Default)]
+pub struct RoundScratch {
+    heap: BinaryHeap<HeapEntry>,
+    versions: Vec<u32>,
+    stash: Vec<HeapEntry>,
+    order: Vec<usize>,
+    demand_pool: Vec<Vec<u32>>,
 }
 
 /// The state machine of one allocation round.
@@ -118,21 +176,59 @@ pub struct Round {
     /// Idle executors grouped by host node; sets keep executor order
     /// deterministic.
     idle_by_node: BTreeMap<NodeId, BTreeSet<ExecutorId>>,
+    /// Idle-executor count per node, indexed by node id (O(1) checks).
+    idle_counts: Vec<u32>,
     idle_count: usize,
     apps: Vec<RoundApp>,
+    /// Σ over apps of `node_demand`, indexed by node id — makes
+    /// [`Round::contention_excluding`] O(1) instead of O(apps).
+    total_node_demand: Vec<u32>,
     assignments: Vec<Assignment>,
     inter: InterPolicy,
     intra: IntraPolicy,
+    heap: BinaryHeap<HeapEntry>,
+    versions: Vec<u32>,
+    stash: Vec<HeapEntry>,
+    order: Vec<usize>,
+    demand_pool: Vec<Vec<u32>>,
 }
 
 impl Round {
     /// Builds round state from the immutable view.
     pub fn new(view: &AllocationView) -> Self {
+        Self::recycled(view, RoundScratch::default())
+    }
+
+    /// Builds round state reusing a previous round's allocations.
+    pub fn recycled(view: &AllocationView, scratch: RoundScratch) -> Self {
+        let RoundScratch {
+            mut heap,
+            mut versions,
+            mut stash,
+            mut order,
+            mut demand_pool,
+        } = scratch;
+        heap.clear();
+        stash.clear();
+        order.clear();
+        versions.clear();
+        versions.resize(view.apps.len(), 0);
+
         let mut idle_by_node: BTreeMap<NodeId, BTreeSet<ExecutorId>> = BTreeMap::new();
+        let mut idle_counts: Vec<u32> = demand_pool.pop().unwrap_or_default();
+        idle_counts.clear();
         for e in &view.idle {
             idle_by_node.entry(e.node).or_default().insert(e.id);
+            let i = e.node.index();
+            if i >= idle_counts.len() {
+                idle_counts.resize(i + 1, 0);
+            }
+            idle_counts[i] += 1;
         }
-        let apps = view
+
+        let mut total_node_demand: Vec<u32> = demand_pool.pop().unwrap_or_default();
+        total_node_demand.clear();
+        let apps: Vec<RoundApp> = view
             .apps
             .iter()
             .map(|a| {
@@ -144,17 +240,26 @@ impl Round {
                         tasks: j
                             .unsatisfied_inputs
                             .iter()
-                            .map(|t| (t.task_index, t.preferred_nodes.clone()))
+                            .map(|t| (t.task_index, Arc::clone(&t.preferred_nodes)))
                             .collect(),
                         satisfied: j.satisfied_inputs,
                         total_inputs: j.total_inputs,
                     })
                     .collect();
-                let mut node_demand: HashMap<NodeId, u32> = HashMap::new();
+                let mut node_demand: Vec<u32> = demand_pool.pop().unwrap_or_default();
+                node_demand.clear();
                 for job in &jobs {
                     for (_, nodes) in &job.tasks {
-                        for &n in nodes {
-                            *node_demand.entry(n).or_insert(0) += 1;
+                        for &n in nodes.iter() {
+                            let i = n.index();
+                            if i >= node_demand.len() {
+                                node_demand.resize(i + 1, 0);
+                            }
+                            node_demand[i] += 1;
+                            if i >= total_node_demand.len() {
+                                total_node_demand.resize(i + 1, 0);
+                            }
+                            total_node_demand[i] += 1;
                         }
                     }
                 }
@@ -174,24 +279,103 @@ impl Round {
                 }
             })
             .collect();
-        Round {
+        let mut round = Round {
             idle_count: view.idle.len(),
             idle_by_node,
+            idle_counts,
             apps,
+            total_node_demand,
             assignments: Vec::new(),
             inter: InterPolicy::default(),
             intra: IntraPolicy::default(),
-        }
+            heap,
+            versions,
+            stash,
+            order,
+            demand_pool,
+        };
+        round.rebuild_heap();
+        round
     }
 
     /// Overrides the selection policies (ablations).
     pub fn with_policies(mut self, inter: InterPolicy, intra: IntraPolicy) -> Self {
         self.inter = inter;
         self.intra = intra;
+        self.rebuild_heap();
         self
     }
 
-    /// Selects the next application per the inter-application policy.
+    fn rebuild_heap(&mut self) {
+        self.heap.clear();
+        if self.inter == InterPolicy::MinLocality {
+            for i in 0..self.apps.len() {
+                self.heap.push(Reverse((
+                    LocalityKey::of(&self.apps[i], i),
+                    self.versions[i],
+                )));
+            }
+        }
+    }
+
+    /// Marks app `i`'s key dirty after a state change: bumps its version
+    /// (invalidating heap entries) and pushes a fresh one.
+    fn touch(&mut self, i: usize) {
+        self.versions[i] = self.versions[i].wrapping_add(1);
+        if self.inter == InterPolicy::MinLocality {
+            self.heap.push(Reverse((
+                LocalityKey::of(&self.apps[i], i),
+                self.versions[i],
+            )));
+        }
+    }
+
+    /// Cleans the heap top and returns the least-localized app that still
+    /// wants an executor. Discarded entries are stale or permanently
+    /// ineligible (`wants` is monotone non-increasing within a round).
+    fn min_wanting(&mut self) -> Option<usize> {
+        while let Some(&Reverse((key, ver))) = self.heap.peek() {
+            let i = key.index;
+            if ver != self.versions[i] || !self.apps[i].wants() {
+                self.heap.pop();
+                continue;
+            }
+            return Some(i);
+        }
+        None
+    }
+
+    /// The least-localized app with quota headroom and a local opportunity
+    /// (an unsatisfied task whose preferred node hosts an idle executor).
+    /// Apps that still want executors but have no local opportunity are
+    /// kept aside and re-pushed — they remain candidates for the filler.
+    fn min_local_candidate(&mut self) -> Option<usize> {
+        debug_assert!(self.stash.is_empty());
+        let mut found = None;
+        while let Some(&Reverse((key, ver))) = self.heap.peek() {
+            let i = key.index;
+            if ver != self.versions[i] || !self.apps[i].wants() {
+                self.heap.pop();
+                continue;
+            }
+            if !self.has_local_opportunity(&self.apps[i]) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.stash.push(entry);
+                continue;
+            }
+            found = Some(i);
+            break;
+        }
+        let mut stash = std::mem::take(&mut self.stash);
+        for e in stash.drain(..) {
+            self.heap.push(e);
+        }
+        self.stash = stash;
+        found
+    }
+
+    /// Selects the next application per the inter-application policy
+    /// (linear reference path — the heap serves `MinLocality`).
     fn select_app<F>(&self, mut eligible: F) -> Option<usize>
     where
         F: FnMut(usize, &RoundApp) -> bool,
@@ -210,27 +394,29 @@ impl Round {
 
     /// An idle executor exists on `node`.
     pub fn node_has_idle(&self, node: NodeId) -> bool {
-        self.idle_by_node
-            .get(&node)
-            .is_some_and(|s| !s.is_empty())
+        self.idle_counts.get(node.index()).copied().unwrap_or(0) > 0
     }
 
     /// True if `app` has an unsatisfied task whose block sits on a node
     /// with an idle executor.
     fn has_local_opportunity(&self, app: &RoundApp) -> bool {
+        // Iterate whichever side is denser in information: the app's
+        // demanded nodes are typically few, so walk those.
         app.node_demand
             .iter()
-            .any(|(&n, &c)| c > 0 && self.node_has_idle(n))
+            .enumerate()
+            .any(|(n, &c)| c > 0 && self.idle_counts.get(n).copied().unwrap_or(0) > 0)
     }
 
-    /// Unsatisfied-task pressure on `node` from apps other than `except`.
+    /// Unsatisfied-task pressure on `node` from apps other than `except` —
+    /// total pressure minus the app's own, O(1).
     pub fn contention_excluding(&self, node: NodeId, except: usize) -> u32 {
-        self.apps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != except)
-            .map(|(_, a)| a.node_demand.get(&node).copied().unwrap_or(0))
-            .sum()
+        let total = self
+            .total_node_demand
+            .get(node.index())
+            .copied()
+            .unwrap_or(0);
+        total - self.apps[except].node_demand(node)
     }
 
     /// Takes the lowest-id idle executor on `node`.
@@ -238,6 +424,7 @@ impl Round {
         let set = self.idle_by_node.get_mut(&node)?;
         let id = *set.iter().next()?;
         set.remove(&id);
+        self.idle_counts[node.index()] -= 1;
         self.idle_count -= 1;
         Some(id)
     }
@@ -252,8 +439,14 @@ impl Round {
         self.take_executor_on(node)
     }
 
-    /// Records a grant of `executor` to app `i`.
-    pub fn record_grant(&mut self, i: usize, executor: ExecutorId, for_task: Option<(JobId, usize)>) {
+    /// Records a grant of `executor` to app `i` and refreshes the app's
+    /// position in the selection heap.
+    pub fn record_grant(
+        &mut self,
+        i: usize,
+        executor: ExecutorId,
+        for_task: Option<(JobId, usize)>,
+    ) {
         let app = &mut self.apps[i];
         app.held += 1;
         app.demand_remaining -= 1;
@@ -262,6 +455,29 @@ impl Round {
             app: app.app,
             for_task,
         });
+        self.touch(i);
+    }
+
+    /// Marks task `t` of job `j` of app `i` satisfied: removes it from the
+    /// unsatisfied list and releases its pressure on the demand maps.
+    /// Returns `(job id, original task index)`. The caller must follow up
+    /// with [`Round::record_grant`] for the same app, which refreshes the
+    /// heap key.
+    pub fn satisfy_task(&mut self, i: usize, j: usize, t: usize) -> (JobId, usize) {
+        let app = &mut self.apps[i];
+        let (task_index, nodes) = app.jobs[j].tasks.remove(t);
+        for &n in nodes.iter() {
+            app.sub_node_demand(n);
+            if let Some(c) = self.total_node_demand.get_mut(n.index()) {
+                *c -= 1;
+            }
+        }
+        app.jobs[j].satisfied += 1;
+        app.new_local_tasks += 1;
+        if app.jobs[j].fully_local() {
+            app.new_local_jobs += 1;
+        }
+        (app.jobs[j].job, task_index)
     }
 
     /// Access to round-app state (for the intra module).
@@ -285,18 +501,35 @@ impl Round {
     }
 
     /// Whether app `i` is (still) the preferred app among those with any
-    /// remaining want — Algorithm 2's `flag` check.
-    pub fn is_min_locality(&self, i: usize) -> bool {
-        self.select_app(|_, a| a.wants()) == Some(i)
+    /// remaining want — Algorithm 2's `flag` check, O(log A) amortized via
+    /// the heap.
+    pub fn is_min_locality(&mut self, i: usize) -> bool {
+        match self.inter {
+            InterPolicy::MinLocality => self.min_wanting() == Some(i),
+            InterPolicy::NaiveCountFair => self.select_app(|_, a| a.wants()) == Some(i),
+        }
+    }
+
+    /// Job-ordering scratch for the intra module (cleared by the taker).
+    pub(crate) fn take_order_scratch(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.order)
+    }
+
+    /// Returns the job-ordering scratch after use.
+    pub(crate) fn put_order_scratch(&mut self, order: Vec<usize>) {
+        self.order = order;
     }
 
     /// Phase 1: the inter-application loop of Algorithm 1 driving the
     /// intra-application matching of Algorithm 2.
     pub fn locality_phase(&mut self) {
         while self.has_idle() {
-            let candidate = self.select_app(|_, a| {
-                a.headroom() > 0 && self.has_local_opportunity(a)
-            });
+            let candidate = match self.inter {
+                InterPolicy::MinLocality => self.min_local_candidate(),
+                InterPolicy::NaiveCountFair => {
+                    self.select_app(|_, a| a.headroom() > 0 && self.has_local_opportunity(a))
+                }
+            };
             let Some(i) = candidate else { break };
             let intra_policy = self.intra;
             let granted = intra::allocate_for_app(self, i, intra_policy);
@@ -309,7 +542,11 @@ impl Round {
     /// first, one at a time, bounded by demand.
     pub fn filler_phase(&mut self) {
         while self.has_idle() {
-            let Some(i) = self.select_app(|_, a| a.wants()) else {
+            let candidate = match self.inter {
+                InterPolicy::MinLocality => self.min_wanting(),
+                InterPolicy::NaiveCountFair => self.select_app(|_, a| a.wants()),
+            };
+            let Some(i) = candidate else {
                 break;
             };
             let executor = self.take_any_executor().expect("idle executor exists");
@@ -319,7 +556,41 @@ impl Round {
 
     /// Finishes the round.
     pub fn into_assignments(self) -> Vec<Assignment> {
-        self.assignments
+        self.finish().0
+    }
+
+    /// Finishes the round, returning the grants and the reusable scratch.
+    pub fn finish(self) -> (Vec<Assignment>, RoundScratch) {
+        let Round {
+            mut heap,
+            versions,
+            mut stash,
+            mut order,
+            mut demand_pool,
+            apps,
+            idle_counts,
+            total_node_demand,
+            assignments,
+            ..
+        } = self;
+        heap.clear();
+        stash.clear();
+        order.clear();
+        demand_pool.push(idle_counts);
+        demand_pool.push(total_node_demand);
+        for app in apps {
+            demand_pool.push(app.node_demand);
+        }
+        (
+            assignments,
+            RoundScratch {
+                heap,
+                versions,
+                stash,
+                order,
+                demand_pool,
+            },
+        )
     }
 
     /// The locality key of app `i` (diagnostics).
@@ -356,11 +627,11 @@ mod tests {
                     unsatisfied_inputs: vec![
                         TaskDemand {
                             task_index: 0,
-                            preferred_nodes: vec![NodeId::new(0)],
+                            preferred_nodes: [NodeId::new(0)].into(),
                         },
                         TaskDemand {
                             task_index: 1,
-                            preferred_nodes: vec![NodeId::new(5)],
+                            preferred_nodes: [NodeId::new(5)].into(),
                         },
                     ],
                     pending_tasks: 2,
@@ -384,17 +655,25 @@ mod tests {
     fn take_executor_prefers_lowest_id() {
         let mut round = Round::new(&view_one_app());
         // Node 0 hosts executors 0 and 2.
-        assert_eq!(round.take_executor_on(NodeId::new(0)), Some(ExecutorId::new(0)));
-        assert_eq!(round.take_executor_on(NodeId::new(0)), Some(ExecutorId::new(2)));
+        assert_eq!(
+            round.take_executor_on(NodeId::new(0)),
+            Some(ExecutorId::new(0))
+        );
+        assert_eq!(
+            round.take_executor_on(NodeId::new(0)),
+            Some(ExecutorId::new(2))
+        );
         assert_eq!(round.take_executor_on(NodeId::new(0)), None);
+        assert!(!round.node_has_idle(NodeId::new(0)));
     }
 
     #[test]
     fn node_demand_counts_preferences() {
         let round = Round::new(&view_one_app());
         let app = round.app(0);
-        assert_eq!(app.node_demand.get(&NodeId::new(0)), Some(&1));
-        assert_eq!(app.node_demand.get(&NodeId::new(5)), Some(&1));
+        assert_eq!(app.node_demand(NodeId::new(0)), 1);
+        assert_eq!(app.node_demand(NodeId::new(5)), 1);
+        assert_eq!(app.node_demand(NodeId::new(7)), 0);
         assert_eq!(app.demand_remaining, 2);
     }
 
@@ -404,10 +683,7 @@ mod tests {
         round.locality_phase();
         assert_eq!(round.assignments.len(), 1);
         assert_eq!(round.assignments[0].executor, ExecutorId::new(0));
-        assert_eq!(
-            round.assignments[0].for_task,
-            Some((JobId::new(0), 0))
-        );
+        assert_eq!(round.assignments[0].for_task, Some((JobId::new(0), 0)));
         round.filler_phase();
         let out = round.into_assignments();
         assert_eq!(out.len(), 2, "one local grant + one filler");
@@ -429,7 +705,7 @@ mod tests {
                 job: JobId::new(1),
                 unsatisfied_inputs: vec![TaskDemand {
                     task_index: 0,
-                    preferred_nodes: vec![NodeId::new(0)],
+                    preferred_nodes: [NodeId::new(0)].into(),
                 }],
                 pending_tasks: 1,
                 total_inputs: 1,
@@ -441,5 +717,21 @@ mod tests {
         assert_eq!(round.contention_excluding(NodeId::new(0), 1), 1);
         assert_eq!(round.contention_excluding(NodeId::new(5), 1), 1);
         assert_eq!(round.contention_excluding(NodeId::new(9), 0), 0);
+    }
+
+    #[test]
+    fn scratch_recycles_buffers_without_changing_results() {
+        let view = view_one_app();
+        let mut first = Round::new(&view);
+        first.locality_phase();
+        first.filler_phase();
+        let (reference, scratch) = first.finish();
+        assert!(!scratch.demand_pool.is_empty(), "buffers returned to pool");
+
+        let mut second = Round::recycled(&view, scratch);
+        second.locality_phase();
+        second.filler_phase();
+        let (again, _) = second.finish();
+        assert_eq!(reference, again);
     }
 }

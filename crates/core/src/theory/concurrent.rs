@@ -156,11 +156,11 @@ mod tests {
                 unsatisfied_inputs: vec![
                     TaskDemand {
                         task_index: 0,
-                        preferred_nodes: vec![NodeId::new(a)],
+                        preferred_nodes: vec![NodeId::new(a)].into(),
                     },
                     TaskDemand {
                         task_index: 1,
-                        preferred_nodes: vec![NodeId::new(b)],
+                        preferred_nodes: vec![NodeId::new(b)].into(),
                     },
                 ],
                 pending_tasks: 2,

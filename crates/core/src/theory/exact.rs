@@ -118,7 +118,7 @@ mod tests {
             job: JobId::new(id),
             unsatisfied_inputs: vec![TaskDemand {
                 task_index: 0,
-                preferred_nodes: vec![NodeId::new(node)],
+                preferred_nodes: vec![NodeId::new(node)].into(),
             }],
             pending_tasks: 1,
             total_inputs: 1,

@@ -76,7 +76,7 @@ impl FlowNetwork {
                     let t_node = net.add_node();
                     num_task_nodes += 1;
                     net.add_edge(app_source, t_node, 1.0);
-                    for node in &task.preferred_nodes {
+                    for node in task.preferred_nodes.iter() {
                         for exec in execs_on_node.get(node).into_iter().flatten() {
                             net.add_edge(t_node, exec_node[exec], 1.0);
                         }

@@ -113,7 +113,11 @@ pub struct IntraOutcome {
 /// Tasks that cannot be matched do not consume budget; a partially
 /// matched job still counts its matched tasks as local (they would be
 /// granted those executors) but not as a local job.
-pub fn greedy_local_jobs(jobs: &IntraInstance, num_executors: usize, budget: usize) -> IntraOutcome {
+pub fn greedy_local_jobs(
+    jobs: &IntraInstance,
+    num_executors: usize,
+    budget: usize,
+) -> IntraOutcome {
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by_key(|&j| (jobs[j].len(), j));
     let mut taken = vec![false; num_executors];
@@ -356,9 +360,9 @@ mod tests {
         // {e3}, {e4}: greedy satisfies job0 + job2 = 2; exact = 2. So use
         // budget to force trade-off:
         let jobs = vec![
-            vec![vec![1]],           // job0
-            vec![vec![1], vec![2]],  // job1
-            vec![vec![3], vec![4]],  // job2
+            vec![vec![1]],          // job0
+            vec![vec![1], vec![2]], // job1
+            vec![vec![3], vec![4]], // job2
         ];
         let greedy = greedy_local_jobs(&jobs, 5, 3);
         // Greedy: job0 (e1), then job1 can only get e2 (partial), then job2

@@ -52,7 +52,10 @@ impl Dinic {
     /// edge id (the reverse edge is `id ^ 1`).
     pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) -> usize {
         assert!(cap >= 0.0, "negative capacity");
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         let id = self.edges.len();
         self.edges.push(Edge {
             to: v,

@@ -29,11 +29,7 @@ impl Filler {
     /// Whether all *active* apps can reach `rate` while frozen apps keep
     /// their frozen rates.
     fn feasible(&mut self, rate: f64) -> bool {
-        let rates: Vec<f64> = self
-            .frozen
-            .iter()
-            .map(|f| f.unwrap_or(rate))
-            .collect();
+        let rates: Vec<f64> = self.frozen.iter().map(|f| f.unwrap_or(rate)).collect();
         self.net.feasible_at_rates(&rates)
     }
 
@@ -113,7 +109,11 @@ pub fn max_min_locality_vector(view: &AllocationView) -> Vec<f64> {
             }
         }
     }
-    filler.frozen.into_iter().map(|f| f.expect("all frozen")).collect()
+    filler
+        .frozen
+        .into_iter()
+        .map(|f| f.expect("all frozen"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -180,10 +180,7 @@ mod tests {
 
     #[test]
     fn shared_executor_splits_evenly() {
-        let v = view(
-            vec![exec(0, 0)],
-            vec![app(0, &[&[0]]), app(1, &[&[0]])],
-        );
+        let v = view(vec![exec(0, 0)], vec![app(0, &[&[0]]), app(1, &[&[0]])]);
         let rates = max_min_locality_vector(&v);
         assert!((rates[0] - 0.5).abs() < 1e-3, "{rates:?}");
         assert!((rates[1] - 0.5).abs() < 1e-3, "{rates:?}");

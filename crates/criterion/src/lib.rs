@@ -1,0 +1,209 @@
+#![warn(missing_docs)]
+
+//! Drop-in, in-tree replacement for the subset of the `criterion` bench
+//! API this workspace uses (`Criterion`, `benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!`).
+//!
+//! The build environment is fully offline, so external crates cannot be
+//! fetched; the benches only need wall-clock medians, not criterion's
+//! statistical machinery. Each `bench_function` runs one warm-up call and
+//! then `sample_size` timed iterations, printing `min / median / max`
+//! per-iteration wall time in criterion's familiar one-line format.
+//!
+//! Results can be captured programmatically via [`Criterion::take_results`]
+//! — the `alloc_round` bench uses this to write `BENCH_alloc.json`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// One completed benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Per-iteration wall times, one entry per sample.
+    pub samples: Vec<Duration>,
+}
+
+impl BenchResult {
+    /// Median per-iteration time.
+    pub fn median(&self) -> Duration {
+        let mut v = self.samples.clone();
+        v.sort_unstable();
+        v[v.len() / 2]
+    }
+
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        *self.samples.iter().min().expect("no samples")
+    }
+
+    /// Slowest sample.
+    pub fn max(&self) -> Duration {
+        *self.samples.iter().max().expect("no samples")
+    }
+}
+
+/// Top-level benchmark driver; holds defaults and collected results.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Drains every measurement recorded so far.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark (min 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints/records the result.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let result = BenchResult {
+            id: id.clone(),
+            samples: bencher.samples,
+        };
+        println!(
+            "{id:<48} time: [{} {} {}]",
+            fmt_duration(result.min()),
+            fmt_duration(result.median()),
+            fmt_duration(result.max()),
+        );
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; drop does the work).
+    pub fn finish(self) {}
+}
+
+/// Handed to the closure passed to `bench_function`; call [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `sample_size` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Formats a duration the way criterion does (ns/µs/ms/s with 4 digits).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].id, "g/noop");
+        assert_eq!(results[0].samples.len(), 3);
+        assert!(results[0].min() <= results[0].median());
+        assert!(results[0].median() <= results[0].max());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+
+    #[test]
+    fn macros_compile() {
+        fn target(c: &mut Criterion) {
+            c.benchmark_group("m").bench_function("f", |b| b.iter(|| 0));
+        }
+        criterion_group!(benches, target);
+        benches();
+    }
+}

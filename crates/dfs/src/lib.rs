@@ -36,7 +36,6 @@ pub use block::{Block, BlockId, Dataset, DatasetId, NodeId, BYTES_PER_MB, DEFAUL
 pub use datanode::DataNode;
 pub use namenode::NameNode;
 pub use placement::{
-    PlacementPolicy, PopularityPlacement, RackAwarePlacement, RandomPlacement,
-    RoundRobinPlacement,
+    PlacementPolicy, PopularityPlacement, RackAwarePlacement, RandomPlacement, RoundRobinPlacement,
 };
 pub use popularity::AccessTracker;

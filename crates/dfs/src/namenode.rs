@@ -328,7 +328,13 @@ mod tests {
     fn create_dataset_splits_and_places() {
         let mut nn = namenode();
         let mut rng = SimRng::seed_from_u64(1);
-        let ds = nn.create_dataset("wiki", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let ds = nn.create_dataset(
+            "wiki",
+            GB,
+            DEFAULT_BLOCK_SIZE,
+            &mut RandomPlacement,
+            &mut rng,
+        );
         let dataset = nn.dataset(ds);
         assert_eq!(dataset.num_blocks(), 8); // ceil(1e9 / 128e6)
         for &b in &dataset.blocks {
@@ -459,7 +465,13 @@ mod tests {
         let mut nn = namenode();
         let mut rng = SimRng::seed_from_u64(8);
         let a = nn.create_dataset("a", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
-        let b = nn.create_dataset("b", 2 * GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let b = nn.create_dataset(
+            "b",
+            2 * GB,
+            DEFAULT_BLOCK_SIZE,
+            &mut RandomPlacement,
+            &mut rng,
+        );
         assert_eq!(nn.num_datasets(), 2);
         let blocks_a = &nn.dataset(a).blocks;
         let blocks_b = &nn.dataset(b).blocks;

@@ -295,22 +295,13 @@ mod tests {
         let dns = nodes(4, 1000);
         let mut p = RoundRobinPlacement::default();
         let mut rng = SimRng::seed_from_u64(0);
-        assert_eq!(
-            p.place(&dns, 1, 1, &mut rng),
-            vec![NodeId::new(0)]
-        );
-        assert_eq!(
-            p.place(&dns, 1, 1, &mut rng),
-            vec![NodeId::new(1)]
-        );
+        assert_eq!(p.place(&dns, 1, 1, &mut rng), vec![NodeId::new(0)]);
+        assert_eq!(p.place(&dns, 1, 1, &mut rng), vec![NodeId::new(1)]);
         assert_eq!(
             p.place(&dns, 2, 1, &mut rng),
             vec![NodeId::new(2), NodeId::new(3)]
         );
-        assert_eq!(
-            p.place(&dns, 1, 1, &mut rng),
-            vec![NodeId::new(0)]
-        );
+        assert_eq!(p.place(&dns, 1, 1, &mut rng), vec![NodeId::new(0)]);
     }
 
     #[test]

@@ -49,7 +49,7 @@ struct SetState {
 /// let mut sched = DelayScheduler::new(SimDuration::from_secs(3));
 /// let task = RunnableTask {
 ///     job: JobId::new(0), stage: 0, task_index: 0,
-///     preferred_nodes: vec![NodeId::new(5)],
+///     preferred_nodes: [NodeId::new(5)].into(),
 ///     runnable_since: SimTime::ZERO,
 /// };
 /// // Offered the wrong node early: the task holds out for locality.
@@ -180,7 +180,13 @@ impl TaskScheduler for DelayScheduler {
 mod tests {
     use super::*;
 
-    fn task(job: usize, stage: usize, idx: usize, nodes: &[usize], since_secs: u64) -> RunnableTask {
+    fn task(
+        job: usize,
+        stage: usize,
+        idx: usize,
+        nodes: &[usize],
+        since_secs: u64,
+    ) -> RunnableTask {
         RunnableTask {
             job: JobId::new(job),
             stage,
@@ -278,29 +284,46 @@ mod tests {
     #[test]
     fn downgrade_cascades_across_the_set() {
         let mut s = sched();
-        let tasks: Vec<RunnableTask> =
-            (0..4).map(|i| task(0, 0, i, &[9], 0)).collect();
+        let tasks: Vec<RunnableTask> = (0..4).map(|i| task(0, 0, i, &[9], 0)).collect();
         // First non-local launch needed a 3s wait...
         let p = s.on_offer(NodeId::new(0), &tasks, SimTime::from_secs(3));
-        assert!(matches!(p, Placement::Launch { task_index: 0, local: false, .. }));
+        assert!(matches!(
+            p,
+            Placement::Launch {
+                task_index: 0,
+                local: false,
+                ..
+            }
+        ));
         // ...but the rest of the set launches anywhere immediately.
         let p = s.on_offer(NodeId::new(1), &tasks[1..], SimTime::from_secs(3));
-        assert!(matches!(p, Placement::Launch { task_index: 1, local: false, .. }));
+        assert!(matches!(
+            p,
+            Placement::Launch {
+                task_index: 1,
+                local: false,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn local_launch_resets_the_level() {
         let mut s = sched();
-        let tasks: Vec<RunnableTask> = vec![
-            task(0, 0, 0, &[0], 0),
-            task(0, 0, 1, &[9], 0),
-        ];
+        let tasks: Vec<RunnableTask> = vec![task(0, 0, 0, &[0], 0), task(0, 0, 1, &[9], 0)];
         // Downgrade the set.
         let p = s.on_offer(NodeId::new(5), &tasks, SimTime::from_secs(3));
         assert!(matches!(p, Placement::Launch { local: false, .. }));
         // A local launch for task 0 resets the clock...
         let p = s.on_offer(NodeId::new(0), &tasks, SimTime::from_secs(3));
-        assert!(matches!(p, Placement::Launch { task_index: 0, local: true, .. }));
+        assert!(matches!(
+            p,
+            Placement::Launch {
+                task_index: 0,
+                local: true,
+                ..
+            }
+        ));
         // ...so the remaining non-local task must wait a fresh 3 s.
         let p = s.on_offer(NodeId::new(5), &tasks[1..], SimTime::from_secs(4));
         assert_eq!(

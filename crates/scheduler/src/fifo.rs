@@ -88,7 +88,10 @@ mod tests {
     #[test]
     fn no_work_when_empty() {
         let mut s = FifoScheduler::new();
-        assert_eq!(s.on_offer(NodeId::new(0), &[], SimTime::ZERO), Placement::NoWork);
+        assert_eq!(
+            s.on_offer(NodeId::new(0), &[], SimTime::ZERO),
+            Placement::NoWork
+        );
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub struct RunnableTask {
     pub task_index: usize,
     /// Nodes where this task would be data-local. Empty for downstream
     /// tasks, which have no meaningful locality preference.
-    pub preferred_nodes: Vec<NodeId>,
+    /// Shared handle into the runtime's per-task state — cloning a
+    /// `RunnableTask` never deep-copies the node list.
+    pub preferred_nodes: std::sync::Arc<[NodeId]>,
     /// When the task became runnable (starts the delay-scheduling clock).
     pub runnable_since: SimTime,
 }
@@ -147,14 +149,14 @@ mod tests {
             job: JobId::new(0),
             stage: 0,
             task_index: 0,
-            preferred_nodes: vec![NodeId::new(2), NodeId::new(5)],
+            preferred_nodes: [NodeId::new(2), NodeId::new(5)].into(),
             runnable_since: SimTime::ZERO,
         };
         assert!(t.has_preference());
         assert!(t.local_on(NodeId::new(5)));
         assert!(!t.local_on(NodeId::new(3)));
         let d = RunnableTask {
-            preferred_nodes: vec![],
+            preferred_nodes: [].into(),
             ..t
         };
         assert!(!d.has_preference());

@@ -88,8 +88,7 @@ impl SpeculationPolicy {
         let Some(median) = self.median_duration() else {
             return false;
         };
-        let threshold =
-            SimDuration::from_secs_f64(median.as_secs_f64() * self.config.multiplier);
+        let threshold = SimDuration::from_secs_f64(median.as_secs_f64() * self.config.multiplier);
         now.saturating_since(started_at) > threshold
     }
 }

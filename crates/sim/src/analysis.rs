@@ -43,10 +43,7 @@ pub fn node_utilization(
     let busy = node_busy_time(trace);
     let capacity = makespan.as_secs_f64() * executors_per_node.max(1) as f64;
     (0..num_nodes)
-        .map(|n| {
-            busy.get(&n)
-                .map_or(0.0, |d| d.as_secs_f64() / capacity)
-        })
+        .map(|n| busy.get(&n).map_or(0.0, |d| d.as_secs_f64() / capacity))
         .collect()
 }
 
@@ -62,7 +59,11 @@ pub fn concurrency_timeline(trace: &TaskTrace, bucket: SimDuration) -> Vec<u32> 
     for r in trace.records() {
         let first = (r.launched_at.as_micros() / bucket.as_micros()) as usize;
         let last = (r.finished_at.as_micros() / bucket.as_micros()) as usize;
-        for slot in timeline.iter_mut().take(last.min(buckets - 1) + 1).skip(first) {
+        for slot in timeline
+            .iter_mut()
+            .take(last.min(buckets - 1) + 1)
+            .skip(first)
+        {
             *slot += 1;
         }
     }

@@ -3,13 +3,12 @@
 use custody_cluster::ClusterSpec;
 use custody_core::AllocatorKind;
 use custody_dfs::NodeId;
-use custody_simcore::SimTime;
 use custody_dfs::{
-    PlacementPolicy, PopularityPlacement, RackAwarePlacement, RandomPlacement,
-    RoundRobinPlacement,
+    PlacementPolicy, PopularityPlacement, RackAwarePlacement, RandomPlacement, RoundRobinPlacement,
 };
 use custody_scheduler::speculation::SpeculationConfig;
 use custody_scheduler::SchedulerKind;
+use custody_simcore::SimTime;
 use custody_workload::{Campaign, WorkloadKind};
 
 /// Which replica-placement policy the file system uses.
@@ -100,13 +99,24 @@ pub struct SimConfig {
     pub speculation: Option<SpeculationConfig>,
     /// Master seed; all randomness derives from it.
     pub seed: u64,
+    /// Use the incremental allocation engine: cached per-job demand
+    /// views, a cached executor list, and skipping of provably-idempotent
+    /// allocation rounds. Results are bit-identical either way (guarded
+    /// by a golden test); the flag exists so the scan-everything path can
+    /// be selected for cross-checking and profiling.
+    pub incremental: bool,
 }
 
 impl SimConfig {
     /// The paper's experiment configuration: `num_nodes` paper-spec nodes,
     /// four applications of `workload` submitting 30 jobs each, delay
     /// scheduling, random 3-way replication.
-    pub fn paper(workload: WorkloadKind, num_nodes: usize, allocator: AllocatorKind, seed: u64) -> Self {
+    pub fn paper(
+        workload: WorkloadKind,
+        num_nodes: usize,
+        allocator: AllocatorKind,
+        seed: u64,
+    ) -> Self {
         SimConfig {
             cluster: ClusterSpec::paper(num_nodes),
             campaign: Campaign::paper(workload),
@@ -117,6 +127,7 @@ impl SimConfig {
             failures: Vec::new(),
             speculation: None,
             seed,
+            incremental: true,
         }
     }
 
@@ -133,6 +144,7 @@ impl SimConfig {
             failures: Vec::new(),
             speculation: None,
             seed,
+            incremental: true,
         }
     }
 
@@ -170,6 +182,12 @@ impl SimConfig {
     /// Enables speculative execution.
     pub fn with_speculation(mut self, config: SpeculationConfig) -> Self {
         self.speculation = Some(config);
+        self
+    }
+
+    /// Toggles the incremental allocation engine (on by default).
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
         self
     }
 

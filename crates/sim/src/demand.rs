@@ -1,0 +1,187 @@
+//! Incremental demand bookkeeping for the allocation loop.
+//!
+//! The driver runs an allocation round after every event. Rebuilding the
+//! whole [`AllocationView`](custody_core::AllocationView) each time means
+//! rescanning every stage of every job — O(total tasks) work per event —
+//! even though a single event touches exactly one job (and often changes
+//! no demand at all). [`DemandCache`] keeps the per-job
+//! [`JobDemand`] records alive across rounds and recomputes only the jobs
+//! a state transition actually dirtied:
+//!
+//! * **submit** — a new job appears (new cache slot, dirty).
+//! * **launch** — an input task leaves the unsatisfied list and the app's
+//!   locality accounting may advance.
+//! * **finish** — downstream stages may unlock (new pending tasks) or the
+//!   job may complete (demand disappears).
+//! * **re-queue / node failure** — tasks return to the runnable set and
+//!   every unfinished job's preferred nodes are re-resolved, so the whole
+//!   cache is dirtied and the executor list invalidated.
+//!
+//! The cache also tracks two change flags — app demand and idle-pool
+//! membership — consulted by the driver's round-skip logic: when neither
+//! has changed since the last zero-grant round, re-running the allocator
+//! is provably idempotent and the round is skipped outright.
+
+use std::collections::BTreeSet;
+
+use custody_cluster::ClusterState;
+use custody_core::{ExecutorInfo, JobDemand, TaskDemand};
+
+use crate::job::{RuntimeJob, TaskState};
+
+/// Computes one job's allocator-facing demand; `None` when the job wants
+/// nothing (finished, or no runnable stage has unlaunched tasks). Single
+/// source of truth shared by the incremental cache and the
+/// scan-everything fallback path, so the two can never drift.
+pub(crate) fn job_demand_of(job: &RuntimeJob) -> Option<JobDemand> {
+    let pending = job.pending_tasks();
+    if job.is_finished() || pending == 0 {
+        return None;
+    }
+    let stage = job.input_stage();
+    let unsatisfied_inputs: Vec<TaskDemand> = stage
+        .tasks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.state == TaskState::Runnable)
+        .map(|(idx, t)| TaskDemand {
+            task_index: idx,
+            preferred_nodes: t.preferred.clone(),
+        })
+        .collect();
+    let satisfied_inputs = stage.tasks.iter().filter(|t| t.local == Some(true)).count();
+    Some(JobDemand {
+        job: job.id,
+        unsatisfied_inputs,
+        pending_tasks: pending,
+        total_inputs: stage.tasks.len(),
+        satisfied_inputs,
+    })
+}
+
+/// Per-job demand records kept alive across allocation rounds, plus the
+/// change tracking that drives round skipping.
+#[derive(Debug, Default)]
+pub(crate) struct DemandCache {
+    /// Cached demand, indexed by global job index; `None` = wants nothing.
+    demand: Vec<Option<JobDemand>>,
+    /// Jobs whose cached demand is stale.
+    dirty: Vec<bool>,
+    /// Per-app sets of job indices with live demand, kept in submission
+    /// order (global job indices are assigned in submission order), so
+    /// view assembly walks only jobs that actually want executors.
+    active: Vec<BTreeSet<usize>>,
+    /// The cluster's full executor list — static until a machine fails.
+    all_executors: Option<Vec<ExecutorInfo>>,
+    /// Some job's demand (or app accounting) changed since the last
+    /// executed round.
+    demand_changed: bool,
+    /// Idle-pool membership changed since the last executed round.
+    pool_changed: bool,
+}
+
+impl DemandCache {
+    pub fn new(num_apps: usize) -> Self {
+        DemandCache {
+            demand: Vec::new(),
+            dirty: Vec::new(),
+            active: vec![BTreeSet::new(); num_apps],
+            all_executors: None,
+            demand_changed: true,
+            pool_changed: true,
+        }
+    }
+
+    /// Registers a newly submitted job (global job indices are dense and
+    /// contiguous, so one push per submission keeps the vectors aligned).
+    pub fn note_job_added(&mut self) {
+        self.demand.push(None);
+        self.dirty.push(true);
+        self.demand_changed = true;
+    }
+
+    /// Marks one job's cached demand stale.
+    pub fn mark_job(&mut self, job_idx: usize) {
+        self.dirty[job_idx] = true;
+        self.demand_changed = true;
+    }
+
+    /// Marks every job stale (node failure re-resolves preferred nodes of
+    /// all unfinished jobs).
+    pub fn mark_all_jobs(&mut self) {
+        for d in &mut self.dirty {
+            *d = true;
+        }
+        self.demand_changed = true;
+    }
+
+    /// Drops the cached executor list (a machine failed).
+    pub fn invalidate_executors(&mut self) {
+        self.all_executors = None;
+    }
+
+    /// Records that the idle pool gained or lost an executor.
+    pub fn mark_pool_changed(&mut self) {
+        self.pool_changed = true;
+    }
+
+    /// Neither demand nor pool changed since the last executed round, so
+    /// re-running the allocator would reproduce its exact outcome.
+    pub fn is_quiescent(&self) -> bool {
+        !self.demand_changed && !self.pool_changed
+    }
+
+    /// Resets the change flags at the start of an executed round; grants
+    /// made inside the round re-set the pool flag.
+    pub fn begin_round(&mut self) {
+        self.demand_changed = false;
+        self.pool_changed = false;
+    }
+
+    /// Recomputes every dirty job's demand and maintains the per-app
+    /// active sets.
+    pub fn refresh(&mut self, jobs: &[RuntimeJob]) {
+        debug_assert_eq!(self.demand.len(), jobs.len(), "one slot per job");
+        for (j, job) in jobs.iter().enumerate() {
+            if !self.dirty[j] {
+                continue;
+            }
+            self.dirty[j] = false;
+            let fresh = job_demand_of(job);
+            let app = job.app.index();
+            if fresh.is_some() {
+                self.active[app].insert(j);
+            } else {
+                self.active[app].remove(&j);
+            }
+            self.demand[j] = fresh;
+        }
+    }
+
+    /// The app's live job demands, in submission order. Call
+    /// [`refresh`](Self::refresh) first.
+    pub fn active_demands(&self, app_idx: usize) -> Vec<JobDemand> {
+        self.active[app_idx]
+            .iter()
+            .map(|&j| {
+                self.demand[j]
+                    .clone()
+                    .expect("active job has cached demand")
+            })
+            .collect()
+    }
+
+    /// The full executor list, recomputed only after an invalidation.
+    pub fn all_executors(&mut self, cluster: &ClusterState) -> &[ExecutorInfo] {
+        self.all_executors.get_or_insert_with(|| {
+            cluster
+                .executors()
+                .iter()
+                .map(|e| ExecutorInfo {
+                    id: e.id,
+                    node: e.node,
+                })
+                .collect()
+        })
+    }
+}

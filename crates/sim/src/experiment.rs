@@ -112,14 +112,13 @@ pub fn locality_and_jct_sweep(
     jobs_per_app: usize,
     seed: u64,
 ) -> Vec<ComparisonCell> {
-    use rayon::prelude::*;
     let grid: Vec<(usize, WorkloadKind)> = sizes
         .iter()
         .flat_map(|&n| WorkloadKind::ALL.into_iter().map(move |w| (n, w)))
         .collect();
-    grid.par_iter()
-        .map(|&(n, workload)| run_cell(workload, n, jobs_per_app, seed))
-        .collect()
+    custody_simcore::par_map(&grid, |&(n, workload)| {
+        run_cell(workload, n, jobs_per_app, seed)
+    })
 }
 
 #[cfg(test)]

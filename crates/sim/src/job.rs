@@ -6,6 +6,8 @@
 //! NameNode reports), and downstream stage widths are resolved. The DAG
 //! unlock logic lives here so it can be tested without the event loop.
 
+use std::sync::Arc;
+
 use custody_dfs::{BlockId, DatasetId, NameNode, NodeId};
 use custody_simcore::{SimDuration, SimTime};
 use custody_workload::{AppId, JobId, JobSpec, WorkloadKind};
@@ -31,7 +33,9 @@ pub struct RuntimeTask {
     /// The input block this task reads (input-stage tasks only).
     pub block: Option<BlockId>,
     /// Nodes where this task is data-local (input-stage tasks only).
-    pub preferred: Vec<NodeId>,
+    /// Shared (`Arc`) so building an allocation view every round clones a
+    /// pointer, not the replica list.
+    pub preferred: Arc<[NodeId]>,
     /// When the task became runnable.
     pub runnable_since: Option<SimTime>,
     /// When the task was launched.
@@ -48,7 +52,7 @@ impl RuntimeTask {
         RuntimeTask {
             state: TaskState::Blocked,
             block: None,
-            preferred: Vec::new(),
+            preferred: [].into(),
             runnable_since: None,
             launched_at: None,
             finished_at: None,
@@ -154,7 +158,7 @@ impl RuntimeJob {
             .iter()
             .map(|&b| RuntimeTask {
                 block: Some(b),
-                preferred: namenode.locations(b).to_vec(),
+                preferred: namenode.locations(b).into(),
                 ..RuntimeTask::blocked()
             })
             .collect();
@@ -177,7 +181,9 @@ impl RuntimeJob {
                 shuffle_bytes_per_task: resolved.shuffle_bytes_per_task,
                 deps_remaining: resolved.deps.len(),
                 deps: resolved.deps,
-                tasks: (0..resolved.num_tasks).map(|_| RuntimeTask::blocked()).collect(),
+                tasks: (0..resolved.num_tasks)
+                    .map(|_| RuntimeTask::blocked())
+                    .collect(),
                 completed: 0,
                 launched: 0,
                 ready_at: None,
@@ -220,21 +226,14 @@ impl RuntimeJob {
         if stage.launched < stage.tasks.len() {
             return None;
         }
-        let local = stage
-            .tasks
-            .iter()
-            .filter(|t| t.local == Some(true))
-            .count();
+        let local = stage.tasks.iter().filter(|t| t.local == Some(true)).count();
         Some(local as f64 / stage.tasks.len().max(1) as f64)
     }
 
     /// True when every *launched-so-far* input task was local (projection
     /// used for Algorithm 1 accounting).
     pub fn inputs_all_local_so_far(&self) -> bool {
-        self.stages[0]
-            .tasks
-            .iter()
-            .all(|t| t.local != Some(false))
+        self.stages[0].tasks.iter().all(|t| t.local != Some(false))
     }
 
     /// Tasks not yet launched across currently runnable stages — the
@@ -321,7 +320,7 @@ impl RuntimeJob {
         for t in &mut self.stages[0].tasks {
             if matches!(t.state, TaskState::Blocked | TaskState::Runnable) {
                 let block = t.block.expect("input task has a block");
-                t.preferred = namenode.locations(block).to_vec();
+                t.preferred = namenode.locations(block).into();
             }
         }
     }
@@ -382,8 +381,8 @@ mod tests {
         assert_eq!(j.stages.len(), 2);
         let t0 = &j.stages[0].tasks[0];
         assert_eq!(t0.state, TaskState::Runnable);
-        assert_eq!(t0.preferred, vec![NodeId::new(0)]);
-        assert_eq!(j.stages[0].tasks[1].preferred, vec![NodeId::new(1)]);
+        assert_eq!(t0.preferred[..], [NodeId::new(0)]);
+        assert_eq!(j.stages[0].tasks[1].preferred[..], [NodeId::new(1)]);
         assert_eq!(j.stages[1].tasks.len(), 1);
         assert_eq!(j.stages[1].tasks[0].state, TaskState::Blocked);
         assert_eq!(j.pending_tasks(), 2, "only the input stage is runnable");
@@ -410,10 +409,7 @@ mod tests {
         assert!(unlocked.is_empty());
         assert!(j.is_finished());
         assert_eq!(j.completion_time(), Some(SimDuration::from_secs(5)));
-        assert_eq!(
-            j.input_stage().duration(),
-            Some(SimDuration::from_secs(4))
-        );
+        assert_eq!(j.input_stage().duration(), Some(SimDuration::from_secs(4)));
     }
 
     #[test]
@@ -492,8 +488,8 @@ mod tests {
         assert!(nn.add_replica(b, NodeId::new(3)));
         j.refresh_preferred(&nn);
         assert_eq!(
-            j.stages[0].tasks[0].preferred,
-            vec![NodeId::new(0), NodeId::new(3)]
+            j.stages[0].tasks[0].preferred[..],
+            [NodeId::new(0), NodeId::new(3)]
         );
         // Launched tasks keep their snapshot.
         j.mark_launched(0, 1, SimTime::ZERO, Some(true));

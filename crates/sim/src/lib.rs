@@ -26,6 +26,7 @@
 
 pub mod analysis;
 pub mod config;
+pub(crate) mod demand;
 pub mod driver;
 pub mod experiment;
 pub mod job;
@@ -45,4 +46,3 @@ pub use custody_cluster::ClusterSpec;
 pub use custody_core::AllocatorKind;
 pub use custody_scheduler::SchedulerKind;
 pub use custody_workload::{Campaign, WorkloadKind};
-

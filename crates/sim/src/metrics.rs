@@ -81,6 +81,15 @@ pub struct RunMetrics {
     pub makespan: SimTime,
     /// Allocation rounds executed.
     pub allocation_rounds: usize,
+    /// Allocation rounds the incremental engine skipped because neither
+    /// the idle pool nor any application's demand changed since the last
+    /// zero-grant round (their outcome is replayed, not recomputed).
+    pub rounds_skipped: usize,
+    /// Cumulative wall-clock time spent building allocation views and
+    /// running the allocator, in seconds. Real time, not simulated time —
+    /// varies across machines and runs, so it is excluded from
+    /// determinism comparisons.
+    pub allocator_wall_secs: f64,
     /// Events processed.
     pub events_processed: usize,
     /// Machines that failed during the run (failure injection).
@@ -140,7 +149,10 @@ impl RunMetrics {
     /// Per-application local-job fractions — the max-min fairness vector
     /// of Eq. 6.
     pub fn local_job_fractions(&self) -> Vec<f64> {
-        self.per_app.iter().map(AppMetrics::local_job_fraction).collect()
+        self.per_app
+            .iter()
+            .map(AppMetrics::local_job_fraction)
+            .collect()
     }
 
     /// The minimum local-job fraction across applications (the paper's
@@ -193,6 +205,8 @@ mod tests {
             jobs_completed: 4,
             makespan: SimTime::from_secs(100),
             allocation_rounds: 10,
+            rounds_skipped: 0,
+            allocator_wall_secs: 0.0,
             events_processed: 50,
             nodes_failed: 0,
             tasks_requeued: 0,
@@ -211,6 +225,8 @@ mod tests {
             jobs_completed: 0,
             makespan: SimTime::ZERO,
             allocation_rounds: 0,
+            rounds_skipped: 0,
+            allocator_wall_secs: 0.0,
             events_processed: 0,
             nodes_failed: 0,
             tasks_requeued: 0,

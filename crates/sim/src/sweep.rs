@@ -3,10 +3,9 @@
 //! Every simulation run is a pure function of its [`SimConfig`], so runs
 //! are embarrassingly parallel; [`Sweep`] expands a parameter grid
 //! (workloads × cluster sizes × allocators × seeds) and executes it on
-//! all cores via rayon. Determinism is preserved: results come back in
-//! grid order regardless of which thread ran which cell.
-
-use rayon::prelude::*;
+//! all cores via [`custody_simcore::par_map`]. Determinism is preserved:
+//! results come back in grid order regardless of which thread ran which
+//! cell.
 
 use custody_core::AllocatorKind;
 use custody_workload::WorkloadKind;
@@ -17,10 +16,7 @@ use crate::metrics::RunMetrics;
 
 /// Runs many configurations in parallel, preserving input order.
 pub fn run_many(configs: &[SimConfig]) -> Vec<RunMetrics> {
-    configs
-        .par_iter()
-        .map(|cfg| Simulation::run(cfg).cluster_metrics)
-        .collect()
+    custody_simcore::par_map(configs, |cfg| Simulation::run(cfg).cluster_metrics)
 }
 
 /// One cell of a sweep grid, together with its result.
@@ -63,8 +59,9 @@ impl Sweep {
     /// Expands the grid into concrete configurations, in
     /// (seed, size, workload, allocator) lexicographic order.
     pub fn configs(&self) -> Vec<SimConfig> {
-        let mut out =
-            Vec::with_capacity(self.seeds.len() * self.sizes.len() * self.workloads.len() * self.allocators.len());
+        let mut out = Vec::with_capacity(
+            self.seeds.len() * self.sizes.len() * self.workloads.len() * self.allocators.len(),
+        );
         for &seed in &self.seeds {
             for &size in &self.sizes {
                 for &workload in &self.workloads {

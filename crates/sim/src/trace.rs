@@ -148,8 +148,14 @@ impl TaskTrace {
         use std::collections::HashSet;
         let mut seen = HashSet::new();
         for r in &self.records {
-            assert!(r.runnable_at <= r.launched_at, "launch before runnable: {r:?}");
-            assert!(r.launched_at <= r.finished_at, "finish before launch: {r:?}");
+            assert!(
+                r.runnable_at <= r.launched_at,
+                "launch before runnable: {r:?}"
+            );
+            assert!(
+                r.launched_at <= r.finished_at,
+                "finish before launch: {r:?}"
+            );
             assert!(
                 seen.insert((r.job, r.stage, r.task)),
                 "duplicate completion for {r:?}"

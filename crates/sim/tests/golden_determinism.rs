@@ -1,0 +1,82 @@
+//! Golden determinism: the incremental allocation engine must be
+//! invisible in the results. For a fixed seed, every deterministic metric
+//! — locality, completion times, scheduler delay, allocation-round count,
+//! event count, makespan — must be identical with the cache enabled
+//! (default) and disabled (scan-everything reference path). Wall-clock
+//! fields are excluded: they measure the host machine, not the simulation.
+
+use custody_sim::{AllocatorKind, RunMetrics, SimConfig, Simulation, WorkloadKind};
+
+/// Compares every deterministic field of two runs.
+fn assert_identical(on: &RunMetrics, off: &RunMetrics, label: &str) {
+    assert_eq!(on.jobs_completed, off.jobs_completed, "{label}: jobs");
+    assert_eq!(on.makespan, off.makespan, "{label}: makespan");
+    assert_eq!(
+        on.allocation_rounds, off.allocation_rounds,
+        "{label}: allocation rounds (skips must replay the count)"
+    );
+    assert_eq!(on.events_processed, off.events_processed, "{label}: events");
+    assert_eq!(on.tasks_requeued, off.tasks_requeued, "{label}: requeues");
+    assert_eq!(
+        on.tasks_speculated, off.tasks_speculated,
+        "{label}: speculative launches"
+    );
+    assert_eq!(
+        on.input_locality().mean(),
+        off.input_locality().mean(),
+        "{label}: locality"
+    );
+    assert_eq!(
+        on.job_completion_secs().mean(),
+        off.job_completion_secs().mean(),
+        "{label}: JCT"
+    );
+    assert_eq!(
+        on.scheduler_delay_secs().mean(),
+        off.scheduler_delay_secs().mean(),
+        "{label}: scheduler delay"
+    );
+    assert_eq!(
+        on.local_job_fractions(),
+        off.local_job_fractions(),
+        "{label}: fairness vector"
+    );
+    // The scan-everything path never skips.
+    assert_eq!(off.rounds_skipped, 0, "{label}: reference path skipped");
+}
+
+fn run_pair(cfg: SimConfig, label: &str) {
+    let on = Simulation::run(&cfg).cluster_metrics;
+    let off = Simulation::run(&cfg.with_incremental(false)).cluster_metrics;
+    assert_identical(&on, &off, label);
+}
+
+#[test]
+fn small_demo_identical_for_every_allocator() {
+    for kind in AllocatorKind::ALL {
+        for seed in [1, 9, 42] {
+            run_pair(
+                SimConfig::small_demo(seed).with_allocator(kind),
+                &format!("{kind} seed {seed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn quickstart_paper_config_identical() {
+    // The README quickstart: a paper-shaped WordCount campaign.
+    let cfg = SimConfig::paper(WorkloadKind::WordCount, 25, AllocatorKind::Custody, 7);
+    run_pair(cfg, "paper wordcount 25 nodes");
+}
+
+#[test]
+fn failure_injection_identical() {
+    use custody_sim::NodeFailure;
+    let mut cfg = SimConfig::small_demo(11);
+    cfg.failures = vec![NodeFailure {
+        at: custody_simcore::SimTime::from_secs(5),
+        node: custody_dfs::NodeId::new(0),
+    }];
+    run_pair(cfg, "failure injection");
+}

@@ -27,10 +27,12 @@
 pub mod dist;
 pub mod event;
 pub mod id;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use par::par_map;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,106 @@
+//! Minimal order-preserving parallel map.
+//!
+//! Simulation runs are pure functions of their configuration, so sweeps
+//! are embarrassingly parallel. This module provides the one primitive the
+//! workspace needs — map a slice across all cores, returning results in
+//! input order — without pulling in an external thread-pool dependency.
+//! Work is distributed dynamically (an atomic cursor), so grids that mix
+//! cheap 25-node cells with expensive 1000-node cells still balance.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on all available cores, preserving input order.
+///
+/// Panics in `f` are propagated to the caller. Falls back to a sequential
+/// map for zero- or one-element inputs and single-core machines.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(pairs) => {
+                    for (i, v) in pairs {
+                        out[i] = Some(v);
+                    }
+                }
+                // Re-raise the worker's own payload so callers see the
+                // original message whichever path (parallel or the
+                // sequential fallback) executed `f`.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("par_map missed a slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uses_unbalanced_work() {
+        // Cells with wildly different costs still come back in order.
+        let items: Vec<usize> = vec![500_000, 1, 1, 1, 400_000, 1, 1, 1];
+        let sums = par_map(&items, |&n| (0..n as u64).sum::<u64>());
+        let expect: Vec<u64> = items.iter().map(|&n| (0..n as u64).sum()).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn propagates_panics() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map(&items, |&x| {
+            if x == 63 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -229,7 +229,10 @@ mod tests {
     fn constructors_agree() {
         assert_eq!(SimTime::from_secs(3), SimTime::from_millis(3_000));
         assert_eq!(SimTime::from_millis(5), SimTime::from_micros(5_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_micros(2_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_micros(2_000_000)
+        );
     }
 
     #[test]

@@ -88,10 +88,7 @@ mod tests {
     fn schedule_has_all_jobs_in_order() {
         let s = SubmissionSchedule::generate(&campaign(), 42);
         assert_eq!(s.len(), 120);
-        assert!(s
-            .submissions()
-            .windows(2)
-            .all(|w| w[0].time <= w[1].time));
+        assert!(s.submissions().windows(2).all(|w| w[0].time <= w[1].time));
         for app in 0..4 {
             let seqs: Vec<usize> = s
                 .submissions()
@@ -162,9 +159,6 @@ mod tests {
         let s = SubmissionSchedule::generate(&campaign().with_jobs_per_app(1), 1);
         assert_eq!(s.len(), 4);
         assert!(!s.is_empty());
-        assert_eq!(
-            s.last_time().unwrap(),
-            s.submissions().last().unwrap().time
-        );
+        assert_eq!(s.last_time().unwrap(), s.submissions().last().unwrap().time);
     }
 }

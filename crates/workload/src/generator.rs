@@ -239,7 +239,11 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(2);
         for seq in 0..50 {
             let j = WorkloadKind::WordCount.generate_job(seq, &mut rng);
-            assert!((4 * GB..=8 * GB).contains(&j.input_bytes), "{}", j.input_bytes);
+            assert!(
+                (4 * GB..=8 * GB).contains(&j.input_bytes),
+                "{}",
+                j.input_bytes
+            );
             assert_eq!(j.downstream.len(), 1);
         }
     }

@@ -32,6 +32,6 @@ pub mod generator;
 pub mod spec;
 
 pub use app::{AppId, ApplicationSpec, Campaign, DatasetMode, JobId};
-pub use arrival::{SubmissionSchedule, Submission};
+pub use arrival::{Submission, SubmissionSchedule};
 pub use generator::WorkloadKind;
 pub use spec::{JobSpec, ShuffleVolume, StageSpec, StageWidth};

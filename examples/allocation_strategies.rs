@@ -13,12 +13,12 @@
 //! cargo run --example allocation_strategies
 //! ```
 
+use custody::cluster::ExecutorId;
 use custody::core::theory::{greedy_local_jobs, roundrobin_local_jobs};
 use custody::core::{
     AllocationView, AppState, CustodyAllocator, ExecutorAllocator, ExecutorInfo, InterPolicy,
     JobDemand, TaskDemand,
 };
-use custody::cluster::ExecutorId;
 use custody::dfs::NodeId;
 use custody::simcore::SimRng;
 use custody::workload::{AppId, JobId};
@@ -37,7 +37,7 @@ fn one_task_job(id: usize, node: usize) -> JobDemand {
         job: JobId::new(id),
         unsatisfied_inputs: vec![TaskDemand {
             task_index: 0,
-            preferred_nodes: vec![NodeId::new(node)],
+            preferred_nodes: vec![NodeId::new(node)].into(),
         }],
         pending_tasks: 1,
         total_inputs: 1,
@@ -127,9 +127,9 @@ fn fig4_fig5() {
     // Fairness: each job = one local + one remote task in parallel -> 2.0;
     // both jobs overlap across the two executors.
     let fair_avg = f64::max(local, remote); // both jobs complete at 2.0
-    // Priority: job 1 fully local -> 0.5; job 2 starts after on the same
-    // executors, fully remote -> finishes at 0.5 + ... the paper runs
-    // job 2's remote reads overlapping: avg (0.5 + 2.0) / 2 = 1.25.
+                                            // Priority: job 1 fully local -> 0.5; job 2 starts after on the same
+                                            // executors, fully remote -> finishes at 0.5 + ... the paper runs
+                                            // job 2's remote reads overlapping: avg (0.5 + 2.0) / 2 = 1.25.
     let prio_avg = (local + remote) / 2.0;
     println!("  avg completion: fairness {fair_avg:.2} vs priority {prio_avg:.2} time units");
     println!("  (matches Fig. 5: 2.0 vs 1.25)\n");

@@ -13,11 +13,8 @@
 //! cargo run --example motivating_example
 //! ```
 
-use custody::core::{
-    AllocationView, AllocatorKind, AppState, ExecutorInfo, JobDemand,
-    TaskDemand,
-};
 use custody::cluster::ExecutorId;
+use custody::core::{AllocationView, AllocatorKind, AppState, ExecutorInfo, JobDemand, TaskDemand};
 use custody::dfs::NodeId;
 use custody::simcore::SimRng;
 use custody::workload::{AppId, JobId};
@@ -46,7 +43,7 @@ fn fig1_view() -> AllocationView {
                 .enumerate()
                 .map(|(t, &n)| TaskDemand {
                     task_index: t,
-                    preferred_nodes: vec![NodeId::new(n)],
+                    preferred_nodes: vec![NodeId::new(n)].into(),
                 })
                 .collect(),
             pending_tasks: 2,

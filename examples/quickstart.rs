@@ -18,12 +18,23 @@ fn main() {
         cfg
     };
 
-    println!("cluster: {} nodes, {} executors", base.cluster.num_nodes, base.cluster.total_executors());
-    println!("campaign: {} apps x {} jobs, exponential arrivals\n", base.campaign.num_apps(), base.campaign.jobs_per_app);
+    println!(
+        "cluster: {} nodes, {} executors",
+        base.cluster.num_nodes,
+        base.cluster.total_executors()
+    );
+    println!(
+        "campaign: {} apps x {} jobs, exponential arrivals\n",
+        base.campaign.num_apps(),
+        base.campaign.jobs_per_app
+    );
 
     for allocator in [AllocatorKind::Custody, AllocatorKind::StaticSpread] {
         let outcome = Simulation::run(&base.clone().with_allocator(allocator));
-        println!("{}", summary_row(allocator.name(), &outcome.cluster_metrics));
+        println!(
+            "{}",
+            summary_row(allocator.name(), &outcome.cluster_metrics)
+        );
     }
 
     println!("\nCustody postpones executor allocation until jobs are submitted,");

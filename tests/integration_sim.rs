@@ -94,9 +94,7 @@ fn custody_jct_never_regresses_at_scale() {
     let custody = Simulation::run(&cfg).cluster_metrics;
     let spark =
         Simulation::run(&cfg.clone().with_allocator(AllocatorKind::StaticSpread)).cluster_metrics;
-    assert!(
-        custody.job_completion_secs().mean() <= spark.job_completion_secs().mean() + 1e-9
-    );
+    assert!(custody.job_completion_secs().mean() <= spark.job_completion_secs().mean() + 1e-9);
 }
 
 #[test]
@@ -123,7 +121,10 @@ fn fixed_quota_decay_shape_holds() {
         let mut cfg = SimConfig::paper(WorkloadKind::Sort, n, allocator, 31)
             .with_quota(QuotaMode::FixedPerApp(8));
         cfg.campaign = cfg.campaign.with_jobs_per_app(4);
-        Simulation::run(&cfg).cluster_metrics.input_locality().mean()
+        Simulation::run(&cfg)
+            .cluster_metrics
+            .input_locality()
+            .mean()
     };
     let spark_small = run(15, AllocatorKind::StaticSpread);
     let spark_large = run(60, AllocatorKind::StaticSpread);
@@ -139,13 +140,14 @@ fn fixed_quota_decay_shape_holds() {
 #[test]
 fn zero_wait_scheduler_reduces_delay_but_costs_baseline_locality() {
     let base = {
-        let mut cfg = SimConfig::paper(WorkloadKind::WordCount, 20, AllocatorKind::StaticSpread, 41);
+        let mut cfg =
+            SimConfig::paper(WorkloadKind::WordCount, 20, AllocatorKind::StaticSpread, 41);
         cfg.campaign = cfg.campaign.with_jobs_per_app(4);
         cfg
     };
     let waiting = Simulation::run(&base).cluster_metrics;
-    let eager = Simulation::run(&base.clone().with_scheduler(SchedulerKind::LocalityFirst))
-        .cluster_metrics;
+    let eager =
+        Simulation::run(&base.clone().with_scheduler(SchedulerKind::LocalityFirst)).cluster_metrics;
     assert!(
         eager.input_locality().mean() <= waiting.input_locality().mean() + 1e-9,
         "waiting should buy locality for the baseline"
@@ -155,12 +157,13 @@ fn zero_wait_scheduler_reduces_delay_but_costs_baseline_locality() {
 #[test]
 fn shared_pool_and_popularity_placement_run_clean() {
     let mut cfg = SimConfig::small_demo(51).with_placement(PlacementKind::Popularity);
-    cfg.campaign = Campaign::mixed()
-        .with_jobs_per_app(2)
-        .with_dataset_mode(DatasetMode::SharedPool {
-            pool_size: 2,
-            skew: 1.0,
-        });
+    cfg.campaign =
+        Campaign::mixed()
+            .with_jobs_per_app(2)
+            .with_dataset_mode(DatasetMode::SharedPool {
+                pool_size: 2,
+                skew: 1.0,
+            });
     let out = Simulation::run(&cfg);
     assert_eq!(out.cluster_metrics.jobs_completed, 8);
 }

@@ -1,12 +1,12 @@
 //! Exact reproductions of the paper's worked examples (Figs. 1–5),
 //! exercised through the public facade API.
 
+use custody::cluster::ExecutorId;
 use custody::core::theory::{greedy_local_jobs, max_concurrent_rate, roundrobin_local_jobs};
 use custody::core::{
     AllocationView, AllocatorKind, AppState, CustodyAllocator, ExecutorAllocator, ExecutorInfo,
     InterPolicy, JobDemand, TaskDemand,
 };
-use custody::cluster::ExecutorId;
 use custody::dfs::NodeId;
 use custody::simcore::SimRng;
 use custody::workload::{AppId, JobId};
@@ -28,7 +28,7 @@ fn job(id: usize, task_nodes: &[usize]) -> JobDemand {
             .enumerate()
             .map(|(t, &n)| TaskDemand {
                 task_index: t,
-                preferred_nodes: vec![NodeId::new(n)],
+                preferred_nodes: vec![NodeId::new(n)].into(),
             })
             .collect(),
         pending_tasks: task_nodes.len(),
@@ -110,7 +110,9 @@ fn fig1_round_robin_baseline_gets_half() {
         ],
     };
     let mut rng = SimRng::seed_from_u64(0);
-    let out = AllocatorKind::StaticSpread.build().allocate(&view, &mut rng);
+    let out = AllocatorKind::StaticSpread
+        .build()
+        .allocate(&view, &mut rng);
     assert_eq!(out.len(), 4);
     // Spread deals node 0 → app 0, node 1 → app 1, node 2 → app 0,
     // node 3 → app 1: exactly one useful executor per app.
@@ -123,13 +125,7 @@ fn fig1_round_robin_baseline_gets_half() {
 #[test]
 fn fig3_hot_executors_split_between_apps() {
     let execs = executors(4);
-    let mk_app = |id: usize| {
-        fresh_app(
-            id,
-            2,
-            vec![job(id * 2, &[0]), job(id * 2 + 1, &[1])],
-        )
-    };
+    let mk_app = |id: usize| fresh_app(id, 2, vec![job(id * 2, &[0]), job(id * 2 + 1, &[1])]);
     let view = AllocationView {
         idle: execs.clone(),
         all_executors: execs,
@@ -181,7 +177,11 @@ fn fig3_min_locality_beats_count_fairness_on_history() {
     let mut rng = SimRng::seed_from_u64(0);
     let custody = CustodyAllocator::new().allocate(&view, &mut rng);
     assert_eq!(custody.len(), 1);
-    assert_eq!(custody[0].app, AppId::new(1), "min-locality favours starved app");
+    assert_eq!(
+        custody[0].app,
+        AppId::new(1),
+        "min-locality favours starved app"
+    );
     let naive = CustodyAllocator::new()
         .with_inter(InterPolicy::NaiveCountFair)
         .allocate(&view, &mut rng);
@@ -228,11 +228,11 @@ fn fig2_flow_network_rate() {
         unsatisfied_inputs: vec![
             TaskDemand {
                 task_index: 0,
-                preferred_nodes: vec![NodeId::new(0)],
+                preferred_nodes: vec![NodeId::new(0)].into(),
             },
             TaskDemand {
                 task_index: 1,
-                preferred_nodes: vec![NodeId::new(0), NodeId::new(1)],
+                preferred_nodes: vec![NodeId::new(0), NodeId::new(1)].into(),
             },
         ],
         pending_tasks: 2,
@@ -246,7 +246,7 @@ fn fig2_flow_network_rate() {
         job: JobId::new(1),
         unsatisfied_inputs: vec![TaskDemand {
             task_index: 0,
-            preferred_nodes: vec![NodeId::new(1), NodeId::new(2)],
+            preferred_nodes: vec![NodeId::new(1), NodeId::new(2)].into(),
         }],
         pending_tasks: 1,
         total_inputs: 1,

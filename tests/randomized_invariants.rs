@@ -1,20 +1,22 @@
-//! Property-based invariants across the workspace (proptest).
+//! Randomized invariants across the workspace.
+//!
+//! These were originally proptest properties; the offline build carries no
+//! external dependencies, so they now run as hand-rolled randomized loops
+//! driven by the workspace's own deterministic [`SimRng`]. Each property
+//! draws a few hundred random cases from a fixed seed, so failures are
+//! exactly reproducible.
 //!
 //! * Every allocator obeys the allocation contract on arbitrary views.
 //! * The NameNode's replica metadata stays consistent under arbitrary
 //!   add/remove/re-replicate sequences.
 //! * Statistics estimators match naive reference computations.
 //! * The event queue is a stable priority queue.
-//! * Delay scheduling never launches a non-local task before its set's
-//!   wait expires.
 
-use proptest::prelude::*;
-
+use custody::cluster::ExecutorId;
 use custody::core::{
     allocator::validate_assignments, AllocationView, AllocatorKind, AppState, ExecutorInfo,
     JobDemand, TaskDemand,
 };
-use custody::cluster::ExecutorId;
 use custody::dfs::{NameNode, NodeId, RandomPlacement};
 use custody::simcore::stats::{Summary, Welford};
 use custody::simcore::{EventQueue, SimRng, SimTime};
@@ -39,32 +41,37 @@ struct AppSpec {
     jobs: Vec<Vec<Vec<usize>>>, // job -> task -> preferred node indices
 }
 
-fn view_strategy() -> impl Strategy<Value = ViewSpec> {
-    (1usize..8, 1usize..3).prop_flat_map(|(nodes, executors_per_node)| {
-        let total = nodes * executors_per_node;
-        let app = (
-            1usize..6,
-            0usize..3,
-            prop::collection::vec(
-                prop::collection::vec(
-                    prop::collection::vec(0..nodes, 1..=3.min(nodes)),
-                    1..4,
-                ),
-                0..3,
-            ),
-        )
-            .prop_map(|(quota, held, jobs)| AppSpec { quota, held, jobs });
-        (
-            prop::collection::vec(any::<bool>(), total),
-            prop::collection::vec(app, 1..4),
-        )
-            .prop_map(move |(idle_mask, apps)| ViewSpec {
-                nodes,
-                executors_per_node,
-                idle_mask,
-                apps,
-            })
-    })
+fn random_view_spec(rng: &mut SimRng) -> ViewSpec {
+    let nodes = 1 + rng.below(7);
+    let executors_per_node = 1 + rng.below(2);
+    let total = nodes * executors_per_node;
+    let idle_mask: Vec<bool> = (0..total).map(|_| rng.chance(0.5)).collect();
+    let num_apps = 1 + rng.below(3);
+    let apps = (0..num_apps)
+        .map(|_| {
+            let quota = 1 + rng.below(5);
+            let held = rng.below(3);
+            let num_jobs = rng.below(3);
+            let jobs = (0..num_jobs)
+                .map(|_| {
+                    let num_tasks = 1 + rng.below(3);
+                    (0..num_tasks)
+                        .map(|_| {
+                            let prefs = 1 + rng.below(3.min(nodes));
+                            (0..prefs).map(|_| rng.below(nodes)).collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            AppSpec { quota, held, jobs }
+        })
+        .collect();
+    ViewSpec {
+        nodes,
+        executors_per_node,
+        idle_mask,
+        apps,
+    }
 }
 
 fn build_view(spec: &ViewSpec) -> AllocationView {
@@ -101,7 +108,7 @@ fn build_view(spec: &ViewSpec) -> AllocationView {
                             preferred.dedup();
                             TaskDemand {
                                 task_index: t,
-                                preferred_nodes: preferred,
+                                preferred_nodes: preferred.into(),
                             }
                         })
                         .collect(),
@@ -130,12 +137,15 @@ fn build_view(spec: &ViewSpec) -> AllocationView {
     }
 }
 
-proptest! {
-    /// All six allocators obey the contract on arbitrary views, and
-    /// Custody's for-task grants are genuinely local.
-    #[test]
-    fn allocators_respect_contract(spec in view_strategy(), seed in 0u64..1000) {
+/// All six allocators obey the contract on arbitrary views, and
+/// Custody's for-task grants are genuinely local.
+#[test]
+fn allocators_respect_contract() {
+    let mut rng = SimRng::for_stream(2024, "contract");
+    for case in 0..200 {
+        let spec = random_view_spec(&mut rng);
         let view = build_view(&spec);
+        let seed = rng.draw_u64();
         for kind in [
             AllocatorKind::Custody,
             AllocatorKind::StaticSpread,
@@ -145,8 +155,8 @@ proptest! {
             AllocatorKind::CustodyNaiveInter,
         ] {
             let mut alloc = kind.build();
-            let mut rng = SimRng::seed_from_u64(seed);
-            let out = alloc.allocate(&view, &mut rng);
+            let mut alloc_rng = SimRng::seed_from_u64(seed);
+            let out = alloc.allocate(&view, &mut alloc_rng);
             validate_assignments(&view, &out);
             // for_task grants must point at a pending task of the app and
             // sit on one of its preferred nodes.
@@ -164,29 +174,33 @@ proptest! {
                         .iter()
                         .find(|t| t.task_index == task_index)
                         .expect("for_task references a pending task");
-                    prop_assert!(
+                    assert!(
                         task.preferred_nodes.contains(&node),
-                        "{kind}: non-local for_task grant"
+                        "case {case}, {kind}: non-local for_task grant"
                     );
                 }
             }
         }
     }
+}
 
-    /// Custody grants every local opportunity it can afford: if after the
-    /// round some app still has quota headroom and an unsatisfied task
-    /// whose preferred node hosts an un-granted idle executor, something
-    /// was left on the table. (Checked for the single-app case, where no
-    /// inter-app trade-offs can excuse it.)
-    #[test]
-    fn custody_leaves_no_local_grant_behind_single_app(
-        spec in view_strategy().prop_filter("one app", |s| s.apps.len() == 1),
-        seed in 0u64..100,
-    ) {
+/// Custody grants every local opportunity it can afford: if after the
+/// round some app still has quota headroom and an unsatisfied task
+/// whose preferred node hosts an un-granted idle executor, something
+/// was left on the table. (Checked for the single-app case, where no
+/// inter-app trade-offs can excuse it.)
+#[test]
+fn custody_leaves_no_local_grant_behind_single_app() {
+    let mut rng = SimRng::for_stream(2024, "no-local-left");
+    let mut checked = 0;
+    while checked < 150 {
+        let mut spec = random_view_spec(&mut rng);
+        spec.apps.truncate(1);
+        checked += 1;
         let view = build_view(&spec);
         let mut alloc = AllocatorKind::Custody.build();
-        let mut rng = SimRng::seed_from_u64(seed);
-        let out = alloc.allocate(&view, &mut rng);
+        let mut alloc_rng = SimRng::seed_from_u64(rng.draw_u64());
+        let out = alloc.allocate(&view, &mut alloc_rng);
         let granted: std::collections::HashSet<ExecutorId> =
             out.iter().map(|a| a.executor).collect();
         let app = &view.apps[0];
@@ -200,16 +214,15 @@ proptest! {
                     if satisfied.contains(&(job.job, task.task_index)) {
                         continue;
                     }
-                    for &node in &task.preferred_nodes {
+                    for &node in task.preferred_nodes.iter() {
                         let missed = view
                             .idle
                             .iter()
                             .any(|e| e.node == node && !granted.contains(&e.id));
-                        prop_assert!(
+                        assert!(
                             !missed,
                             "headroom left but task ({}, {}) could be local on {node}",
-                            job.job,
-                            task.task_index
+                            job.job, task.task_index
                         );
                     }
                 }
@@ -222,60 +235,47 @@ proptest! {
 // NameNode consistency
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
-enum NnOp {
-    AddReplica { block: usize, node: usize },
-    RemoveReplica { block: usize, node: usize },
-    ReplicateHot { top_k: usize, extra: usize },
-    Access { block: usize, count: u64 },
-}
-
-fn nn_ops() -> impl Strategy<Value = Vec<NnOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0usize..64, 0usize..10).prop_map(|(block, node)| NnOp::AddReplica { block, node }),
-            (0usize..64, 0usize..10).prop_map(|(block, node)| NnOp::RemoveReplica { block, node }),
-            (1usize..4, 1usize..3).prop_map(|(top_k, extra)| NnOp::ReplicateHot { top_k, extra }),
-            (0usize..64, 1u64..50).prop_map(|(block, count)| NnOp::Access { block, count }),
-        ],
-        0..40,
-    )
-}
-
-proptest! {
-    #[test]
-    fn namenode_invariants_hold_under_mutation(ops in nn_ops(), seed in 0u64..1000) {
-        let mut rng = SimRng::seed_from_u64(seed);
+#[test]
+fn namenode_invariants_hold_under_mutation() {
+    let mut rng = SimRng::for_stream(2024, "namenode-ops");
+    for _ in 0..100 {
+        let mut case_rng = SimRng::seed_from_u64(rng.draw_u64());
         let mut nn = NameNode::new(10, 1 << 33, 3);
         let ds = nn.create_dataset(
             "d",
             8 * custody::dfs::DEFAULT_BLOCK_SIZE,
             custody::dfs::DEFAULT_BLOCK_SIZE,
             &mut RandomPlacement,
-            &mut rng,
+            &mut case_rng,
         );
         let blocks = nn.dataset(ds).blocks.clone();
         let mut tracker = custody::dfs::AccessTracker::new();
-        for op in ops {
-            match op {
-                NnOp::AddReplica { block, node } => {
-                    let _ = nn.add_replica(blocks[block % blocks.len()], NodeId::new(node));
+        let num_ops = rng.below(40);
+        for _ in 0..num_ops {
+            match rng.below(4) {
+                0 => {
+                    let block = blocks[rng.below(blocks.len())];
+                    let _ = nn.add_replica(block, NodeId::new(rng.below(10)));
                 }
-                NnOp::RemoveReplica { block, node } => {
-                    let _ = nn.remove_replica(blocks[block % blocks.len()], NodeId::new(node));
+                1 => {
+                    let block = blocks[rng.below(blocks.len())];
+                    let _ = nn.remove_replica(block, NodeId::new(rng.below(10)));
                 }
-                NnOp::ReplicateHot { top_k, extra } => {
-                    let _ = nn.replicate_hot_blocks(&tracker, top_k, extra, &mut rng);
+                2 => {
+                    let top_k = 1 + rng.below(3);
+                    let extra = 1 + rng.below(2);
+                    let _ = nn.replicate_hot_blocks(&tracker, top_k, extra, &mut case_rng);
                 }
-                NnOp::Access { block, count } => {
-                    tracker.record_many(blocks[block % blocks.len()], count);
+                _ => {
+                    let block = blocks[rng.below(blocks.len())];
+                    tracker.record_many(block, rng.range_inclusive(1, 49));
                 }
             }
             nn.check_invariants();
         }
         // Every block still has at least one replica.
         for &b in &blocks {
-            prop_assert!(!nn.locations(b).is_empty());
+            assert!(!nn.locations(b).is_empty());
         }
     }
 }
@@ -284,23 +284,22 @@ proptest! {
 // Placement policies
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Every placement policy returns distinct, capacity-respecting nodes
-    /// and never exceeds the requested replication.
-    #[test]
-    fn placement_policies_return_valid_sets(
-        nodes in 1usize..20,
-        racks in 1usize..5,
-        replication in 1usize..5,
-        blocks in 1usize..15,
-        seed in 0u64..500,
-    ) {
-        use custody::dfs::{
-            PlacementPolicy, PopularityPlacement, RackAwarePlacement, RandomPlacement,
-            RoundRobinPlacement,
-        };
-        use custody::dfs::DataNode;
-        let mut rng = SimRng::seed_from_u64(seed);
+/// Every placement policy returns distinct, capacity-respecting nodes
+/// and never exceeds the requested replication.
+#[test]
+fn placement_policies_return_valid_sets() {
+    use custody::dfs::DataNode;
+    use custody::dfs::{
+        PlacementPolicy, PopularityPlacement, RackAwarePlacement, RandomPlacement,
+        RoundRobinPlacement,
+    };
+    let mut rng = SimRng::for_stream(2024, "placement");
+    for _ in 0..120 {
+        let nodes = 1 + rng.below(19);
+        let racks = 1 + rng.below(4);
+        let replication = 1 + rng.below(4);
+        let blocks = 1 + rng.below(14);
+        let mut case_rng = SimRng::seed_from_u64(rng.draw_u64());
         let rack_of: Vec<usize> = (0..nodes).map(|n| n * racks / nodes).collect();
         let mut policies: Vec<Box<dyn PlacementPolicy>> = vec![
             Box::new(RandomPlacement),
@@ -313,49 +312,49 @@ proptest! {
                 .map(|i| DataNode::new(NodeId::new(i), 1000))
                 .collect();
             for _ in 0..blocks {
-                let picks = policy.place(&datanodes, replication, 100, &mut rng);
-                prop_assert!(picks.len() <= replication, "{}", policy.name());
+                let picks = policy.place(&datanodes, replication, 100, &mut case_rng);
+                assert!(picks.len() <= replication, "{}", policy.name());
                 let mut uniq = picks.clone();
                 uniq.sort_unstable();
                 uniq.dedup();
-                prop_assert_eq!(uniq.len(), picks.len(), "duplicates from {}", policy.name());
-                prop_assert!(picks.iter().all(|n| n.index() < nodes));
+                assert_eq!(uniq.len(), picks.len(), "duplicates from {}", policy.name());
+                assert!(picks.iter().all(|n| n.index() < nodes));
                 // All nodes fit, so replication is met up to cluster size.
-                prop_assert_eq!(picks.len(), replication.min(nodes), "{}", policy.name());
+                assert_eq!(picks.len(), replication.min(nodes), "{}", policy.name());
             }
         }
     }
+}
 
-    /// The NameNode + any placement policy yields consistent metadata for
-    /// arbitrary dataset sizes.
-    #[test]
-    fn namenode_create_dataset_consistent(
-        total_mb in 1u64..2000,
-        nodes in 1usize..12,
-        replication in 1usize..4,
-        seed in 0u64..100,
-    ) {
-        let mut rng = SimRng::seed_from_u64(seed);
+/// The NameNode + any placement policy yields consistent metadata for
+/// arbitrary dataset sizes.
+#[test]
+fn namenode_create_dataset_consistent() {
+    let mut rng = SimRng::for_stream(2024, "namenode-create");
+    for _ in 0..80 {
+        let total_mb = rng.range_inclusive(1, 1999);
+        let nodes = 1 + rng.below(11);
+        let replication = 1 + rng.below(3);
+        let mut case_rng = SimRng::seed_from_u64(rng.draw_u64());
         let mut nn = NameNode::new(nodes, 1 << 40, replication);
         let ds = nn.create_dataset(
             "d",
             total_mb * 1_000_000,
             custody::dfs::DEFAULT_BLOCK_SIZE,
             &mut RandomPlacement,
-            &mut rng,
+            &mut case_rng,
         );
         nn.check_invariants();
         let dataset = nn.dataset(ds);
-        let expected_blocks =
-            (total_mb * 1_000_000).div_ceil(custody::dfs::DEFAULT_BLOCK_SIZE);
-        prop_assert_eq!(dataset.num_blocks() as u64, expected_blocks);
+        let expected_blocks = (total_mb * 1_000_000).div_ceil(custody::dfs::DEFAULT_BLOCK_SIZE);
+        assert_eq!(dataset.num_blocks() as u64, expected_blocks);
         for &b in &dataset.blocks {
-            prop_assert_eq!(nn.locations(b).len(), replication.min(nodes));
+            assert_eq!(nn.locations(b).len(), replication.min(nodes));
         }
         let stored: u64 = (0..nodes)
             .map(|n| nn.datanode(NodeId::new(n)).used_bytes())
             .sum();
-        prop_assert_eq!(stored, total_mb * 1_000_000 * replication.min(nodes) as u64);
+        assert_eq!(stored, total_mb * 1_000_000 * replication.min(nodes) as u64);
     }
 }
 
@@ -363,9 +362,12 @@ proptest! {
 // Statistics estimators
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+#[test]
+fn welford_matches_naive() {
+    let mut rng = SimRng::for_stream(2024, "welford");
+    for _ in 0..100 {
+        let len = 1 + rng.below(199);
+        let xs: Vec<f64> = (0..len).map(|_| rng.range_f64(-1e6, 1e6)).collect();
         let mut w = Welford::new();
         for &x in &xs {
             w.push(x);
@@ -373,24 +375,27 @@ proptest! {
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-        prop_assert!((w.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
-        prop_assert!((w.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+        assert!((w.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        assert!((w.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn summary_percentiles_are_order_statistics(
-        mut xs in prop::collection::vec(-1e6f64..1e6, 1..100),
-        q in 0.0f64..=1.0,
-    ) {
+#[test]
+fn summary_percentiles_are_order_statistics() {
+    let mut rng = SimRng::for_stream(2024, "summary");
+    for _ in 0..100 {
+        let len = 1 + rng.below(99);
+        let mut xs: Vec<f64> = (0..len).map(|_| rng.range_f64(-1e6, 1e6)).collect();
+        let q = rng.unit();
         let mut s = Summary::new();
         s.extend(xs.iter().copied());
         let p = s.percentile(q).unwrap();
         xs.sort_by(f64::total_cmp);
         // Nearest-rank percentile must be an element of the sample.
-        prop_assert!(xs.contains(&p));
-        prop_assert!(p >= xs[0] && p <= xs[xs.len() - 1]);
-        prop_assert_eq!(s.min().unwrap(), xs[0]);
-        prop_assert_eq!(s.max().unwrap(), xs[xs.len() - 1]);
+        assert!(xs.contains(&p));
+        assert!(p >= xs[0] && p <= xs[xs.len() - 1]);
+        assert_eq!(s.min().unwrap(), xs[0]);
+        assert_eq!(s.max().unwrap(), xs[xs.len() - 1]);
     }
 }
 
@@ -398,9 +403,12 @@ proptest! {
 // Event queue
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn event_queue_is_stable_priority_queue(times in prop::collection::vec(0u64..1000, 0..200)) {
+#[test]
+fn event_queue_is_stable_priority_queue() {
+    let mut rng = SimRng::for_stream(2024, "event-queue");
+    for _ in 0..100 {
+        let len = rng.below(200);
+        let times: Vec<u64> = (0..len).map(|_| rng.range_inclusive(0, 999)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_micros(t), i);
@@ -409,11 +417,11 @@ proptest! {
         while let Some(e) = q.pop() {
             popped.push((e.time, e.event));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO violated among equal times");
+                assert!(w[0].1 < w[1].1, "FIFO violated among equal times");
             }
         }
     }

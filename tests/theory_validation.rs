@@ -2,6 +2,7 @@
 //! concurrent-flow implementations must agree with each other and bound
 //! the greedy strategies, on randomized instances.
 
+use custody::cluster::ExecutorId;
 use custody::core::theory::{
     exact_max_local_jobs, greedy_local_jobs, hopcroft_karp, max_concurrent_rate,
     max_min_locality_vector, optimal_min_local_job_fraction, Dinic, FlowNetwork,
@@ -10,7 +11,6 @@ use custody::core::{
     AllocationView, AppState, CustodyAllocator, ExecutorAllocator, ExecutorInfo, JobDemand,
     TaskDemand,
 };
-use custody::cluster::ExecutorId;
 use custody::dfs::NodeId;
 use custody::simcore::SimRng;
 use custody::workload::{AppId, JobId};
@@ -116,7 +116,7 @@ fn random_view(rng: &mut SimRng, nodes: usize, apps: usize) -> AllocationView {
                                     .map(NodeId::new)
                                     .collect();
                                 v.sort_unstable();
-                                v
+                                v.into()
                             },
                         })
                         .collect();
