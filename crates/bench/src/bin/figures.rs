@@ -8,12 +8,13 @@
 //! ```
 //!
 //! Targets: `fig7`, `fig7-fixed`, `fig8`, `fig9`, `fig10`, `ablations`,
-//! `theory`, `all`.
+//! `chaos`, `theory`, `all`.
 
 use custody_bench::{
     ablation_delay_table, ablation_inter_table, ablation_intra_table, ablation_placement_table,
-    ablation_speculation_table, allocator_cost_summary, fig10_table, fig7_fixed_quota_table,
-    fig7_table, fig8_table, fig9_table, run_sweep, theory_quality_table, FigureOptions,
+    ablation_speculation_table, allocator_cost_summary, chaos_table, fig10_table,
+    fig7_fixed_quota_table, fig7_table, fig8_table, fig9_table, run_sweep, theory_quality_table,
+    FigureOptions,
 };
 
 fn main() {
@@ -76,6 +77,9 @@ fn main() {
         println!("{}", ablation_placement_table(&opts));
         println!("{}", ablation_delay_table(&opts));
         println!("{}", ablation_speculation_table(&opts));
+    }
+    if wants("chaos") {
+        println!("{}", chaos_table(&opts));
     }
     if wants("theory") {
         println!("{}", theory_quality_table(500, opts.seed));

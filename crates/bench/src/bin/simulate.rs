@@ -5,7 +5,8 @@
 //!     --workload sort --nodes 50 --allocator custody --jobs 10 --seed 42 \
 //!     [--baseline spark-static] [--racks 4] [--placement rack-aware] \
 //!     [--quota 12] [--scheduler delay:3000|fifo|locality-first] \
-//!     [--fail 10:3] [--speculation] [--trace out.tsv] [--analyze]
+//!     [--fail 10:3] [--chaos <mtbf-secs>[:<downtime-secs>]] [--audit] \
+//!     [--speculation] [--trace out.tsv] [--analyze]
 //! ```
 //!
 //! With `--baseline <allocator>` the same configuration is run twice and
@@ -77,6 +78,8 @@ fn main() {
     let mut quota: Option<usize> = None;
     let mut scheduler = SchedulerKind::spark_default();
     let mut failures: Vec<NodeFailure> = Vec::new();
+    let mut chaos: Option<custody_sim::ChaosConfig> = None;
+    let mut audit = false;
     let mut speculation = false;
     let mut trace_path: Option<String> = None;
     let mut analyze = false;
@@ -103,6 +106,20 @@ fn main() {
                     node: NodeId::new(n.parse().expect("node index")),
                 });
             }
+            "--chaos" => {
+                let v = val();
+                let (mtbf, downtime) = match v.split_once(':') {
+                    Some((m, d)) => (
+                        m.parse().expect("--chaos <mtbf-secs>[:<downtime-secs>]"),
+                        d.parse().expect("downtime seconds"),
+                    ),
+                    None => (v.parse().expect("--chaos <mtbf-secs>"), 30.0),
+                };
+                let mut c = custody_sim::ChaosConfig::default().with_mean_time_between_faults(mtbf);
+                c.mean_downtime_secs = downtime;
+                chaos = Some(c);
+            }
+            "--audit" => audit = true,
             "--speculation" => speculation = true,
             "--trace" => trace_path = Some(val()),
             "--analyze" => analyze = true,
@@ -118,6 +135,12 @@ fn main() {
     cfg.cluster = cfg.cluster.with_racks(racks);
     if let Some(q) = quota {
         cfg = cfg.with_quota(QuotaMode::FixedPerApp(q));
+    }
+    if let Some(c) = chaos {
+        cfg = cfg.with_chaos(c);
+    }
+    if audit {
+        cfg = cfg.with_audit(true);
     }
     if speculation {
         cfg = cfg.with_speculation(SpeculationConfig::default());
@@ -139,6 +162,21 @@ fn main() {
         m.tasks_requeued,
         m.tasks_speculated,
     );
+    if m.nodes_failed + m.executor_faults + m.degraded_windows > 0 {
+        println!(
+            "faults: {} node, {} executor-only, {} degradation windows  recovered {}  \
+             clone races {}W/{}L  fault-to-stable {:.1} s mean ({} disruptions)  peak queue {}",
+            m.nodes_failed,
+            m.executor_faults,
+            m.degraded_windows,
+            m.nodes_recovered,
+            m.clones_won,
+            m.clones_lost,
+            m.requeue_drain_secs.mean(),
+            m.requeue_drain_secs.count(),
+            m.peak_queue_len,
+        );
+    }
     println!(
         "allocator: {:.3} ms wall total ({:.2} µs/round)  rounds skipped {}",
         m.allocator_wall_secs * 1e3,

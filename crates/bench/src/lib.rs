@@ -436,6 +436,60 @@ pub fn ablation_speculation_table(opts: &FigureOptions) -> String {
     )
 }
 
+/// Chaos sweep: Custody vs the Spark baseline under an increasingly
+/// violent stochastic fault process (node crash/recovery cycles,
+/// executor-only faults, transient network degradation). Reports
+/// locality degradation relative to a calm run, fault counts, and the
+/// fault-to-stable recovery time — the §VII fault-tolerance story.
+pub fn chaos_table(opts: &FigureOptions) -> String {
+    use custody_sim::experiment::chaos_sweep;
+    // The congested regime: the smallest paper cluster is where faults
+    // actually displace running tasks (larger clusters shrug them off).
+    let nodes = opts.sizes.iter().copied().min().unwrap_or(25).min(25);
+    let mtbfs = [120.0, 60.0, 30.0, 15.0];
+    let (custody_calm, baseline_calm, cells) =
+        chaos_sweep(nodes, opts.jobs_per_app, &mtbfs, opts.seed);
+    let mut rows = vec![vec![
+        "calm".to_string(),
+        pct_mean_std(&custody_calm.input_locality()),
+        pct_mean_std(&baseline_calm.input_locality()),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]];
+    for cell in &cells {
+        let (dc, db) = cell.locality_degradation_points(&custody_calm, &baseline_calm);
+        let (rc, rb) = cell.recovery_secs();
+        let m = &cell.custody;
+        rows.push(vec![
+            format!("{:.0} s", cell.mtbf_secs),
+            pct_mean_std(&m.input_locality()),
+            pct_mean_std(&cell.baseline.input_locality()),
+            format!("{dc:+.2} / {db:+.2} pp"),
+            format!(
+                "{}+{} dn, {} up, {} req",
+                m.nodes_failed, m.executor_faults, m.nodes_recovered, m.tasks_requeued
+            ),
+            format!("{rc:.1} / {rb:.1} s"),
+        ]);
+    }
+    format!(
+        "Chaos sweep — locality under stochastic faults, WordCount, {nodes} nodes\n\
+         (degradation = locality lost vs the calm run; recovery = mean fault-to-stable time)\n{}",
+        render_table(
+            &[
+                "mtbf",
+                "custody",
+                "spark-static",
+                "degradation c/s",
+                "faults (custody)",
+                "recovery c/s"
+            ],
+            &rows
+        )
+    )
+}
+
 /// Theory check: the greedy strategy of Algorithm 2 vs the exact optima
 /// on random intra-application instances.
 ///

@@ -46,6 +46,13 @@ impl DataNode {
         self.decommissioned = true;
     }
 
+    /// Brings a decommissioned machine back into service: it may store
+    /// new replicas again. Any blocks it still holds (sole copies the
+    /// NameNode refused to drop at failure time) remain valid.
+    pub(crate) fn recommission(&mut self) {
+        self.decommissioned = false;
+    }
+
     /// Whether the machine has been decommissioned.
     pub fn is_decommissioned(&self) -> bool {
         self.decommissioned

@@ -251,6 +251,30 @@ impl NameNode {
         pinned
     }
 
+    /// Recovers a previously failed machine: its DataNode is
+    /// recommissioned, so it may store new replicas again. The machine
+    /// rejoins *empty* — its pre-failure replicas were dropped by
+    /// [`fail_node`](Self::fail_node) and re-created elsewhere — except
+    /// for pinned sole copies, which it kept serving all along and still
+    /// holds. Replica locations therefore do not change at recovery time;
+    /// only future placements can target the machine again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not currently failed.
+    pub fn recover_node(&mut self, node: NodeId) {
+        assert!(
+            self.datanodes[node.index()].is_decommissioned(),
+            "recovering {node}, which is not failed"
+        );
+        self.datanodes[node.index()].recommission();
+    }
+
+    /// Whether `node` is currently failed (decommissioned).
+    pub fn is_node_failed(&self, node: NodeId) -> bool {
+        self.datanodes[node.index()].is_decommissioned()
+    }
+
     /// Brings every block back up to the target replication factor by
     /// creating replicas on the machines with the most free space (HDFS's
     /// under-replicated-block queue, collapsed to an instant). Returns the
@@ -529,6 +553,66 @@ mod tests {
         for &b in &nn.dataset(ds).blocks.clone() {
             assert!(!nn.is_local(NodeId::new(1), b));
         }
+    }
+
+    #[test]
+    fn restore_replication_never_targets_failed_nodes() {
+        // Fail several machines at once; every replacement replica must
+        // land on one of the survivors.
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(21);
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let down = [NodeId::new(1), NodeId::new(4), NodeId::new(8)];
+        for &n in &down {
+            nn.fail_node(n);
+        }
+        nn.restore_replication(&mut rng);
+        for &b in &nn.dataset(ds).blocks.clone() {
+            assert_eq!(nn.locations(b).len(), 3, "replication restored");
+            for &n in &down {
+                assert!(
+                    !nn.is_local(n, b),
+                    "replacement replica of {b} placed on failed {n}"
+                );
+            }
+        }
+        nn.check_invariants();
+    }
+
+    #[test]
+    fn recovered_node_is_placeable_again() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(22);
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let victim = NodeId::new(2);
+        nn.fail_node(victim);
+        nn.restore_replication(&mut rng);
+        assert!(nn.is_node_failed(victim));
+        nn.recover_node(victim);
+        assert!(!nn.is_node_failed(victim));
+        assert_eq!(nn.datanode(victim).block_count(), 0, "rejoins empty");
+        // Existing locations are untouched by recovery...
+        for &b in &nn.dataset(ds).blocks.clone() {
+            assert!(!nn.is_local(victim, b));
+        }
+        // ...but the machine takes new replicas again: fail another node
+        // and the recovered one is a healing candidate (it is empty, so
+        // the most-free-space rule picks it first).
+        nn.fail_node(NodeId::new(5));
+        let created = nn.restore_replication(&mut rng);
+        assert!(created > 0);
+        assert!(
+            nn.datanode(victim).block_count() > 0,
+            "recovered machine should host replacement replicas"
+        );
+        nn.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "not failed")]
+    fn recovering_a_healthy_node_panics() {
+        let mut nn = namenode();
+        nn.recover_node(NodeId::new(0));
     }
 
     #[test]

@@ -77,6 +77,111 @@ pub struct NodeFailure {
     pub node: NodeId,
 }
 
+/// Stochastic fault injection: a seeded chaos process that, unlike the
+/// scripted [`NodeFailure`] list, keeps churning the cluster for as long
+/// as its horizon lasts. Three fault flavours are drawn from one
+/// exponential inter-arrival process:
+///
+/// * **machine loss** — the node's replicas vanish (HDFS re-replicates),
+///   its executors die, and it rejoins after an exponential downtime,
+///   empty and placeable again;
+/// * **executor-only loss** — the node's executor processes die (running
+///   tasks are re-queued) but its disk and replicas survive;
+/// * **network degradation** — remote input reads slow down by a constant
+///   factor for an exponential window (no state is lost).
+///
+/// All draws come from the config seed's `"chaos"` stream, so chaos runs
+/// are as deterministic as scripted ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Mean seconds between fault injections (exponential inter-arrival).
+    pub mean_time_between_faults_secs: f64,
+    /// Mean seconds a crashed machine stays down before rejoining.
+    pub mean_downtime_secs: f64,
+    /// Probability a node fault kills only the executors, leaving the
+    /// DataNode (and its replicas) intact.
+    pub executor_only_fraction: f64,
+    /// Probability a fault is a transient network degradation window
+    /// instead of a node loss.
+    pub degraded_fraction: f64,
+    /// Remote input reads take this many times longer while a
+    /// degradation window is open (≥ 1).
+    pub degraded_remote_factor: f64,
+    /// Mean seconds a degradation window stays open.
+    pub mean_degraded_window_secs: f64,
+    /// No new faults are injected after this simulated time (pending
+    /// recoveries still drain), bounding the run.
+    pub horizon_secs: f64,
+    /// At most this many nodes may be down simultaneously; fault draws
+    /// that would exceed it (or leave fewer than two nodes up) fizzle.
+    pub max_down: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            mean_time_between_faults_secs: 60.0,
+            mean_downtime_secs: 30.0,
+            executor_only_fraction: 0.25,
+            degraded_fraction: 0.15,
+            degraded_remote_factor: 2.5,
+            mean_degraded_window_secs: 20.0,
+            horizon_secs: 600.0,
+            max_down: 2,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Sets the mean fault inter-arrival time (the sweep axis of the
+    /// chaos experiments).
+    pub fn with_mean_time_between_faults(mut self, secs: f64) -> Self {
+        self.mean_time_between_faults_secs = secs;
+        self
+    }
+
+    /// Sets the injection horizon.
+    pub fn with_horizon(mut self, secs: f64) -> Self {
+        self.horizon_secs = secs;
+        self
+    }
+
+    /// Sets the concurrent-down-node cap.
+    pub fn with_max_down(mut self, max_down: usize) -> Self {
+        self.max_down = max_down;
+        self
+    }
+
+    /// Panics unless every field is physically sensible.
+    pub fn validate(&self) {
+        assert!(
+            self.mean_time_between_faults_secs > 0.0,
+            "mean time between faults must be positive"
+        );
+        assert!(
+            self.mean_downtime_secs > 0.0,
+            "mean downtime must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.executor_only_fraction),
+            "executor-only fraction must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.degraded_fraction),
+            "degraded fraction must be a probability"
+        );
+        assert!(
+            self.degraded_remote_factor >= 1.0,
+            "degradation cannot speed reads up"
+        );
+        assert!(
+            self.mean_degraded_window_secs > 0.0,
+            "mean degradation window must be positive"
+        );
+        assert!(self.horizon_secs >= 0.0, "horizon must be non-negative");
+    }
+}
+
 /// Everything that determines a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -94,6 +199,11 @@ pub struct SimConfig {
     pub quota: QuotaMode,
     /// Scripted machine failures (failure-injection experiments).
     pub failures: Vec<NodeFailure>,
+    /// Stochastic fault injection with recovery; `None` disables it.
+    pub chaos: Option<ChaosConfig>,
+    /// Run the invariant auditor after every event even in release
+    /// builds. Debug builds (and therefore the test suite) always audit.
+    pub audit: bool,
     /// Speculative execution (straggler mitigation, §IV-B); `None`
     /// disables it (the paper's evaluation setting).
     pub speculation: Option<SpeculationConfig>,
@@ -125,6 +235,8 @@ impl SimConfig {
             placement: PlacementKind::Random,
             quota: QuotaMode::EqualShare,
             failures: Vec::new(),
+            chaos: None,
+            audit: false,
             speculation: None,
             seed,
             incremental: true,
@@ -142,6 +254,8 @@ impl SimConfig {
             placement: PlacementKind::Random,
             quota: QuotaMode::EqualShare,
             failures: Vec::new(),
+            chaos: None,
+            audit: false,
             speculation: None,
             seed,
             incremental: true,
@@ -176,6 +290,19 @@ impl SimConfig {
     /// Adds scripted machine failures.
     pub fn with_failures(mut self, failures: Vec<NodeFailure>) -> Self {
         self.failures = failures;
+        self
+    }
+
+    /// Enables stochastic fault injection.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Forces the invariant auditor on in release builds (debug builds
+    /// always audit).
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
         self
     }
 
@@ -248,6 +375,35 @@ mod tests {
         assert!(l.contains("custody"));
         assert!(l.contains("nodes=10"));
         assert!(l.contains("seed=3"));
+    }
+
+    #[test]
+    fn chaos_builders_and_validation() {
+        let c = SimConfig::small_demo(1)
+            .with_chaos(
+                ChaosConfig::default()
+                    .with_mean_time_between_faults(12.0)
+                    .with_horizon(90.0)
+                    .with_max_down(3),
+            )
+            .with_audit(true);
+        assert!(c.audit);
+        let chaos = c.chaos.expect("chaos set");
+        assert_eq!(chaos.mean_time_between_faults_secs, 12.0);
+        assert_eq!(chaos.horizon_secs, 90.0);
+        assert_eq!(chaos.max_down, 3);
+        chaos.validate();
+        ChaosConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn chaos_validation_rejects_bad_fraction() {
+        ChaosConfig {
+            degraded_fraction: 1.5,
+            ..ChaosConfig::default()
+        }
+        .validate();
     }
 
     #[test]

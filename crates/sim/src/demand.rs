@@ -13,9 +13,12 @@
 //!   locality accounting may advance.
 //! * **finish** — downstream stages may unlock (new pending tasks) or the
 //!   job may complete (demand disappears).
-//! * **re-queue / node failure** — tasks return to the runnable set and
-//!   every unfinished job's preferred nodes are re-resolved, so the whole
-//!   cache is dirtied and the executor list invalidated.
+//! * **re-queue / node failure / recovery** — tasks return to the
+//!   runnable set and unfinished jobs' preferred nodes are re-resolved
+//!   against the post-failure replica map; exactly the jobs whose tasks
+//!   re-queued or whose preferred lists actually changed are dirtied
+//!   (the invariant auditor cross-checks this precision after every
+//!   event), and the executor list is invalidated.
 //!
 //! The cache also tracks two change flags — app demand and idle-pool
 //! membership — consulted by the driver's round-skip logic: when neither
@@ -106,15 +109,6 @@ impl DemandCache {
         self.demand_changed = true;
     }
 
-    /// Marks every job stale (node failure re-resolves preferred nodes of
-    /// all unfinished jobs).
-    pub fn mark_all_jobs(&mut self) {
-        for d in &mut self.dirty {
-            *d = true;
-        }
-        self.demand_changed = true;
-    }
-
     /// Drops the cached executor list (a machine failed).
     pub fn invalidate_executors(&mut self) {
         self.all_executors = None;
@@ -169,6 +163,30 @@ impl DemandCache {
                     .expect("active job has cached demand")
             })
             .collect()
+    }
+
+    /// Invariant audit: every *clean* slot must hold exactly the demand a
+    /// from-scratch recomputation would produce, and the active sets must
+    /// agree with it. This is what catches a missed `mark_job` — e.g. a
+    /// failure path that re-queued a task or changed a preferred list
+    /// without dirtying the job.
+    pub fn audit(&self, jobs: &[RuntimeJob]) {
+        assert_eq!(self.demand.len(), jobs.len(), "one cache slot per job");
+        for (j, job) in jobs.iter().enumerate() {
+            if self.dirty[j] {
+                continue;
+            }
+            let fresh = job_demand_of(job);
+            assert_eq!(
+                self.demand[j], fresh,
+                "stale demand cache for job {j}: a mutation was not marked"
+            );
+            assert_eq!(
+                self.active[job.app.index()].contains(&j),
+                fresh.is_some(),
+                "active set out of sync for job {j}"
+            );
+        }
     }
 
     /// The full executor list, recomputed only after an invalidation.

@@ -5,6 +5,12 @@
 //! * `Submit` — a user submits a job to an application (the moment Custody
 //!   extracts the job's input information from the NameNode, §IV-C).
 //! * `Finish` — a task completes on an executor.
+//! * `NodeFail` — a scripted machine failure (permanent).
+//! * `ChaosFault` — the stochastic fault process fires: a machine loss,
+//!   an executor-only loss, or a network degradation window.
+//! * `NodeRecover` — a chaos-failed machine rejoins: its executors return
+//!   to the idle pool and (for full machine losses) the NameNode may
+//!   place replicas there again.
 //! * `Wake` — a delayed-offer retry (delay scheduling declined an offer
 //!   and asked to be re-offered later).
 //!
@@ -28,15 +34,18 @@ use custody_core::{AllocationView, AppState, ExecutorAllocator, ExecutorInfo, Jo
 use custody_dfs::{DatasetId, NameNode};
 use custody_scheduler::speculation::{SpeculationConfig, SpeculationPolicy};
 use custody_scheduler::{Placement, RunnableTask, TaskScheduler};
-use custody_simcore::dist::{Distribution, TruncatedNormal, Zipf};
+use custody_simcore::dist::{Distribution, Exponential, TruncatedNormal, Zipf};
+use custody_simcore::stats::Summary;
 use custody_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use custody_workload::{AppId, DatasetMode, JobId, JobSpec, SubmissionSchedule};
 
-use crate::config::SimConfig;
+use crate::config::{ChaosConfig, SimConfig};
 use crate::demand::{job_demand_of, DemandCache};
 use crate::job::{RuntimeJob, TaskState};
 use crate::metrics::{AppMetrics, RunMetrics, SimOutcome};
 use crate::trace::{TaskRecord, TaskTrace};
+
+pub mod audit;
 
 /// Entry point: runs a configuration to completion.
 pub struct Simulation;
@@ -59,10 +68,40 @@ impl Simulation {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    Submit { app: AppId, seq: usize },
-    Finish { executor: ExecutorId },
-    NodeFail { node: custody_dfs::NodeId },
+    Submit {
+        app: AppId,
+        seq: usize,
+    },
+    /// A task completes on an executor. `epoch` is the executor's
+    /// incarnation at launch time: a completion scheduled before the
+    /// executor died (and possibly recovered) is stale and ignored.
+    Finish {
+        executor: ExecutorId,
+        epoch: u64,
+    },
+    NodeFail {
+        node: custody_dfs::NodeId,
+    },
+    NodeRecover {
+        node: custody_dfs::NodeId,
+    },
+    /// The stochastic fault process fires; the fault kind is drawn when
+    /// the event is handled.
+    ChaosFault,
     Wake,
+}
+
+/// Identifies one task: (global job index, stage index, task index).
+type TaskKey = (usize, usize, usize);
+
+/// Why a node is currently down — recovery must know whether the
+/// NameNode was involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    /// Whole machine lost: replicas dropped, DataNode decommissioned.
+    Machine,
+    /// Executor processes lost; the DataNode (and its replicas) survived.
+    ExecutorsOnly,
 }
 
 /// What the previous call to [`Driver::allocation_round`] did — consulted
@@ -81,12 +120,23 @@ enum LastRound {
     Counted(usize),
 }
 
+/// One in-flight attempt of a task. The task *record*
+/// ([`crate::job::RuntimeTask`]) describes exactly one attempt — the
+/// record-bound one; a speculative clone carries its own locality and
+/// launch time here so accounting can be moved attempt-exactly when the
+/// record-bound attempt dies or loses its race.
 #[derive(Debug, Clone, Copy)]
 struct RunningTask {
     job_idx: usize,
     stage: usize,
     task: usize,
     remote_input: bool,
+    /// This attempt's data-locality (`Some` for input-stage attempts).
+    local: Option<bool>,
+    /// When this attempt launched.
+    launched_at: SimTime,
+    /// Whether this attempt is a speculative clone.
+    is_clone: bool,
 }
 
 #[derive(Debug, Default)]
@@ -104,6 +154,11 @@ struct ExecState {
     /// The executor's host machine has failed; stale `Finish` events for
     /// tasks killed by the failure are ignored.
     dead: bool,
+    /// Incarnation counter, bumped every time the executor dies. A
+    /// `Finish` event whose epoch does not match is a completion of a
+    /// task killed by a failure — possibly fired after the executor
+    /// recovered and started something else — and is dropped.
+    epoch: u64,
     /// When the executor last became idle (start of run or last task
     /// finish). A launched task's *scheduler delay* is how long it was
     /// runnable while this executor sat idle — the delay-scheduling wait
@@ -143,14 +198,43 @@ struct Driver {
     noise_rng: SimRng,
     /// Pending wake timestamps (deduplicated).
     wakes: BTreeSet<SimTime>,
+    /// `Wake` events in the queue; the auditor checks it always equals
+    /// `wakes.len()`, so a decline burst can never flood the queue.
+    pending_wakes: usize,
     /// Speculative-execution state, if enabled: per-(job, stage) policy
     /// plus the set of tasks that already have a clone in flight.
     speculation: Option<SpecState>,
+    /// Stochastic fault injection, if enabled.
+    chaos: Option<ChaosConfig>,
+    chaos_rng: SimRng,
+    /// Why each node is currently down (`None` = up). Scripted failures
+    /// stay down forever; chaos faults schedule a `NodeRecover`.
+    node_down: Vec<Option<FaultKind>>,
+    /// Scripted (permanent) failures: a chaos `NodeRecover` aimed at a
+    /// node the script also killed is ignored.
+    perma_down: Vec<bool>,
+    /// Remote input reads are slowed while `now < degraded_until`.
+    degraded_until: SimTime,
     remote_reads_in_flight: usize,
     allocation_rounds: usize,
     events_processed: usize,
     nodes_failed: usize,
+    nodes_recovered: usize,
+    executor_faults: usize,
+    degraded_windows: usize,
     tasks_requeued: usize,
+    clones_won: usize,
+    clones_lost: usize,
+    /// Open fault disruptions: (fault time, tasks it displaced that have
+    /// not relaunched yet). Drained sets record their drain time into
+    /// `requeue_drain` — the recovery-time-to-stable-locality metric.
+    open_disruptions: Vec<(SimTime, BTreeSet<TaskKey>)>,
+    requeue_drain: Summary,
+    /// Largest event-queue length seen.
+    peak_queue_len: usize,
+    /// Run the invariant auditor after every event (always in debug
+    /// builds; `SimConfig::audit` opts release builds in).
+    audit_enabled: bool,
     /// Optional per-task trace collector.
     trace: Option<TaskTrace>,
     /// Incremental engine enabled (config flag; results identical).
@@ -253,7 +337,21 @@ impl Driver {
             );
             queue.schedule(f.at, Event::NodeFail { node: f.node });
         }
+        // Stochastic faults: seed the first arrival of the chaos process.
+        let mut chaos_rng = SimRng::for_stream(config.seed, "chaos");
+        if let Some(chaos) = &config.chaos {
+            chaos.validate();
+            let gap =
+                Exponential::with_mean(chaos.mean_time_between_faults_secs).sample(&mut chaos_rng);
+            if gap <= chaos.horizon_secs {
+                queue.schedule(
+                    SimTime::ZERO + SimDuration::from_secs_f64(gap),
+                    Event::ChaosFault,
+                );
+            }
+        }
 
+        let num_nodes = cluster.num_nodes();
         Driver {
             queue,
             exec_state: vec![ExecState::default(); cluster.num_executors()],
@@ -268,17 +366,32 @@ impl Driver {
             noise: TruncatedNormal::new(1.0, 0.05, 0.85, 1.15),
             noise_rng: SimRng::for_stream(config.seed, "task-noise"),
             wakes: BTreeSet::new(),
+            pending_wakes: 0,
             speculation: config.speculation.map(|sc| SpecState {
                 config: sc,
                 policies: std::collections::HashMap::new(),
                 cloned: std::collections::HashSet::new(),
                 launches: 0,
             }),
+            chaos: config.chaos,
+            chaos_rng,
+            node_down: vec![None; num_nodes],
+            perma_down: vec![false; num_nodes],
+            degraded_until: SimTime::ZERO,
             remote_reads_in_flight: 0,
             allocation_rounds: 0,
             events_processed: 0,
             nodes_failed: 0,
+            nodes_recovered: 0,
+            executor_faults: 0,
+            degraded_windows: 0,
             tasks_requeued: 0,
+            clones_won: 0,
+            clones_lost: 0,
+            open_disruptions: Vec::new(),
+            requeue_drain: Summary::new(),
+            peak_queue_len: 0,
+            audit_enabled: cfg!(debug_assertions) || config.audit,
             trace: None,
             incremental: config.incremental,
             cache: DemandCache::new(campaign.num_apps()),
@@ -295,13 +408,20 @@ impl Driver {
             let now = ev.time;
             match ev.event {
                 Event::Submit { app, seq } => self.on_submit(app, seq, now),
-                Event::Finish { executor } => self.on_finish(executor, now),
-                Event::NodeFail { node } => self.on_node_fail(node, now),
+                Event::Finish { executor, epoch } => self.on_finish(executor, epoch, now),
+                Event::NodeFail { node } => self.on_scripted_fail(node, now),
+                Event::NodeRecover { node } => self.on_node_recover(node, now),
+                Event::ChaosFault => self.on_chaos_fault(now),
                 Event::Wake => {
                     self.wakes.remove(&now);
+                    self.pending_wakes -= 1;
                 }
             }
             self.dispatch(now);
+            self.peak_queue_len = self.peak_queue_len.max(self.queue.len());
+            if self.audit_enabled {
+                self.audit();
+            }
         }
         self.finish()
     }
@@ -347,25 +467,36 @@ impl Driver {
         self.cache.note_job_added();
     }
 
-    fn on_finish(&mut self, executor: ExecutorId, now: SimTime) {
+    fn on_finish(&mut self, executor: ExecutorId, epoch: u64, now: SimTime) {
         let state = &mut self.exec_state[executor.index()];
-        if state.dead {
+        if state.dead || state.epoch != epoch {
             return; // stale completion for a task killed by a failure
         }
         let running = state.running.take().expect("finish on idle executor");
         state.idle_since = now;
         if running.remote_input {
-            self.remote_reads_in_flight -= 1;
+            self.remote_reads_in_flight = self
+                .remote_reads_in_flight
+                .checked_sub(1)
+                .expect("remote-read counter underflow");
         }
         if self.jobs[running.job_idx].stages[running.stage].tasks[running.task].state
             == crate::job::TaskState::Done
         {
-            return; // the other attempt of a speculated task won
+            // The other attempt of a speculated task won the race.
+            if running.is_clone {
+                self.clones_lost += 1;
+            }
+            return;
+        }
+        // This attempt wins; the task record must describe it (a winning
+        // clone takes over the locality and launch-time accounting from
+        // the original attempt it beat).
+        self.rebind_attempt(&running);
+        if running.is_clone {
+            self.clones_won += 1;
         }
         let job = &mut self.jobs[running.job_idx];
-        let attempt_started = job.stages[running.stage].tasks[running.task]
-            .launched_at
-            .expect("running task was launched");
         let total = job.stages[running.stage].tasks.len();
         job.mark_done(running.stage, running.task, now);
         self.cache.mark_job(running.job_idx);
@@ -374,7 +505,7 @@ impl Driver {
             spec.policies
                 .entry((running.job_idx, running.stage))
                 .or_insert_with(|| SpeculationPolicy::new(config, total))
-                .record_completion(now.saturating_since(attempt_started));
+                .record_completion(now.saturating_since(running.launched_at));
         }
         self.trace_completion(running, executor, now);
         let job = &mut self.jobs[running.job_idx];
@@ -416,72 +547,282 @@ impl Driver {
         }
     }
 
-    /// A machine dies: its replicas vanish (HDFS immediately re-replicates
-    /// under-replicated blocks elsewhere), its executors are lost for the
-    /// rest of the run, tasks running on them are re-queued, and
-    /// unlaunched input tasks re-resolve their preferred nodes against the
-    /// post-failure replica map.
-    fn on_node_fail(&mut self, node: custody_dfs::NodeId, now: SimTime) {
-        self.nodes_failed += 1;
-        let _sole_copies = self.namenode.fail_node(node);
-        self.namenode.restore_replication(&mut self.fail_rng);
+    /// Makes the task record describe `attempt` (locality + launch time),
+    /// moving the per-app locality accounting by the exact difference.
+    /// No-op when the record already describes it.
+    fn rebind_attempt(&mut self, attempt: &RunningTask) {
+        let (j, s, t) = (attempt.job_idx, attempt.stage, attempt.task);
+        let app_idx = self.jobs[j].app.index();
+        let record = &mut self.jobs[j].stages[s].tasks[t];
+        debug_assert_eq!(record.state, TaskState::Running);
+        let old_local = record.local;
+        if record.launched_at == Some(attempt.launched_at) && old_local == attempt.local {
+            return;
+        }
+        record.launched_at = Some(attempt.launched_at);
+        record.local = attempt.local;
+        self.cache.mark_job(j);
+        if s == 0 && old_local != attempt.local {
+            if old_local == Some(true) {
+                self.apps[app_idx].local_tasks -= 1;
+            }
+            if attempt.local == Some(true) {
+                self.apps[app_idx].local_tasks += 1;
+            }
+            if self.jobs[j].settled_local && attempt.local != Some(true) {
+                self.jobs[j].settled_local = false;
+                self.apps[app_idx].local_jobs -= 1;
+            }
+            self.settle_input_accounting(j);
+        }
+    }
 
+    /// An in-flight attempt died with its executor. Exactly one of three
+    /// things happens, each with attempt-exact accounting:
+    ///
+    /// * the task already finished (this attempt had lost a speculation
+    ///   race) — nothing to roll back;
+    /// * a twin attempt is still running — the task record is rebound to
+    ///   the survivor, moving the locality credit to the attempt that
+    ///   will actually finish;
+    /// * this was the last attempt — the task is re-queued and the
+    ///   record-bound launch accounting rolled back exactly. Returns
+    ///   `true` only in this case.
+    fn on_attempt_killed(&mut self, running: &RunningTask, now: SimTime) -> bool {
+        let key = (running.job_idx, running.stage, running.task);
+        if self.jobs[key.0].stages[key.1].tasks[key.2].state == TaskState::Done {
+            if running.is_clone {
+                self.clones_lost += 1;
+            }
+            return false;
+        }
+        let twin = self.exec_state.iter().find_map(|st| {
+            if st.dead {
+                return None;
+            }
+            st.running.filter(|r| (r.job_idx, r.stage, r.task) == key)
+        });
+        if let Some(twin) = twin {
+            // The survivor carries on and owns the record from here.
+            self.rebind_attempt(&twin);
+            if running.is_clone {
+                self.clones_lost += 1;
+            }
+            return false;
+        }
+        // Last attempt: the record describes it (any earlier twin death
+        // rebound the record to this attempt), so the rollback is exact.
+        debug_assert_eq!(
+            self.jobs[key.0].stages[key.1].tasks[key.2].launched_at,
+            Some(running.launched_at),
+            "record-bound attempt mismatch at re-queue"
+        );
+        let app_idx = self.jobs[key.0].app.index();
+        let was_local = self.jobs[key.0].mark_requeued(key.1, key.2, now);
+        self.cache.mark_job(key.0);
+        if key.1 == 0 {
+            if was_local {
+                self.apps[app_idx].local_tasks -= 1;
+            }
+            if self.jobs[key.0].settled_local {
+                self.jobs[key.0].settled_local = false;
+                self.apps[app_idx].local_jobs -= 1;
+            }
+        }
+        if let Some(spec) = &mut self.speculation {
+            // The relaunched attempt may be speculated afresh.
+            spec.cloned.remove(&key);
+        }
+        if running.is_clone {
+            self.clones_lost += 1;
+        }
+        self.tasks_requeued += 1;
+        true
+    }
+
+    /// Kills every live executor on `node`: running attempts die with
+    /// attempt-exact rollback, owners lose the executor, and the idle
+    /// pool shrinks. Displaced tasks are tracked as one open disruption
+    /// for the recovery-time-to-stable-locality metric.
+    fn kill_executors_on(&mut self, node: custody_dfs::NodeId, now: SimTime) {
         let executors: Vec<ExecutorId> = self.cluster.executors_on(node).to_vec();
+        let mut displaced = BTreeSet::new();
         for e in executors {
             let state = &mut self.exec_state[e.index()];
             if state.dead {
                 continue;
             }
             state.dead = true;
+            state.epoch += 1;
             if let Some(running) = state.running.take() {
                 if running.remote_input {
-                    self.remote_reads_in_flight -= 1;
+                    self.remote_reads_in_flight = self
+                        .remote_reads_in_flight
+                        .checked_sub(1)
+                        .expect("remote-read counter underflow");
                 }
-                // If another executor runs a clone of the same task, this
-                // attempt just dies; the clone carries on.
-                let twin_alive = self.exec_state.iter().enumerate().any(|(other, st)| {
-                    other != e.index()
-                        && !st.dead
-                        && st.running.is_some_and(|r| {
-                            (r.job_idx, r.stage, r.task)
-                                == (running.job_idx, running.stage, running.task)
-                        })
-                });
-                if twin_alive {
-                    self.tasks_requeued += 1;
-                    continue;
+                if self.on_attempt_killed(&running, now) {
+                    displaced.insert((running.job_idx, running.stage, running.task));
                 }
-                let job = &mut self.jobs[running.job_idx];
-                let app_idx = job.app.index();
-                let was_local = job.mark_requeued(running.stage, running.task, now);
-                if running.stage == 0 {
-                    if was_local {
-                        self.apps[app_idx].local_tasks -= 1;
-                    }
-                    if self.jobs[running.job_idx].settled_local {
-                        self.jobs[running.job_idx].settled_local = false;
-                        self.apps[app_idx].local_jobs -= 1;
-                    }
-                }
-                self.tasks_requeued += 1;
             }
             if let Some(owner) = self.exec_state[e.index()].owner.take() {
                 self.apps[owner.index()].held.remove(&e);
             }
             self.pool.remove(&e);
         }
-
-        for job in &mut self.jobs {
-            if !job.is_finished() {
-                job.refresh_preferred(&self.namenode);
-            }
+        if !displaced.is_empty() {
+            self.open_disruptions.push((now, displaced));
         }
-        // Preferred nodes were re-resolved for every unfinished job, tasks
-        // may have re-queued, and the pool lost executors: drop everything
-        // the incremental engine believed.
-        self.cache.mark_all_jobs();
+    }
+
+    /// A machine dies: its replicas vanish (HDFS immediately re-replicates
+    /// under-replicated blocks elsewhere), its executors are lost until
+    /// the machine recovers (scripted failures never do), tasks running
+    /// on them are re-queued, and unlaunched input tasks re-resolve their
+    /// preferred nodes against the post-failure replica map.
+    fn on_node_fail(&mut self, node: custody_dfs::NodeId, now: SimTime) {
+        self.nodes_failed += 1;
+        self.node_down[node.index()] = Some(FaultKind::Machine);
+        let _sole_copies = self.namenode.fail_node(node);
+        self.namenode.restore_replication(&mut self.fail_rng);
+
+        self.kill_executors_on(node, now);
+        self.refresh_all_preferred();
         self.cache.invalidate_executors();
         self.cache.mark_pool_changed();
+    }
+
+    /// Re-resolves preferred nodes after the replica map changed,
+    /// dirtying exactly the jobs whose lists actually moved (re-queues
+    /// mark their own jobs); the invariant auditor cross-checks this
+    /// precision.
+    fn refresh_all_preferred(&mut self) {
+        for j in 0..self.jobs.len() {
+            if !self.jobs[j].is_finished() && self.jobs[j].refresh_preferred(&self.namenode) {
+                self.cache.mark_job(j);
+            }
+        }
+    }
+
+    /// A scripted [`NodeFailure`](crate::config::NodeFailure) fires: the
+    /// node goes down for good. If a chaos fault already holds the node
+    /// down, the script makes that outage permanent — escalating an
+    /// executor-only fault to a full machine loss (replicas drop now).
+    fn on_scripted_fail(&mut self, node: custody_dfs::NodeId, now: SimTime) {
+        match self.node_down[node.index()] {
+            None => self.on_node_fail(node, now),
+            Some(FaultKind::ExecutorsOnly) => {
+                self.node_down[node.index()] = Some(FaultKind::Machine);
+                self.nodes_failed += 1;
+                let _sole_copies = self.namenode.fail_node(node);
+                self.namenode.restore_replication(&mut self.fail_rng);
+                self.refresh_all_preferred();
+            }
+            Some(FaultKind::Machine) => {}
+        }
+        self.perma_down[node.index()] = true;
+    }
+
+    /// An executor-only fault: the machine's executor processes die but
+    /// its DataNode (and replicas) survive, so nothing is re-replicated
+    /// and preferred nodes are unchanged.
+    fn on_executor_fault(&mut self, node: custody_dfs::NodeId, now: SimTime) {
+        self.executor_faults += 1;
+        self.node_down[node.index()] = Some(FaultKind::ExecutorsOnly);
+        self.kill_executors_on(node, now);
+        self.cache.invalidate_executors();
+        self.cache.mark_pool_changed();
+    }
+
+    /// A chaos-failed machine rejoins: its executors return empty and
+    /// idle, and after a full machine loss the NameNode may place new
+    /// replicas there again. Replica locations do not change at recovery
+    /// (the machine rejoins holding nothing it did not already serve), so
+    /// no preferred-node refresh is needed.
+    fn on_node_recover(&mut self, node: custody_dfs::NodeId, now: SimTime) {
+        if self.perma_down[node.index()] {
+            return; // a scripted failure made this outage permanent
+        }
+        let kind = self.node_down[node.index()]
+            .take()
+            .expect("recovering a node that is up");
+        if kind == FaultKind::Machine {
+            self.namenode.recover_node(node);
+        }
+        let executors: Vec<ExecutorId> = self.cluster.executors_on(node).to_vec();
+        for e in executors {
+            let state = &mut self.exec_state[e.index()];
+            debug_assert!(state.dead && state.running.is_none() && state.owner.is_none());
+            state.dead = false;
+            state.idle_since = now;
+            self.pool.insert(e);
+        }
+        self.nodes_recovered += 1;
+        self.cache.mark_pool_changed();
+    }
+
+    /// The stochastic fault process fires: schedule the next arrival and
+    /// draw one of the three fault flavours. Node faults that would
+    /// exceed the concurrent-down cap (or leave fewer than two machines
+    /// up) fizzle, keeping the simulation live.
+    fn on_chaos_fault(&mut self, now: SimTime) {
+        let chaos = self.chaos.expect("chaos event without chaos config");
+        let gap =
+            Exponential::with_mean(chaos.mean_time_between_faults_secs).sample(&mut self.chaos_rng);
+        let next = now + SimDuration::from_secs_f64(gap);
+        if next.as_secs_f64() <= chaos.horizon_secs {
+            self.queue.schedule(next, Event::ChaosFault);
+        }
+        if self.chaos_rng.chance(chaos.degraded_fraction) {
+            // Transient network degradation: remote reads launched while
+            // the window is open pay the configured slowdown.
+            let window =
+                Exponential::with_mean(chaos.mean_degraded_window_secs).sample(&mut self.chaos_rng);
+            self.degraded_until = self
+                .degraded_until
+                .max(now + SimDuration::from_secs_f64(window));
+            self.degraded_windows += 1;
+            return;
+        }
+        let exec_only = self.chaos_rng.chance(chaos.executor_only_fraction);
+        let up: Vec<custody_dfs::NodeId> = (0..self.node_down.len())
+            .filter(|&n| self.node_down[n].is_none())
+            .map(custody_dfs::NodeId::new)
+            .collect();
+        let down = self.node_down.len() - up.len();
+        if up.len() <= 1 || down >= chaos.max_down {
+            return; // too much of the cluster is already down
+        }
+        let victim = up[self.chaos_rng.below(up.len())];
+        let downtime = Exponential::with_mean(chaos.mean_downtime_secs).sample(&mut self.chaos_rng);
+        if exec_only {
+            self.on_executor_fault(victim, now);
+        } else {
+            self.on_node_fail(victim, now);
+        }
+        self.queue.schedule(
+            now + SimDuration::from_secs_f64(downtime),
+            Event::NodeRecover { node: victim },
+        );
+    }
+
+    /// A task launched; if an open fault disruption displaced it, strike
+    /// it off — a disruption whose displaced set drains records the
+    /// fault-to-stable time.
+    fn note_relaunch(&mut self, key: TaskKey, now: SimTime) {
+        let mut i = 0;
+        while i < self.open_disruptions.len() {
+            let (at, set) = &mut self.open_disruptions[i];
+            set.remove(&key);
+            if set.is_empty() {
+                let at = *at;
+                self.open_disruptions.remove(i);
+                self.requeue_drain
+                    .push(now.saturating_since(at).as_secs_f64());
+            } else {
+                i += 1;
+            }
+        }
     }
 
     fn dispatch(&mut self, now: SimTime) {
@@ -807,10 +1148,10 @@ impl Driver {
                 false,
             )
         };
+        let io_time = self.maybe_degrade(io_time, remote_input, now);
         let compute = SimDuration::from_secs_f64(
             stage_ref.compute_per_task.as_secs_f64() * self.noise.sample(&mut self.noise_rng),
         );
-        let _ = local;
         if remote_input {
             self.remote_reads_in_flight += 1;
         }
@@ -819,10 +1160,32 @@ impl Driver {
             stage: st,
             task: t,
             remote_input,
+            local: is_input.then_some(local),
+            launched_at: now,
+            is_clone: true,
         });
-        self.queue
-            .schedule(now + io_time + compute, Event::Finish { executor: e });
+        self.queue.schedule(
+            now + io_time + compute,
+            Event::Finish {
+                executor: e,
+                epoch: self.exec_state[e.index()].epoch,
+            },
+        );
         true
+    }
+
+    /// Applies the transient network-degradation penalty to a remote
+    /// read launched while a chaos degradation window is open.
+    fn maybe_degrade(&self, io_time: SimDuration, remote: bool, now: SimTime) -> SimDuration {
+        if remote && now < self.degraded_until {
+            let factor = self
+                .chaos
+                .expect("degradation window without chaos config")
+                .degraded_remote_factor;
+            SimDuration::from_secs_f64(io_time.as_secs_f64() * factor)
+        } else {
+            io_time
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -896,6 +1259,7 @@ impl Driver {
                 false,
             )
         };
+        let io_time = self.maybe_degrade(io_time, remote_input, now);
         let compute = SimDuration::from_secs_f64(
             stage_ref.compute_per_task.as_secs_f64() * self.noise.sample(&mut self.noise_rng),
         );
@@ -907,9 +1271,20 @@ impl Driver {
             stage,
             task,
             remote_input,
+            local: is_input.then_some(actual_local),
+            launched_at: now,
+            is_clone: false,
         });
-        self.queue
-            .schedule(now + io_time + compute, Event::Finish { executor });
+        self.queue.schedule(
+            now + io_time + compute,
+            Event::Finish {
+                executor,
+                epoch: self.exec_state[executor.index()].epoch,
+            },
+        );
+        if !self.open_disruptions.is_empty() {
+            self.note_relaunch((job_idx, stage, task), now);
+        }
     }
 
     /// Locality tier of reading from one of `preferred` on `node`:
@@ -939,6 +1314,7 @@ impl Driver {
             return;
         }
         self.wakes.insert(at);
+        self.pending_wakes += 1;
         self.queue.schedule(at, Event::Wake);
     }
 
@@ -959,6 +1335,10 @@ impl Driver {
                 "executor {e} still busy at the end of the run"
             );
         }
+        assert!(
+            self.open_disruptions.is_empty(),
+            "displaced tasks never relaunched"
+        );
         let nodes_failed = self.nodes_failed;
         let tasks_requeued = self.tasks_requeued;
         let tasks_speculated = self.speculation.as_ref().map_or(0, |s| s.launches);
@@ -975,8 +1355,15 @@ impl Driver {
                 allocator_wall_secs: self.alloc_wall.as_secs_f64(),
                 events_processed: self.events_processed,
                 nodes_failed,
+                nodes_recovered: self.nodes_recovered,
+                executor_faults: self.executor_faults,
+                degraded_windows: self.degraded_windows,
                 tasks_requeued,
                 tasks_speculated,
+                clones_won: self.clones_won,
+                clones_lost: self.clones_lost,
+                requeue_drain_secs: self.requeue_drain,
+                peak_queue_len: self.peak_queue_len,
             },
         };
         (outcome, trace)
@@ -1257,5 +1644,158 @@ mod tests {
             out.cluster_metrics.per_app[1].workload,
             WorkloadKind::WordCount
         );
+    }
+
+    fn chaotic(allocator: AllocatorKind, seed: u64) -> SimConfig {
+        small(allocator, seed).with_chaos(
+            crate::config::ChaosConfig::default()
+                .with_mean_time_between_faults(8.0)
+                .with_horizon(120.0),
+        )
+    }
+
+    #[test]
+    fn chaos_runs_complete_under_every_allocator() {
+        for kind in AllocatorKind::ALL {
+            let out = Simulation::run(&chaotic(kind, 30)).cluster_metrics;
+            assert_eq!(out.jobs_completed, 12, "{kind} lost jobs under chaos");
+            assert!(
+                out.nodes_failed + out.executor_faults + out.degraded_windows > 0,
+                "{kind}: an 8s-MTBF process injected nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let a = Simulation::run(&chaotic(AllocatorKind::Custody, 31)).cluster_metrics;
+        let b = Simulation::run(&chaotic(AllocatorKind::Custody, 31)).cluster_metrics;
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.nodes_failed, b.nodes_failed);
+        assert_eq!(a.nodes_recovered, b.nodes_recovered);
+        assert_eq!(a.executor_faults, b.executor_faults);
+        assert_eq!(a.tasks_requeued, b.tasks_requeued);
+        assert_eq!(a.peak_queue_len, b.peak_queue_len);
+        assert_eq!(a.requeue_drain_secs.count(), b.requeue_drain_secs.count());
+    }
+
+    #[test]
+    fn chaos_recovers_failed_nodes() {
+        // Short downtimes inside a long run: every chaos-failed node
+        // must rejoin, and rejoined machines accept replicas again.
+        let mut chaos = crate::config::ChaosConfig::default()
+            .with_mean_time_between_faults(6.0)
+            .with_horizon(200.0);
+        chaos.mean_downtime_secs = 5.0;
+        chaos.degraded_fraction = 0.0;
+        chaos.executor_only_fraction = 0.0;
+        let cfg = small(AllocatorKind::Custody, 32).with_chaos(chaos);
+        let out = Simulation::run(&cfg).cluster_metrics;
+        assert_eq!(out.jobs_completed, 12);
+        assert!(out.nodes_failed > 0, "no faults drawn");
+        assert_eq!(
+            out.nodes_recovered, out.nodes_failed,
+            "every chaos failure schedules a recovery"
+        );
+    }
+
+    #[test]
+    fn executor_only_faults_leave_replicas_alone() {
+        let mut chaos = crate::config::ChaosConfig::default()
+            .with_mean_time_between_faults(6.0)
+            .with_horizon(150.0);
+        chaos.executor_only_fraction = 1.0;
+        chaos.degraded_fraction = 0.0;
+        let cfg = small(AllocatorKind::Custody, 33).with_chaos(chaos);
+        let out = Simulation::run(&cfg).cluster_metrics;
+        assert_eq!(out.jobs_completed, 12);
+        assert!(out.executor_faults > 0);
+        assert_eq!(out.nodes_failed, 0, "process faults must not drop replicas");
+        assert_eq!(out.nodes_recovered, out.executor_faults);
+    }
+
+    #[test]
+    fn degradation_windows_slow_remote_reads() {
+        // Degradation-only chaos: compare against the same config with
+        // chaos off. Locality decisions are unchanged (the window only
+        // scales remote read times), so the makespan can only grow.
+        let mut chaos = crate::config::ChaosConfig::default().with_horizon(300.0);
+        chaos.mean_time_between_faults_secs = 4.0;
+        chaos.degraded_fraction = 1.0;
+        chaos.degraded_remote_factor = 10.0;
+        chaos.mean_degraded_window_secs = 40.0;
+        let base = small(AllocatorKind::StaticRandom, 34);
+        let plain = Simulation::run(&base).cluster_metrics;
+        let degraded = Simulation::run(&base.clone().with_chaos(chaos)).cluster_metrics;
+        assert_eq!(degraded.jobs_completed, 12);
+        assert!(degraded.degraded_windows > 0);
+        assert_eq!(degraded.nodes_failed, 0);
+        assert!(
+            degraded.makespan >= plain.makespan,
+            "10x-slower remote reads cannot shorten the run"
+        );
+    }
+
+    #[test]
+    fn clone_race_with_node_failure_stays_consistent() {
+        // Regression for the attempt-rollback rewrite: aggressive
+        // speculation (clone races everywhere) plus chaos failures and
+        // recoveries. The old code panicked re-queueing a Done task when
+        // a node died under a speculation loser, and double-counted
+        // locality when the record-bound attempt was not the one killed.
+        // The per-event auditor turns any such drift into a panic here.
+        use custody_scheduler::speculation::SpeculationConfig;
+        for seed in [35, 36, 37] {
+            let mut cfg =
+                chaotic(AllocatorKind::Custody, seed).with_speculation(SpeculationConfig {
+                    quantile: 0.25,
+                    multiplier: 1.0,
+                });
+            cfg.cluster.num_nodes = 6;
+            let out = Simulation::run(&cfg).cluster_metrics;
+            assert_eq!(out.jobs_completed, 12, "seed {seed}");
+            assert_eq!(
+                out.clones_won + out.clones_lost,
+                out.tasks_speculated,
+                "every clone either wins or loses (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn wake_dedup_bounds_the_event_queue() {
+        // A congested cluster with declining schedulers used to enqueue
+        // one wake per declined offer; the dedup set plus the pending
+        // counter keep the queue near the task/submission population.
+        let mut cfg = small(AllocatorKind::Custody, 38);
+        cfg.cluster.num_nodes = 3;
+        let out = Simulation::run(&cfg).cluster_metrics;
+        assert_eq!(out.jobs_completed, 12);
+        assert!(
+            out.peak_queue_len < 1000,
+            "queue peaked at {} — wake flood?",
+            out.peak_queue_len
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "local_tasks drifted")]
+    fn auditor_catches_corrupted_accounting() {
+        let mut driver = Driver::new(&small(AllocatorKind::Custody, 39));
+        // Pump a few events so jobs and launches exist, then corrupt a
+        // counter the way a buggy rollback would.
+        for _ in 0..40 {
+            let Some(ev) = driver.queue.pop() else { break };
+            driver.events_processed += 1;
+            let now = ev.time;
+            match ev.event {
+                Event::Submit { app, seq } => driver.on_submit(app, seq, now),
+                Event::Finish { executor, epoch } => driver.on_finish(executor, epoch, now),
+                _ => {}
+            }
+            driver.dispatch(now);
+        }
+        driver.apps[0].local_tasks += 1;
+        driver.audit();
     }
 }

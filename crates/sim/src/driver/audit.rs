@@ -1,0 +1,256 @@
+//! Always-on invariant auditor for the simulation driver.
+//!
+//! After every handled event (in debug builds and in release builds that
+//! opt in via [`SimConfig::with_audit`](crate::SimConfig::with_audit)),
+//! the driver re-derives its redundant state from first principles and
+//! panics on the first disagreement. The point is to catch accounting
+//! bugs — a failure path that forgets to roll back a counter, a
+//! speculation race that double-credits locality, a demand-cache entry
+//! that went stale without being dirtied — at the event that introduced
+//! them rather than thousands of events later when a job mysteriously
+//! never finishes.
+//!
+//! The audited invariants:
+//!
+//! 1. **Executor conservation** — every executor is held by at most one
+//!    application, and `AppRuntime::held` is exactly the inverse of
+//!    `ExecState::owner`. Pool members are idle, alive, and unowned.
+//! 2. **Death discipline** — a dead executor runs nothing, is owned by
+//!    nobody, sits in no pool, and its host node is recorded as down
+//!    (and vice versa: every down node's executors are dead).
+//! 3. **Remote-read conservation** — `remote_reads_in_flight` equals
+//!    the number of live attempts reading remote input.
+//! 4. **Attempt discipline** — a `Running` task has one or two live
+//!    attempts (the record-bound one among them), a `Runnable`/`Blocked`
+//!    task has none, and a `Done` task has at most one (a speculation
+//!    loser still draining).
+//! 5. **Locality accounting** — each application's `total_jobs`,
+//!    `total_tasks`, `local_tasks`, and `local_jobs` re-derive exactly
+//!    from its jobs' task records.
+//! 6. **Stage counters** — every stage's `launched`/`completed` counts
+//!    match its tasks' states.
+//! 7. **Wake conservation** — queued `Wake` events equal the dedup set,
+//!    so a decline burst can never flood the event queue.
+//! 8. **NameNode invariants** — replica maps and usage accounting (see
+//!    [`NameNode::check_invariants`](custody_dfs::NameNode)), plus
+//!    agreement between the driver's fault records and DataNode
+//!    decommission state.
+//! 9. **Demand-cache freshness** — every clean cache slot matches a
+//!    from-scratch recomputation (incremental engine only).
+
+use crate::job::TaskState;
+
+use super::{Driver, FaultKind};
+
+impl Driver {
+    /// Checks every driver invariant, panicking with a description of
+    /// the first violation. Cost is O(executors + tasks) per call, so
+    /// release-mode experiment sweeps leave it off unless asked.
+    pub(crate) fn audit(&self) {
+        self.audit_executors();
+        self.audit_attempts();
+        self.audit_accounting();
+        assert_eq!(
+            self.pending_wakes,
+            self.wakes.len(),
+            "queued Wake events out of sync with the dedup set"
+        );
+        self.audit_topology();
+        if self.incremental {
+            self.cache.audit(&self.jobs);
+        }
+    }
+
+    /// Invariants 1–3: ownership bijection, pool hygiene, death
+    /// discipline, remote-read conservation.
+    fn audit_executors(&self) {
+        let mut remote = 0usize;
+        for (e, st) in self.exec_state.iter().enumerate() {
+            if st.dead {
+                assert!(st.running.is_none(), "dead executor {e} is running a task");
+                assert!(st.owner.is_none(), "dead executor {e} has an owner");
+                assert!(
+                    !self.pool.contains(&custody_cluster::ExecutorId::new(e)),
+                    "dead executor {e} sits in the idle pool"
+                );
+            }
+            if let Some(owner) = st.owner {
+                assert!(
+                    self.apps[owner.index()]
+                        .held
+                        .contains(&custody_cluster::ExecutorId::new(e)),
+                    "executor {e} owned by {owner} but missing from its held set"
+                );
+            }
+            if let Some(r) = st.running {
+                assert!(
+                    st.owner.is_some(),
+                    "executor {e} runs a task without an owner"
+                );
+                if r.remote_input {
+                    remote += 1;
+                }
+            }
+        }
+        let held_total: usize = self.apps.iter().map(|a| a.held.len()).sum();
+        let owned_total = self
+            .exec_state
+            .iter()
+            .filter(|st| st.owner.is_some())
+            .count();
+        assert_eq!(
+            held_total, owned_total,
+            "an executor is held by more than one application"
+        );
+        for (i, a) in self.apps.iter().enumerate() {
+            for &e in &a.held {
+                let st = &self.exec_state[e.index()];
+                assert_eq!(
+                    st.owner.map(custody_workload::AppId::index),
+                    Some(i),
+                    "app {i} holds {e} but the executor disagrees"
+                );
+            }
+        }
+        for &e in &self.pool {
+            let st = &self.exec_state[e.index()];
+            assert!(st.owner.is_none(), "pooled {e} still has an owner");
+            assert!(st.running.is_none(), "pooled {e} is running a task");
+            assert!(!st.dead, "pooled {e} is dead");
+        }
+        assert_eq!(
+            self.remote_reads_in_flight, remote,
+            "remote-read counter out of sync with live attempts"
+        );
+    }
+
+    /// Invariant 4: per-task attempt counts and the record-bound attempt.
+    fn audit_attempts(&self) {
+        use std::collections::BTreeMap;
+        let mut attempts: BTreeMap<(usize, usize, usize), Vec<&super::RunningTask>> =
+            BTreeMap::new();
+        for st in &self.exec_state {
+            if st.dead {
+                continue;
+            }
+            if let Some(r) = &st.running {
+                attempts
+                    .entry((r.job_idx, r.stage, r.task))
+                    .or_default()
+                    .push(r);
+            }
+        }
+        for (j, job) in self.jobs.iter().enumerate() {
+            for (s, stage) in job.stages.iter().enumerate() {
+                for (t, task) in stage.tasks.iter().enumerate() {
+                    let live = attempts.get(&(j, s, t)).map_or(&[][..], |v| &v[..]);
+                    match task.state {
+                        TaskState::Blocked | TaskState::Runnable => assert!(
+                            live.is_empty(),
+                            "job {j} stage {s} task {t} is {:?} with a live attempt",
+                            task.state
+                        ),
+                        TaskState::Running => {
+                            assert!(
+                                (1..=2).contains(&live.len()),
+                                "job {j} stage {s} task {t} runs {} attempts",
+                                live.len()
+                            );
+                            assert!(
+                                live.iter().any(|r| Some(r.launched_at) == task.launched_at
+                                    && r.local == task.local),
+                                "job {j} stage {s} task {t}: record-bound attempt is not live"
+                            );
+                        }
+                        TaskState::Done => assert!(
+                            live.len() <= 1,
+                            "job {j} stage {s} task {t} finished with {} live attempts",
+                            live.len()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invariants 5–6: per-app locality accounting and stage counters
+    /// re-derive from the task records.
+    fn audit_accounting(&self) {
+        for (i, a) in self.apps.iter().enumerate() {
+            assert_eq!(a.total_jobs, a.jobs.len(), "app {i} job count drifted");
+            let mut total_tasks = 0;
+            let mut local_tasks = 0;
+            let mut local_jobs = 0;
+            for &j in &a.jobs {
+                let job = &self.jobs[j];
+                let stage0 = &job.stages[0];
+                total_tasks += stage0.tasks.len();
+                local_tasks += stage0
+                    .tasks
+                    .iter()
+                    .filter(|t| t.local == Some(true))
+                    .count();
+                if job.settled_local {
+                    local_jobs += 1;
+                    assert!(
+                        stage0.tasks.iter().all(|t| t.local == Some(true)),
+                        "app {i} job {j} settled local with a non-local input"
+                    );
+                }
+            }
+            assert_eq!(a.total_tasks, total_tasks, "app {i} total_tasks drifted");
+            assert_eq!(a.local_tasks, local_tasks, "app {i} local_tasks drifted");
+            assert_eq!(a.local_jobs, local_jobs, "app {i} local_jobs drifted");
+        }
+        for (j, job) in self.jobs.iter().enumerate() {
+            for (s, stage) in job.stages.iter().enumerate() {
+                let running_or_done = stage
+                    .tasks
+                    .iter()
+                    .filter(|t| matches!(t.state, TaskState::Running | TaskState::Done))
+                    .count();
+                let done = stage
+                    .tasks
+                    .iter()
+                    .filter(|t| t.state == TaskState::Done)
+                    .count();
+                assert_eq!(
+                    stage.launched, running_or_done,
+                    "job {j} stage {s} launched counter drifted"
+                );
+                assert_eq!(
+                    stage.completed, done,
+                    "job {j} stage {s} completed counter drifted"
+                );
+            }
+        }
+    }
+
+    /// Invariant 8: driver fault records, executor liveness, and DFS
+    /// decommission state all agree; then the NameNode's own deep check.
+    fn audit_topology(&self) {
+        for (e, st) in self.exec_state.iter().enumerate() {
+            let node = self.cluster.node_of(custody_cluster::ExecutorId::new(e));
+            assert_eq!(
+                st.dead,
+                self.node_down[node.index()].is_some(),
+                "executor {e} liveness disagrees with its node's fault record"
+            );
+        }
+        for (n, down) in self.node_down.iter().enumerate() {
+            let failed = self.namenode.is_node_failed(custody_dfs::NodeId::new(n));
+            match down {
+                Some(FaultKind::Machine) => assert!(
+                    failed,
+                    "node {n} lost its machine but the NameNode still places there"
+                ),
+                Some(FaultKind::ExecutorsOnly) => assert!(
+                    !failed,
+                    "node {n} lost only executors but its DataNode is decommissioned"
+                ),
+                None => assert!(!failed, "node {n} is up but decommissioned"),
+            }
+        }
+        self.namenode.check_invariants();
+    }
+}

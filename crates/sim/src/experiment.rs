@@ -121,6 +121,79 @@ pub fn locality_and_jct_sweep(
     })
 }
 
+/// One cell of the chaos sweep: Custody vs the baseline riding through
+/// the same stochastic crash/recovery schedule at one fault rate.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// Mean time between faults (seconds) for this cell.
+    pub mtbf_secs: f64,
+    /// Custody's metrics under chaos.
+    pub custody: RunMetrics,
+    /// The baseline's metrics under chaos.
+    pub baseline: RunMetrics,
+}
+
+impl ChaosCell {
+    /// Locality degradation versus the given no-fault reference, in
+    /// percentage points: `(custody, baseline)`. Positive = locality
+    /// lost to the fault process.
+    pub fn locality_degradation_points(
+        &self,
+        custody_calm: &RunMetrics,
+        baseline_calm: &RunMetrics,
+    ) -> (f64, f64) {
+        (
+            (custody_calm.input_locality().mean() - self.custody.input_locality().mean()) * 100.0,
+            (baseline_calm.input_locality().mean() - self.baseline.input_locality().mean()) * 100.0,
+        )
+    }
+
+    /// Mean fault-to-stable time (seconds from a disruptive fault until
+    /// every task it displaced was running again): `(custody, baseline)`.
+    pub fn recovery_secs(&self) -> (f64, f64) {
+        (
+            self.custody.requeue_drain_secs.mean(),
+            self.baseline.requeue_drain_secs.mean(),
+        )
+    }
+}
+
+/// The chaos sweep: Custody vs the baseline across increasing fault
+/// rates (decreasing MTBF) on one cluster, plus a calm (chaos-off)
+/// reference pair at the front. All cells share the submission schedule,
+/// placement, and — per MTBF — the fault schedule. Returns
+/// `(custody_calm, baseline_calm, cells)`; cells are run in parallel.
+pub fn chaos_sweep(
+    num_nodes: usize,
+    jobs_per_app: usize,
+    mtbfs_secs: &[f64],
+    seed: u64,
+) -> (RunMetrics, RunMetrics, Vec<ChaosCell>) {
+    let mut base = SimConfig::paper(
+        WorkloadKind::WordCount,
+        num_nodes,
+        AllocatorKind::Custody,
+        seed,
+    );
+    base.campaign = base.campaign.with_jobs_per_app(jobs_per_app);
+    let calm = base.clone();
+    let grid: Vec<f64> = mtbfs_secs.to_vec();
+    let base_for_cells = base.clone();
+    let mut cells = custody_simcore::par_map(&grid, move |&mtbf| {
+        let chaos = crate::config::ChaosConfig::default().with_mean_time_between_faults(mtbf);
+        let cfg = base_for_cells.clone().with_chaos(chaos);
+        ChaosCell {
+            mtbf_secs: mtbf,
+            custody: Simulation::run(&cfg).cluster_metrics,
+            baseline: Simulation::run(&cfg.clone().with_allocator(PAPER_BASELINE)).cluster_metrics,
+        }
+    });
+    cells.sort_by(|a, b| b.mtbf_secs.total_cmp(&a.mtbf_secs));
+    let custody_calm = Simulation::run(&calm).cluster_metrics;
+    let baseline_calm = Simulation::run(&calm.with_allocator(PAPER_BASELINE)).cluster_metrics;
+    (custody_calm, baseline_calm, cells)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +216,23 @@ mod tests {
         assert_eq!(cells[0].num_nodes, 8);
         assert_eq!(cells[5].num_nodes, 12);
         assert_eq!(cells[1].workload, WorkloadKind::WordCount);
+    }
+
+    #[test]
+    fn chaos_sweep_runs_and_orders_cells() {
+        let (custody_calm, baseline_calm, cells) = chaos_sweep(10, 2, &[40.0, 15.0], 13);
+        assert_eq!(cells.len(), 2);
+        // Ordered calm → stormy (decreasing MTBF).
+        assert!(cells[0].mtbf_secs > cells[1].mtbf_secs);
+        assert_eq!(custody_calm.nodes_failed, 0);
+        assert_eq!(baseline_calm.jobs_completed, 8);
+        for cell in &cells {
+            assert_eq!(cell.custody.jobs_completed, 8);
+            assert_eq!(cell.baseline.jobs_completed, 8);
+            let (c, b) = cell.locality_degradation_points(&custody_calm, &baseline_calm);
+            assert!(c.is_finite() && b.is_finite());
+            let (rc, rb) = cell.recovery_secs();
+            assert!(rc >= 0.0 && rb >= 0.0);
+        }
     }
 }

@@ -315,14 +315,21 @@ impl RuntimeJob {
     /// Refreshes input tasks' preferred nodes from the NameNode — after a
     /// failure changes replica locations, unlaunched tasks should chase
     /// the surviving/new replicas (what Spark does on the next scheduling
-    /// round).
-    pub fn refresh_preferred(&mut self, namenode: &NameNode) {
+    /// round). Returns whether any task's preferred list actually changed,
+    /// so the caller can dirty exactly the affected demand-cache entries.
+    pub fn refresh_preferred(&mut self, namenode: &NameNode) -> bool {
+        let mut changed = false;
         for t in &mut self.stages[0].tasks {
             if matches!(t.state, TaskState::Blocked | TaskState::Runnable) {
                 let block = t.block.expect("input task has a block");
-                t.preferred = namenode.locations(block).into();
+                let fresh = namenode.locations(block);
+                if t.preferred[..] != fresh[..] {
+                    t.preferred = fresh.into();
+                    changed = true;
+                }
             }
         }
+        changed
     }
 }
 
@@ -485,8 +492,9 @@ mod tests {
             SimTime::ZERO,
         );
         let b = j.stages[0].tasks[0].block.unwrap();
+        assert!(!j.refresh_preferred(&nn), "nothing moved yet");
         assert!(nn.add_replica(b, NodeId::new(3)));
-        j.refresh_preferred(&nn);
+        assert!(j.refresh_preferred(&nn), "task 0 gained a replica");
         assert_eq!(
             j.stages[0].tasks[0].preferred[..],
             [NodeId::new(0), NodeId::new(3)]
@@ -494,7 +502,7 @@ mod tests {
         // Launched tasks keep their snapshot.
         j.mark_launched(0, 1, SimTime::ZERO, Some(true));
         let before = j.stages[0].tasks[1].preferred.clone();
-        j.refresh_preferred(&nn);
+        assert!(!j.refresh_preferred(&nn), "no further changes");
         assert_eq!(j.stages[0].tasks[1].preferred, before);
     }
 

@@ -94,10 +94,27 @@ pub struct RunMetrics {
     pub events_processed: usize,
     /// Machines that failed during the run (failure injection).
     pub nodes_failed: usize,
+    /// Machines that rejoined the cluster after a chaos fault.
+    pub nodes_recovered: usize,
+    /// Executor-only faults injected (processes died, disk survived).
+    pub executor_faults: usize,
+    /// Network degradation windows opened.
+    pub degraded_windows: usize,
     /// Tasks re-queued because their executor died.
     pub tasks_requeued: usize,
     /// Speculative task copies launched (straggler mitigation).
     pub tasks_speculated: usize,
+    /// Speculative clones that finished first (won their race).
+    pub clones_won: usize,
+    /// Speculative clones that died or lost their race.
+    pub clones_lost: usize,
+    /// Recovery time to stable locality: for each fault that displaced
+    /// running tasks, the seconds from the fault until every displaced
+    /// task was running again.
+    pub requeue_drain_secs: Summary,
+    /// Largest event-queue length observed (bounded-queue guard for the
+    /// wake-dedup logic).
+    pub peak_queue_len: usize,
 }
 
 impl RunMetrics {
@@ -209,8 +226,15 @@ mod tests {
             allocator_wall_secs: 0.0,
             events_processed: 50,
             nodes_failed: 0,
+            nodes_recovered: 0,
+            executor_faults: 0,
+            degraded_windows: 0,
             tasks_requeued: 0,
             tasks_speculated: 0,
+            clones_won: 0,
+            clones_lost: 0,
+            requeue_drain_secs: Summary::new(),
+            peak_queue_len: 0,
         };
         assert_eq!(run.input_locality().count(), 4);
         assert_eq!(run.job_completion_secs().count(), 4);
@@ -229,8 +253,15 @@ mod tests {
             allocator_wall_secs: 0.0,
             events_processed: 0,
             nodes_failed: 0,
+            nodes_recovered: 0,
+            executor_faults: 0,
+            degraded_windows: 0,
             tasks_requeued: 0,
             tasks_speculated: 0,
+            clones_won: 0,
+            clones_lost: 0,
+            requeue_drain_secs: Summary::new(),
+            peak_queue_len: 0,
         };
         assert_eq!(run.min_local_job_fraction(), 1.0);
     }

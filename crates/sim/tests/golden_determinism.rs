@@ -5,7 +5,7 @@
 //! (default) and disabled (scan-everything reference path). Wall-clock
 //! fields are excluded: they measure the host machine, not the simulation.
 
-use custody_sim::{AllocatorKind, RunMetrics, SimConfig, Simulation, WorkloadKind};
+use custody_sim::{AllocatorKind, ChaosConfig, RunMetrics, SimConfig, Simulation, WorkloadKind};
 
 /// Compares every deterministic field of two runs.
 fn assert_identical(on: &RunMetrics, off: &RunMetrics, label: &str) {
@@ -20,6 +20,31 @@ fn assert_identical(on: &RunMetrics, off: &RunMetrics, label: &str) {
     assert_eq!(
         on.tasks_speculated, off.tasks_speculated,
         "{label}: speculative launches"
+    );
+    assert_eq!(on.nodes_failed, off.nodes_failed, "{label}: failures");
+    assert_eq!(
+        on.nodes_recovered, off.nodes_recovered,
+        "{label}: recoveries"
+    );
+    assert_eq!(
+        on.executor_faults, off.executor_faults,
+        "{label}: executor faults"
+    );
+    assert_eq!(
+        on.degraded_windows, off.degraded_windows,
+        "{label}: degradation windows"
+    );
+    assert_eq!(on.clones_won, off.clones_won, "{label}: clone wins");
+    assert_eq!(on.clones_lost, off.clones_lost, "{label}: clone losses");
+    assert_eq!(
+        on.requeue_drain_secs.count(),
+        off.requeue_drain_secs.count(),
+        "{label}: disruption count"
+    );
+    assert_eq!(
+        on.requeue_drain_secs.mean(),
+        off.requeue_drain_secs.mean(),
+        "{label}: disruption drain time"
     );
     assert_eq!(
         on.input_locality().mean(),
@@ -40,6 +65,10 @@ fn assert_identical(on: &RunMetrics, off: &RunMetrics, label: &str) {
         on.local_job_fractions(),
         off.local_job_fractions(),
         "{label}: fairness vector"
+    );
+    assert_eq!(
+        on.peak_queue_len, off.peak_queue_len,
+        "{label}: peak event-queue length"
     );
     // The scan-everything path never skips.
     assert_eq!(off.rounds_skipped, 0, "{label}: reference path skipped");
@@ -79,4 +108,38 @@ fn failure_injection_identical() {
         node: custody_dfs::NodeId::new(0),
     }];
     run_pair(cfg, "failure injection");
+}
+
+#[test]
+fn chaos_injection_identical_for_every_allocator() {
+    // Stochastic crash/recovery cycles, executor-only faults, and
+    // degradation windows all draw from their own RNG stream, so the
+    // incremental engine must replay the exact same fault schedule.
+    let chaos = ChaosConfig::default()
+        .with_mean_time_between_faults(8.0)
+        .with_horizon(120.0);
+    for kind in AllocatorKind::ALL {
+        run_pair(
+            SimConfig::small_demo(13)
+                .with_allocator(kind)
+                .with_chaos(chaos),
+            &format!("chaos {kind}"),
+        );
+    }
+}
+
+#[test]
+fn chaos_with_speculation_identical() {
+    use custody_scheduler::speculation::SpeculationConfig;
+    let chaos = ChaosConfig::default()
+        .with_mean_time_between_faults(10.0)
+        .with_horizon(100.0);
+    let mut cfg = SimConfig::small_demo(17)
+        .with_chaos(chaos)
+        .with_speculation(SpeculationConfig {
+            quantile: 0.25,
+            multiplier: 1.0,
+        });
+    cfg.cluster.num_nodes = 6;
+    run_pair(cfg, "chaos + speculation");
 }

@@ -1,12 +1,16 @@
 //! Fault tolerance: node failures with replica re-replication and task
-//! re-queues, plus speculative execution for stragglers.
+//! re-queues, speculative execution for stragglers, and stochastic chaos
+//! (crash/recovery cycles, executor-only faults, degraded networks).
 //!
 //! A 20-node cluster runs a Sort campaign while two machines die mid-run.
 //! HDFS immediately re-replicates the lost blocks, running tasks on the
 //! dead executors are re-queued, and unlaunched tasks chase the surviving
 //! replicas — so Custody keeps finding local executors for them. With
 //! speculative execution enabled, stragglers (e.g. remote readers on a
-//! contended fabric) get cloned onto idle executors.
+//! contended fabric) get cloned onto idle executors. A final pair of runs
+//! replaces the scripted failures with a stochastic chaos process whose
+//! machines *come back*: recovered nodes rejoin the executor pool and the
+//! NameNode can place replicas on them again.
 //!
 //! ```text
 //! cargo run --release --example fault_tolerance
@@ -16,7 +20,7 @@ use custody::core::AllocatorKind;
 use custody::dfs::NodeId;
 use custody::scheduler::speculation::SpeculationConfig;
 use custody::sim::report::pct_mean_std;
-use custody::sim::{NodeFailure, SimConfig, Simulation};
+use custody::sim::{ChaosConfig, NodeFailure, SimConfig, Simulation};
 use custody::simcore::SimTime;
 use custody::workload::WorkloadKind;
 
@@ -55,6 +59,31 @@ fn main() {
             );
         }
     }
+    // Chaos: the same campaign under a stochastic fault process with
+    // recovery — machines crash AND come back (mean 15 s downtime), some
+    // faults only kill executor processes, and the network occasionally
+    // degrades. The always-on invariant auditor re-checks every counter
+    // after every event (`with_audit` turns it on in release builds too).
+    let mut chaos = ChaosConfig::default().with_mean_time_between_faults(25.0);
+    chaos.mean_downtime_secs = 15.0;
+    println!("\nstochastic chaos instead (faults every ~25 s, machines recover after ~15 s):\n");
+    let mut cfg = base.clone().with_chaos(chaos).with_audit(true);
+    cfg.failures = Vec::new();
+    for allocator in [AllocatorKind::Custody, AllocatorKind::StaticSpread] {
+        let m = Simulation::run(&cfg.clone().with_allocator(allocator)).cluster_metrics;
+        println!(
+            "{:<14} jobs {}/{}  locality {}  faults {}+{}  recovered {}  fault-to-stable {:.1} s",
+            allocator.name(),
+            m.jobs_completed,
+            cfg.campaign.total_jobs(),
+            pct_mean_std(&m.input_locality()),
+            m.nodes_failed,
+            m.executor_faults,
+            m.nodes_recovered,
+            m.requeue_drain_secs.mean(),
+        );
+    }
+
     println!("\nEvery job completes despite losing 10% of the cluster, and");
     println!("Custody's locality advantage survives the re-replication shuffle.");
 }
