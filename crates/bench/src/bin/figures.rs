@@ -8,11 +8,11 @@
 //! ```
 //!
 //! Targets: `fig7`, `fig7-fixed`, `fig8`, `fig9`, `fig10`, `ablations`,
-//! `chaos`, `theory`, `all`.
+//! `chaos`, `detector`, `theory`, `all`.
 
 use custody_bench::{
     ablation_delay_table, ablation_inter_table, ablation_intra_table, ablation_placement_table,
-    ablation_speculation_table, allocator_cost_summary, chaos_table, fig10_table,
+    ablation_speculation_table, allocator_cost_summary, chaos_table, detector_table, fig10_table,
     fig7_fixed_quota_table, fig7_table, fig8_table, fig9_table, run_sweep, theory_quality_table,
     FigureOptions,
 };
@@ -80,6 +80,9 @@ fn main() {
     }
     if wants("chaos") {
         println!("{}", chaos_table(&opts));
+    }
+    if wants("detector") {
+        println!("{}", detector_table(&opts));
     }
     if wants("theory") {
         println!("{}", theory_quality_table(500, opts.seed));

@@ -6,7 +6,8 @@
 //!     [--baseline spark-static] [--racks 4] [--placement rack-aware] \
 //!     [--quota 12] [--scheduler delay:3000|fifo|locality-first] \
 //!     [--fail 10:3] [--chaos <mtbf-secs>[:<downtime-secs>]] [--audit] \
-//!     [--speculation] [--trace out.tsv] [--analyze]
+//!     [--detector <drop-prob>[:<suspicion-secs>]] [--checkpoint <secs>] \
+//!     [--master-crash <prob>] [--speculation] [--trace out.tsv] [--analyze]
 //! ```
 //!
 //! With `--baseline <allocator>` the same configuration is run twice and
@@ -79,6 +80,9 @@ fn main() {
     let mut scheduler = SchedulerKind::spark_default();
     let mut failures: Vec<NodeFailure> = Vec::new();
     let mut chaos: Option<custody_sim::ChaosConfig> = None;
+    let mut control_plane: Option<custody_sim::ControlPlaneConfig> = None;
+    let mut checkpoint_secs: Option<f64> = None;
+    let mut master_crash: Option<f64> = None;
     let mut audit = false;
     let mut speculation = false;
     let mut trace_path: Option<String> = None;
@@ -119,6 +123,21 @@ fn main() {
                 c.mean_downtime_secs = downtime;
                 chaos = Some(c);
             }
+            "--detector" => {
+                let v = val();
+                let cp = custody_sim::ControlPlaneConfig::default();
+                control_plane = Some(match v.split_once(':') {
+                    Some((drop, timeout)) => cp
+                        .with_drop_probability(
+                            drop.parse()
+                                .expect("--detector <drop-prob>[:<suspicion-secs>]"),
+                        )
+                        .with_suspicion_timeout(timeout.parse().expect("suspicion seconds")),
+                    None => cp.with_drop_probability(v.parse().expect("--detector <drop-prob>")),
+                });
+            }
+            "--checkpoint" => checkpoint_secs = Some(val().parse().expect("--checkpoint <secs>")),
+            "--master-crash" => master_crash = Some(val().parse().expect("--master-crash <prob>")),
             "--audit" => audit = true,
             "--speculation" => speculation = true,
             "--trace" => trace_path = Some(val()),
@@ -144,6 +163,19 @@ fn main() {
     }
     if speculation {
         cfg = cfg.with_speculation(SpeculationConfig::default());
+    }
+    if checkpoint_secs.is_some() || master_crash.is_some() {
+        let mut cp = control_plane.unwrap_or_default();
+        if let Some(secs) = checkpoint_secs {
+            cp = cp.with_checkpoints(secs);
+        }
+        if let Some(p) = master_crash {
+            cp = cp.with_master_crash_fraction(p);
+        }
+        control_plane = Some(cp);
+    }
+    if let Some(cp) = control_plane {
+        cfg = cfg.with_control_plane(cp);
     }
 
     println!("{}\n", cfg.label());
@@ -176,6 +208,32 @@ fn main() {
             m.requeue_drain_secs.count(),
             m.peak_queue_len,
         );
+    }
+    if m.blocks_lost > 0 {
+        println!(
+            "data loss: {} blocks unrecoverable (sole replica on a failed machine)",
+            m.blocks_lost
+        );
+    }
+    if control_plane.is_some() {
+        println!(
+            "detector: {} false suspicions  detection latency {:.2} s mean / {:.2} s max ({})  \
+             leases revoked {}  stale finishes fenced {} ({} unfenced)",
+            m.false_suspicions,
+            m.detection_latency_secs.mean(),
+            m.detection_latency_secs.max().unwrap_or(0.0),
+            m.detection_latency_secs.count(),
+            m.leases_revoked,
+            m.stale_finishes_fenced,
+            m.unfenced_stale_finishes,
+        );
+        if m.master_recoveries > 0 {
+            println!(
+                "master: {} crash/recovery cycles, each replayed from checkpoint + WAL and \
+                 convergence-checked",
+                m.master_recoveries
+            );
+        }
     }
     println!(
         "allocator: {:.3} ms wall total ({:.2} µs/round)  rounds skipped {}",

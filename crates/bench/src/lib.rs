@@ -490,6 +490,63 @@ pub fn chaos_table(opts: &FigureOptions) -> String {
     )
 }
 
+/// Detector sweep: the modeled control plane (lossy heartbeats,
+/// suspicion timeouts, leases, epoch fencing, master checkpoint/WAL
+/// recovery) vs oracle failure knowledge, on the same chaos schedule.
+/// Shows what imperfect detection costs — false suspicions, detection
+/// latency, lease revocations, lost blocks — and what it does to the
+/// paper's headline metrics.
+pub fn detector_table(opts: &FigureOptions) -> String {
+    use custody_sim::experiment::detector_sweep;
+    let nodes = opts.sizes.iter().copied().min().unwrap_or(25).min(25);
+    let drops = [0.0, 0.05, 0.2, 0.5];
+    let (oracle, cells) = detector_sweep(nodes, opts.jobs_per_app, &drops, opts.seed);
+    let row = |label: String, m: &custody_sim::RunMetrics| {
+        vec![
+            label,
+            pct_mean_std(&m.input_locality()),
+            format!("{:.2} s", m.job_completion_secs().mean()),
+            m.false_suspicions.to_string(),
+            if m.detection_latency_secs.count() > 0 {
+                format!(
+                    "{:.2} s ({})",
+                    m.detection_latency_secs.mean(),
+                    m.detection_latency_secs.count()
+                )
+            } else {
+                "-".to_string()
+            },
+            m.leases_revoked.to_string(),
+            m.blocks_lost.to_string(),
+            m.master_recoveries.to_string(),
+        ]
+    };
+    let mut rows = vec![row("oracle".to_string(), &oracle)];
+    for cell in &cells {
+        rows.push(row(
+            format!("{:.0} %", cell.drop_probability * 100.0),
+            &cell.metrics,
+        ));
+    }
+    format!(
+        "Detector sweep — oracle vs modeled control plane by heartbeat drop rate,\n\
+         WordCount, {nodes} nodes (checkpoints + master crashes on in every modeled row)\n{}",
+        render_table(
+            &[
+                "hb drop",
+                "locality",
+                "jct",
+                "false-susp",
+                "det-latency",
+                "leases-rev",
+                "blocks-lost",
+                "recoveries"
+            ],
+            &rows
+        )
+    )
+}
+
 /// Theory check: the greedy strategy of Algorithm 2 vs the exact optima
 /// on random intra-application instances.
 ///

@@ -1,0 +1,163 @@
+//! Time-bounded executor leases.
+//!
+//! With an oracle-free control plane the master cannot know an executor is
+//! alive — it can only observe heartbeats. A *lease* bounds how long the
+//! master trusts a grant without hearing from the executor's node: every
+//! allocation grants the executor under a lease, every heartbeat from the
+//! host node renews all of that node's leases, and a lease that reaches
+//! its expiry without renewal is revoked (the executor is believed dead
+//! and its work is fenced by an epoch bump). This mirrors the
+//! heartbeat-driven liveness contracts of YARN's ResourceManager and
+//! GFS/HDFS-style chunk leases.
+//!
+//! The table is deliberately passive: it stores expiries and answers
+//! queries; the *driver* decides when to arm timers and what revocation
+//! means. That keeps the data structure deterministic and trivially
+//! snapshot-able for master checkpoints.
+
+use std::collections::BTreeMap;
+
+use custody_simcore::SimTime;
+
+use crate::executor::ExecutorId;
+
+/// Expiry-tracked leases over granted executors.
+///
+/// Keyed by executor id in a `BTreeMap` so iteration order — and therefore
+/// every revocation sweep — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LeaseTable {
+    expiry: BTreeMap<ExecutorId, SimTime>,
+}
+
+impl LeaseTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants a lease on `executor` running until `expires_at`. Granting
+    /// an already-leased executor is a bug: the previous lease must be
+    /// dropped (release / revocation) first.
+    pub fn grant(&mut self, executor: ExecutorId, expires_at: SimTime) {
+        let prev = self.expiry.insert(executor, expires_at);
+        assert!(prev.is_none(), "{executor} already holds a lease");
+    }
+
+    /// Extends `executor`'s lease to at least `expires_at` (a late
+    /// heartbeat never shortens a lease). No-op when the executor holds no
+    /// lease — e.g. a heartbeat from a node whose executors were just
+    /// revoked.
+    pub fn renew(&mut self, executor: ExecutorId, expires_at: SimTime) {
+        if let Some(e) = self.expiry.get_mut(&executor) {
+            *e = (*e).max(expires_at);
+        }
+    }
+
+    /// Drops `executor`'s lease (released back to the pool, or revoked).
+    /// Returns whether a lease existed.
+    pub fn drop_lease(&mut self, executor: ExecutorId) -> bool {
+        self.expiry.remove(&executor).is_some()
+    }
+
+    /// Whether `executor` currently holds a lease.
+    pub fn holds(&self, executor: ExecutorId) -> bool {
+        self.expiry.contains_key(&executor)
+    }
+
+    /// Executors whose lease expiry is `<= now`, in executor-id order.
+    pub fn expired(&self, now: SimTime) -> Vec<ExecutorId> {
+        self.expiry
+            .iter()
+            .filter(|&(_, &t)| t <= now)
+            .map(|(&e, _)| e)
+            .collect()
+    }
+
+    /// The earliest expiry among live leases; `None` when no leases exist.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.expiry.values().copied().min()
+    }
+
+    /// Number of live leases.
+    pub fn len(&self) -> usize {
+        self.expiry.len()
+    }
+
+    /// True when no leases are held.
+    pub fn is_empty(&self) -> bool {
+        self.expiry.is_empty()
+    }
+
+    /// Iterates over `(executor, expiry)` pairs in executor-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ExecutorId, SimTime)> + '_ {
+        self.expiry.iter().map(|(&e, &t)| (e, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn grant_renew_expire() {
+        let mut l = LeaseTable::new();
+        l.grant(ExecutorId::new(0), t(5));
+        l.grant(ExecutorId::new(1), t(7));
+        assert_eq!(l.len(), 2);
+        assert!(l.holds(ExecutorId::new(0)));
+        assert_eq!(l.expired(t(5)), vec![ExecutorId::new(0)]);
+        l.renew(ExecutorId::new(0), t(9));
+        assert!(l.expired(t(5)).is_empty());
+        assert_eq!(l.next_expiry(), Some(t(7)));
+    }
+
+    #[test]
+    fn renew_never_shortens() {
+        let mut l = LeaseTable::new();
+        l.grant(ExecutorId::new(0), t(10));
+        l.renew(ExecutorId::new(0), t(4));
+        assert!(l.expired(t(9)).is_empty());
+    }
+
+    #[test]
+    fn renew_without_lease_is_noop() {
+        let mut l = LeaseTable::new();
+        l.renew(ExecutorId::new(3), t(4));
+        assert!(l.is_empty());
+        assert!(!l.holds(ExecutorId::new(3)));
+    }
+
+    #[test]
+    fn drop_reports_existence() {
+        let mut l = LeaseTable::new();
+        l.grant(ExecutorId::new(2), t(3));
+        assert!(l.drop_lease(ExecutorId::new(2)));
+        assert!(!l.drop_lease(ExecutorId::new(2)));
+        assert_eq!(l.next_expiry(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds a lease")]
+    fn double_grant_panics() {
+        let mut l = LeaseTable::new();
+        l.grant(ExecutorId::new(0), t(1));
+        l.grant(ExecutorId::new(0), t(2));
+    }
+
+    #[test]
+    fn expired_is_sorted_by_id() {
+        let mut l = LeaseTable::new();
+        l.grant(ExecutorId::new(5), t(1));
+        l.grant(ExecutorId::new(1), t(1));
+        l.grant(ExecutorId::new(9), t(8));
+        assert_eq!(
+            l.expired(t(2)),
+            vec![ExecutorId::new(1), ExecutorId::new(5)]
+        );
+    }
+}

@@ -21,11 +21,13 @@
 //!   time.
 
 pub mod executor;
+pub mod lease;
 pub mod network;
 pub mod node;
 pub mod topology;
 
 pub use executor::{Executor, ExecutorId};
+pub use lease::LeaseTable;
 pub use network::{DataLocality, NetworkModel};
 pub use node::WorkerNode;
 pub use topology::{ClusterSpec, ClusterState, RackId};

@@ -173,6 +173,17 @@ pub trait ExecutorAllocator {
     /// it for its lifetime; Custody and Mesos-style offers grant only what
     /// the demand justifies.
     fn allocate(&mut self, view: &AllocationView, rng: &mut SimRng) -> Vec<Assignment>;
+
+    /// Deep-copies the allocator, internal state included (static
+    /// partitions, offer cursors). Master checkpointing snapshots the
+    /// allocator so a recovered master replays identical grants.
+    fn clone_box(&self) -> Box<dyn ExecutorAllocator>;
+}
+
+impl Clone for Box<dyn ExecutorAllocator> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Checks the allocator contract; panics with a diagnostic on violation.

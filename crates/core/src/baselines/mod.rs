@@ -136,7 +136,7 @@ fn allocate_by_ownership(
 
 /// Spark standalone (`spreadOut = true`): static node-round-robin
 /// partition.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct StaticSpreadAllocator {
     owner: Option<HashMap<ExecutorId, AppId>>,
 }
@@ -157,10 +157,14 @@ impl ExecutorAllocator for StaticSpreadAllocator {
         let owner = self.owner.get_or_insert_with(|| spread_partition(view));
         allocate_by_ownership(view, owner)
     }
+
+    fn clone_box(&self) -> Box<dyn ExecutorAllocator> {
+        Box::new(self.clone())
+    }
 }
 
 /// Spark standalone without spreading: static uniform-random partition.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct StaticRandomAllocator {
     owner: Option<HashMap<ExecutorId, AppId>>,
 }
@@ -183,13 +187,17 @@ impl ExecutorAllocator for StaticRandomAllocator {
             .get_or_insert_with(|| random_partition(view, rng));
         allocate_by_ownership(view, owner)
     }
+
+    fn clone_box(&self) -> Box<dyn ExecutorAllocator> {
+        Box::new(self.clone())
+    }
 }
 
 /// Mesos-style data-unaware dynamic offers: each idle executor is offered
 /// to applications in rotation; the first application with runnable tasks
 /// and quota headroom accepts. The rotation cursor persists across rounds
 /// so offers stay fair over time.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct DynamicOfferAllocator {
     cursor: usize,
 }
@@ -230,6 +238,10 @@ impl ExecutorAllocator for DynamicOfferAllocator {
             }
         }
         out
+    }
+
+    fn clone_box(&self) -> Box<dyn ExecutorAllocator> {
+        Box::new(self.clone())
     }
 }
 

@@ -141,6 +141,10 @@ impl ExecutorAllocator for CustodyAllocator {
         self.scratch = scratch;
         assignments
     }
+
+    fn clone_box(&self) -> Box<dyn ExecutorAllocator> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 use crate::block::{BlockId, NodeId};
 
 /// Storage state of a single machine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataNode {
     /// The machine this state belongs to.
     pub node: NodeId,

@@ -31,7 +31,7 @@ use crate::popularity::AccessTracker;
 /// let block = nn.dataset(ds).blocks[0];
 /// assert_eq!(nn.locations(block).len(), 3);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NameNode {
     datanodes: Vec<DataNode>,
     blocks: Vec<Block>,
@@ -39,6 +39,12 @@ pub struct NameNode {
     /// Per-block replica locations, kept sorted by node id.
     replicas: Vec<Vec<NodeId>>,
     replication: usize,
+    /// Per-node shadow replica sets recorded by
+    /// [`suspect_node`](Self::suspect_node): the blocks whose replica was
+    /// dropped from that node on suspicion. If the node turns out alive
+    /// with its disk intact, [`reinstate_node`](Self::reinstate_node)
+    /// re-registers the still-needed ones. Empty for unsuspected nodes.
+    shadow: Vec<Vec<BlockId>>,
 }
 
 impl NameNode {
@@ -55,6 +61,7 @@ impl NameNode {
             datasets: Vec::new(),
             replicas: Vec::new(),
             replication,
+            shadow: vec![Vec::new(); num_nodes],
         }
     }
 
@@ -275,6 +282,67 @@ impl NameNode {
         self.datanodes[node.index()].is_decommissioned()
     }
 
+    /// *Suspects* a machine based on missed DataNode heartbeats: same
+    /// metadata effect as [`fail_node`](Self::fail_node) — the master
+    /// stops routing reads there and re-replicates — but the dropped
+    /// replica set is remembered in a shadow list so a false suspicion can
+    /// be undone by [`reinstate_node`](Self::reinstate_node). Returns the
+    /// pinned sole-copy blocks exactly as `fail_node` does.
+    pub fn suspect_node(&mut self, node: NodeId) -> Vec<BlockId> {
+        let held: Vec<BlockId> = self.datanodes[node.index()].blocks().collect();
+        let pinned = self.fail_node(node);
+        // Everything dropped (held minus pinned, which stayed registered).
+        self.shadow[node.index()] = held.into_iter().filter(|b| !pinned.contains(b)).collect();
+        pinned
+    }
+
+    /// Clears a suspicion: the machine is recommissioned, and — when
+    /// `data_survived` (the outage never actually destroyed the disk) —
+    /// its shadow replicas are re-registered for every block still below
+    /// the replication target (excess copies created by healing in the
+    /// meantime are discarded, as HDFS does). Returns the number of
+    /// replicas re-registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not currently failed/suspected.
+    pub fn reinstate_node(&mut self, node: NodeId, data_survived: bool) -> usize {
+        self.recover_node(node);
+        let shadow = std::mem::take(&mut self.shadow[node.index()]);
+        if !data_survived {
+            return 0;
+        }
+        let mut readded = 0;
+        for block in shadow {
+            if self.replicas[block.index()].len() < self.replication
+                && self.add_replica(block, node)
+            {
+                readded += 1;
+            }
+        }
+        readded
+    }
+
+    /// Number of blocks whose *only* replica sits on a failed
+    /// (decommissioned) machine — data currently served on borrowed time.
+    pub fn sole_replica_on_failed(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|locs| locs.len() == 1 && self.datanodes[locs[0].index()].is_decommissioned())
+            .count()
+    }
+
+    /// Number of blocks whose *only* replica sits on `node` — what a
+    /// suspicion of that node alone puts on borrowed time. Counts both
+    /// live and decommissioned nodes so callers can score a suspicion
+    /// before or after it takes effect.
+    pub fn sole_replica_on(&self, node: NodeId) -> usize {
+        self.replicas
+            .iter()
+            .filter(|locs| locs.len() == 1 && locs[0] == node)
+            .count()
+    }
+
     /// Brings every block back up to the target replication factor by
     /// creating replicas on the machines with the most free space (HDFS's
     /// under-replicated-block queue, collapsed to an instant). Returns the
@@ -332,6 +400,12 @@ impl NameNode {
             }
             let used: u64 = dn.blocks().map(|b| self.blocks[b.index()].size_bytes).sum();
             assert_eq!(used, dn.used_bytes(), "{} usage drift", dn.node);
+        }
+        for (n, shadow) in self.shadow.iter().enumerate() {
+            assert!(
+                shadow.is_empty() || self.datanodes[n].is_decommissioned(),
+                "node {n} has shadow replicas but is not suspected"
+            );
         }
     }
 }
@@ -633,5 +707,57 @@ mod tests {
         assert_eq!(nn.locations(b), &[home], "block still readable");
         // Healing moves nothing (replication 1 already met).
         assert_eq!(nn.restore_replication(&mut rng), 0);
+        assert_eq!(nn.sole_replica_on_failed(), 1);
+    }
+
+    #[test]
+    fn suspect_then_reinstate_with_surviving_disk() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(30);
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let victim = NodeId::new(1);
+        let held: Vec<BlockId> = nn.datanode(victim).blocks().collect();
+        assert!(!held.is_empty());
+        let pinned = nn.suspect_node(victim);
+        assert!(pinned.is_empty());
+        assert!(nn.is_node_failed(victim));
+        // No healing happened, so every shadow replica is still needed and
+        // comes back on reinstatement.
+        let readded = nn.reinstate_node(victim, true);
+        assert_eq!(readded, held.len());
+        assert!(!nn.is_node_failed(victim));
+        for b in held {
+            assert!(nn.is_local(victim, b));
+        }
+        nn.check_invariants();
+        let _ = ds;
+    }
+
+    #[test]
+    fn reinstate_after_healing_discards_excess() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(31);
+        nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let victim = NodeId::new(2);
+        nn.suspect_node(victim);
+        // The master healed every under-replicated block in the meantime...
+        nn.restore_replication(&mut rng);
+        // ...so the reinstated disk's copies are all excess.
+        assert_eq!(nn.reinstate_node(victim, true), 0);
+        assert_eq!(nn.datanode(victim).block_count(), 0);
+        nn.check_invariants();
+    }
+
+    #[test]
+    fn reinstate_without_data_rejoins_empty() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(32);
+        nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let victim = NodeId::new(4);
+        nn.suspect_node(victim);
+        assert_eq!(nn.reinstate_node(victim, false), 0);
+        assert_eq!(nn.datanode(victim).block_count(), 0);
+        assert!(!nn.is_node_failed(victim));
+        nn.check_invariants();
     }
 }

@@ -174,6 +174,10 @@ impl TaskScheduler for DelayScheduler {
             retry_after: earliest_expiry.expect("some set must be waiting"),
         }
     }
+
+    fn clone_box(&self) -> Box<dyn TaskScheduler> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

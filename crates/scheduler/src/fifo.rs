@@ -43,6 +43,10 @@ impl TaskScheduler for FifoScheduler {
             },
         }
     }
+
+    fn clone_box(&self) -> Box<dyn TaskScheduler> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

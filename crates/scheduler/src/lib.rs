@@ -100,6 +100,17 @@ pub trait TaskScheduler {
     /// Offers a free executor on `node` at time `now`; `runnable` lists
     /// the tasks that could launch (FIFO order of becoming runnable).
     fn on_offer(&mut self, node: NodeId, runnable: &[RunnableTask], now: SimTime) -> Placement;
+
+    /// Deep-copies the scheduler, internal state included. Master
+    /// checkpointing snapshots each application's scheduler so replayed
+    /// offers reproduce the exact same placements.
+    fn clone_box(&self) -> Box<dyn TaskScheduler>;
+}
+
+impl Clone for Box<dyn TaskScheduler> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Which task scheduler an application runs.

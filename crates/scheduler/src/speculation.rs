@@ -33,7 +33,7 @@ impl Default for SpeculationConfig {
 
 /// Tracks one stage's task durations and answers "should this running
 /// task be cloned?".
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeculationPolicy {
     config: SpeculationConfig,
     total_tasks: usize,

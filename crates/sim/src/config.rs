@@ -182,6 +182,137 @@ impl ChaosConfig {
     }
 }
 
+/// The modeled master ↔ worker control plane: heartbeats over a lossy,
+/// delayed channel, a timeout failure detector, time-bounded executor
+/// leases, and (optionally) master checkpoint/recovery.
+///
+/// With a control plane configured the driver no longer learns about
+/// faults by oracle. Every node runs two logical heartbeat channels —
+/// executor and DataNode — whose messages are independently dropped with
+/// [`drop_probability`](Self::drop_probability) and delayed by an
+/// exponential with mean [`mean_delay_secs`](Self::mean_delay_secs) (all
+/// draws from the seed's `"control-plane"` stream). The master *suspects*
+/// a channel silent for [`suspicion_timeout_secs`](Self::suspicion_timeout_secs),
+/// fences the suspect's work via epoch bumps, and undoes a false
+/// suspicion when a fresher heartbeat arrives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlPlaneConfig {
+    /// Seconds between heartbeat emissions per node and channel.
+    pub heartbeat_interval_secs: f64,
+    /// Probability each heartbeat message is lost in transit.
+    pub drop_probability: f64,
+    /// Mean of the exponential per-message network delay.
+    pub mean_delay_secs: f64,
+    /// A channel silent for this long is suspected failed.
+    pub suspicion_timeout_secs: f64,
+    /// Executors are granted under leases of this length, renewed by every
+    /// executor heartbeat from their host; an expired lease is revoked.
+    /// Must sit between the heartbeat interval and the suspicion timeout.
+    pub lease_duration_secs: f64,
+    /// Master snapshot period; `0` disables checkpointing (and the WAL).
+    pub checkpoint_interval_secs: f64,
+    /// Probability a chaos fault arrival additionally crashes the *master*
+    /// (recovered from the last checkpoint + WAL replay). Draws come from
+    /// the dedicated `"master-crash"` stream, so crash-on and crash-off
+    /// runs share every other schedule. Requires checkpointing.
+    pub master_crash_fraction: f64,
+}
+
+impl Default for ControlPlaneConfig {
+    fn default() -> Self {
+        ControlPlaneConfig {
+            heartbeat_interval_secs: 1.0,
+            drop_probability: 0.05,
+            mean_delay_secs: 0.05,
+            suspicion_timeout_secs: 5.0,
+            lease_duration_secs: 3.0,
+            checkpoint_interval_secs: 0.0,
+            master_crash_fraction: 0.0,
+        }
+    }
+}
+
+impl ControlPlaneConfig {
+    /// Sets the per-message drop probability.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        self.drop_probability = p;
+        self
+    }
+
+    /// Sets the suspicion timeout.
+    pub fn with_suspicion_timeout(mut self, secs: f64) -> Self {
+        self.suspicion_timeout_secs = secs;
+        self
+    }
+
+    /// Enables master checkpointing with the given snapshot period.
+    pub fn with_checkpoints(mut self, interval_secs: f64) -> Self {
+        self.checkpoint_interval_secs = interval_secs;
+        self
+    }
+
+    /// Sets the probability that a chaos fault also crashes the master.
+    pub fn with_master_crash_fraction(mut self, p: f64) -> Self {
+        self.master_crash_fraction = p;
+        self
+    }
+
+    /// A *perfect* control plane — nothing dropped, instant suspicion —
+    /// degenerates to the oracle: the driver bypasses the detector
+    /// entirely, so such a run is event-for-event identical to one with no
+    /// control plane at all. Checkpointing still works independently.
+    pub fn is_perfect(&self) -> bool {
+        self.drop_probability == 0.0 && self.suspicion_timeout_secs == 0.0
+    }
+
+    /// Whether checkpoint/WAL-based master recovery is on.
+    pub fn wal_enabled(&self) -> bool {
+        self.checkpoint_interval_secs > 0.0
+    }
+
+    /// Panics unless the configuration is physically sensible.
+    pub fn validate(&self) {
+        assert!(
+            self.mean_delay_secs >= 0.0,
+            "mean delay must be non-negative"
+        );
+        assert!(
+            self.checkpoint_interval_secs >= 0.0,
+            "checkpoint interval must be non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.master_crash_fraction),
+            "master-crash fraction must be a probability"
+        );
+        if self.master_crash_fraction > 0.0 {
+            assert!(
+                self.wal_enabled(),
+                "master crashes need checkpointing to recover from"
+            );
+        }
+        if self.is_perfect() {
+            return; // oracle degeneration: timing relations don't apply
+        }
+        assert!(
+            self.heartbeat_interval_secs > 0.0,
+            "heartbeat interval must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.drop_probability),
+            "drop probability must be in [0, 1)"
+        );
+        assert!(
+            self.suspicion_timeout_secs > self.heartbeat_interval_secs,
+            "suspicion timeout must exceed the heartbeat interval"
+        );
+        assert!(
+            self.lease_duration_secs > self.heartbeat_interval_secs
+                && self.lease_duration_secs < self.suspicion_timeout_secs,
+            "lease duration must sit between heartbeat interval and suspicion timeout"
+        );
+    }
+}
+
 /// Everything that determines a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -201,6 +332,9 @@ pub struct SimConfig {
     pub failures: Vec<NodeFailure>,
     /// Stochastic fault injection with recovery; `None` disables it.
     pub chaos: Option<ChaosConfig>,
+    /// Modeled heartbeat/lease control plane; `None` keeps the oracle
+    /// failure knowledge of earlier versions.
+    pub control_plane: Option<ControlPlaneConfig>,
     /// Run the invariant auditor after every event even in release
     /// builds. Debug builds (and therefore the test suite) always audit.
     pub audit: bool,
@@ -236,6 +370,7 @@ impl SimConfig {
             quota: QuotaMode::EqualShare,
             failures: Vec::new(),
             chaos: None,
+            control_plane: None,
             audit: false,
             speculation: None,
             seed,
@@ -255,6 +390,7 @@ impl SimConfig {
             quota: QuotaMode::EqualShare,
             failures: Vec::new(),
             chaos: None,
+            control_plane: None,
             audit: false,
             speculation: None,
             seed,
@@ -299,6 +435,12 @@ impl SimConfig {
         self
     }
 
+    /// Enables the modeled heartbeat/lease control plane.
+    pub fn with_control_plane(mut self, cp: ControlPlaneConfig) -> Self {
+        self.control_plane = Some(cp);
+        self
+    }
+
     /// Forces the invariant auditor on in release builds (debug builds
     /// always audit).
     pub fn with_audit(mut self, audit: bool) -> Self {
@@ -309,6 +451,13 @@ impl SimConfig {
     /// Enables speculative execution.
     pub fn with_speculation(mut self, config: SpeculationConfig) -> Self {
         self.speculation = Some(config);
+        self
+    }
+
+    /// Enables (or disables) speculative execution with the default
+    /// straggler policy — the `with_speculation(true)` convenience form.
+    pub fn with_speculation_enabled(mut self, enabled: bool) -> Self {
+        self.speculation = enabled.then(SpeculationConfig::default);
         self
     }
 

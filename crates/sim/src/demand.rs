@@ -64,7 +64,7 @@ pub(crate) fn job_demand_of(job: &RuntimeJob) -> Option<JobDemand> {
 
 /// Per-job demand records kept alive across allocation rounds, plus the
 /// change tracking that drives round skipping.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct DemandCache {
     /// Cached demand, indexed by global job index; `None` = wants nothing.
     demand: Vec<Option<JobDemand>>,

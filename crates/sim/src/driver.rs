@@ -14,6 +14,13 @@
 //! * `Wake` — a delayed-offer retry (delay scheduling declined an offer
 //!   and asked to be re-offered later).
 //!
+//! With a [`ControlPlaneConfig`](crate::ControlPlaneConfig) the oracle is
+//! replaced by a modeled control plane and four more event types appear:
+//! `HeartbeatTick` (a node emits lossy/delayed heartbeats), `HeartbeatArrive`
+//! (one reaches the master), `DetectorDeadline` (a suspicion timer fires),
+//! and `Checkpoint`/`LeaseExpiry` (master snapshots and lease revocation).
+//! The detector and checkpoint submodules hold that logic.
+//!
 //! After every event the driver runs [`Driver::dispatch`], which loops to
 //! a fixed point over three steps:
 //!
@@ -39,13 +46,17 @@ use custody_simcore::stats::Summary;
 use custody_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use custody_workload::{AppId, DatasetMode, JobId, JobSpec, SubmissionSchedule};
 
-use crate::config::{ChaosConfig, SimConfig};
+use crate::config::{ChaosConfig, ControlPlaneConfig, SimConfig};
 use crate::demand::{job_demand_of, DemandCache};
 use crate::job::{RuntimeJob, TaskState};
 use crate::metrics::{AppMetrics, RunMetrics, SimOutcome};
 use crate::trace::{TaskRecord, TaskTrace};
 
 pub mod audit;
+mod checkpoint;
+mod detector;
+
+use detector::{DeadlineKind, DetectorState, HbChannel};
 
 /// Entry point: runs a configuration to completion.
 pub struct Simulation;
@@ -66,7 +77,7 @@ impl Simulation {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     Submit {
         app: AppId,
@@ -89,6 +100,31 @@ enum Event {
     /// the event is handled.
     ChaosFault,
     Wake,
+    /// A node's heartbeat emitter fires: one lossy, delayed heartbeat per
+    /// live channel goes on the wire and the next tick is scheduled.
+    HeartbeatTick {
+        node: custody_dfs::NodeId,
+    },
+    /// A heartbeat reaches the master. `phys_epoch` is the channel's
+    /// physical incarnation at emission; a mismatch means the heartbeat
+    /// predates a fail/recover transition and is discarded as stale.
+    HeartbeatArrive {
+        node: custody_dfs::NodeId,
+        channel: HbChannel,
+        phys_epoch: u64,
+    },
+    /// A suspicion timer fires: if the watched channel has been silent for
+    /// the full timeout the node is suspected, otherwise the timer
+    /// re-arms at the earliest instant it could trip.
+    DetectorDeadline {
+        node: custody_dfs::NodeId,
+        kind: DeadlineKind,
+    },
+    /// The earliest-expiring lease may have run out: revoke every lease
+    /// that expired without renewal.
+    LeaseExpiry,
+    /// Periodic master checkpoint (WAL-enabled runs only).
+    Checkpoint,
 }
 
 /// Identifies one task: (global job index, stage index, task index).
@@ -125,7 +161,7 @@ enum LastRound {
 /// record-bound one; a speculative clone carries its own locality and
 /// launch time here so accounting can be moved attempt-exactly when the
 /// record-bound attempt dies or loses its race.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct RunningTask {
     job_idx: usize,
     stage: usize,
@@ -137,9 +173,15 @@ struct RunningTask {
     launched_at: SimTime,
     /// Whether this attempt is a speculative clone.
     is_clone: bool,
+    /// The executor's epoch when this attempt launched. In detector mode
+    /// a mismatch against the executor's current epoch marks a ghost: an
+    /// attempt that launched into an incarnation that has since died
+    /// (including a doomed launch onto a believed-alive but physically
+    /// down executor, which never schedules a `Finish`).
+    launch_epoch: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 struct SpecState {
     config: SpeculationConfig,
     policies: std::collections::HashMap<(usize, usize), SpeculationPolicy>,
@@ -147,7 +189,7 @@ struct SpecState {
     launches: usize,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 struct ExecState {
     owner: Option<AppId>,
     running: Option<RunningTask>,
@@ -166,6 +208,7 @@ struct ExecState {
     idle_since: SimTime,
 }
 
+#[derive(Clone)]
 struct AppRuntime {
     scheduler: Box<dyn TaskScheduler>,
     /// Indices into `Driver::jobs`, in submission order.
@@ -182,6 +225,7 @@ struct AppRuntime {
     metrics: AppMetrics,
 }
 
+#[derive(Clone)]
 struct Driver {
     queue: EventQueue<Event>,
     namenode: NameNode,
@@ -207,6 +251,23 @@ struct Driver {
     /// Stochastic fault injection, if enabled.
     chaos: Option<ChaosConfig>,
     chaos_rng: SimRng,
+    /// The modeled control plane, if configured. `Some` with a *perfect*
+    /// config (no drops, no timeout) still folds to oracle behavior —
+    /// `detector` stays `None` and no heartbeat events exist.
+    control_plane: Option<ControlPlaneConfig>,
+    /// Failure-detector belief state (`None` in oracle/perfect mode).
+    detector: Option<DetectorState>,
+    /// Heartbeat drop and delay draws.
+    control_rng: SimRng,
+    /// Master-crash draws. A dedicated stream so a crash-fraction sweep
+    /// shares every other schedule with the crash-free run.
+    crash_rng: SimRng,
+    /// The last master checkpoint: a full driver snapshot recovery
+    /// replays the WAL on top of.
+    checkpoint: Option<Box<Driver>>,
+    /// Events handled since the last checkpoint, in pop order — the
+    /// write-ahead log master recovery replays.
+    wal: Vec<(SimTime, u64, Event)>,
     /// Why each node is currently down (`None` = up). Scripted failures
     /// stay down forever; chaos faults schedule a `NodeRecover`.
     node_down: Vec<Option<FaultKind>>,
@@ -225,6 +286,20 @@ struct Driver {
     tasks_requeued: usize,
     clones_won: usize,
     clones_lost: usize,
+    /// Blocks whose last replica lived on a failed/suspected node.
+    blocks_lost: usize,
+    /// Suspicions raised against nodes that were actually alive.
+    false_suspicions: usize,
+    /// Seconds from physical failure to suspicion, per true suspicion.
+    detection_latency: Summary,
+    /// Leases revoked because they expired without renewal.
+    leases_revoked: usize,
+    /// Master crash/recovery cycles survived.
+    master_recoveries: usize,
+    /// Finish events fenced by the executor-epoch check.
+    stale_finishes_fenced: usize,
+    /// Stale finishes that slipped past fencing (the auditor asserts 0).
+    unfenced_stale_finishes: usize,
     /// Open fault disruptions: (fault time, tasks it displaced that have
     /// not relaunched yet). Drained sets record their drain time into
     /// `requeue_drain` — the recovery-time-to-stable-locality metric.
@@ -351,6 +426,43 @@ impl Driver {
             }
         }
 
+        // Control plane: heartbeat ticks, suspicion deadlines, checkpoints.
+        let control_plane = config.control_plane;
+        let detector = match &control_plane {
+            Some(cp) => {
+                cp.validate();
+                if cp.is_perfect() {
+                    None // folds to oracle behavior: no heartbeat events
+                } else {
+                    let tick =
+                        SimTime::ZERO + SimDuration::from_secs_f64(cp.heartbeat_interval_secs);
+                    let deadline =
+                        SimTime::ZERO + SimDuration::from_secs_f64(cp.suspicion_timeout_secs);
+                    for n in 0..cluster.num_nodes() {
+                        let node = custody_dfs::NodeId::new(n);
+                        queue.schedule(tick, Event::HeartbeatTick { node });
+                        for kind in [DeadlineKind::ExecSuspect, DeadlineKind::DfsSuspect] {
+                            queue.schedule(deadline, Event::DetectorDeadline { node, kind });
+                        }
+                    }
+                    Some(DetectorState::new(
+                        *cp,
+                        cluster.num_nodes(),
+                        cluster.num_executors(),
+                    ))
+                }
+            }
+            None => None,
+        };
+        if let Some(cp) = &control_plane {
+            if cp.wal_enabled() {
+                queue.schedule(
+                    SimTime::ZERO + SimDuration::from_secs_f64(cp.checkpoint_interval_secs),
+                    Event::Checkpoint,
+                );
+            }
+        }
+
         let num_nodes = cluster.num_nodes();
         Driver {
             queue,
@@ -375,6 +487,12 @@ impl Driver {
             }),
             chaos: config.chaos,
             chaos_rng,
+            control_plane,
+            detector,
+            control_rng: SimRng::for_stream(config.seed, "control-plane"),
+            crash_rng: SimRng::for_stream(config.seed, "master-crash"),
+            checkpoint: None,
+            wal: Vec::new(),
             node_down: vec![None; num_nodes],
             perma_down: vec![false; num_nodes],
             degraded_until: SimTime::ZERO,
@@ -388,6 +506,13 @@ impl Driver {
             tasks_requeued: 0,
             clones_won: 0,
             clones_lost: 0,
+            blocks_lost: 0,
+            false_suspicions: 0,
+            detection_latency: Summary::new(),
+            leases_revoked: 0,
+            master_recoveries: 0,
+            stale_finishes_fenced: 0,
+            unfenced_stale_finishes: 0,
             open_disruptions: Vec::new(),
             requeue_drain: Summary::new(),
             peak_queue_len: 0,
@@ -403,27 +528,94 @@ impl Driver {
     }
 
     fn run(mut self) -> (SimOutcome, TaskTrace) {
+        if self.wal_enabled() {
+            // Genesis checkpoint: recovery is possible from the first event.
+            self.checkpoint = Some(Box::new(self.clone_for_checkpoint()));
+        }
         while let Some(ev) = self.queue.pop() {
-            self.events_processed += 1;
-            let now = ev.time;
-            match ev.event {
-                Event::Submit { app, seq } => self.on_submit(app, seq, now),
-                Event::Finish { executor, epoch } => self.on_finish(executor, epoch, now),
-                Event::NodeFail { node } => self.on_scripted_fail(node, now),
-                Event::NodeRecover { node } => self.on_node_recover(node, now),
-                Event::ChaosFault => self.on_chaos_fault(now),
-                Event::Wake => {
-                    self.wakes.remove(&now);
-                    self.pending_wakes -= 1;
-                }
+            if self.maybe_crash_master(&ev) {
+                self.master_crash_recover(&ev);
             }
-            self.dispatch(now);
-            self.peak_queue_len = self.peak_queue_len.max(self.queue.len());
+            if self.wal_enabled() {
+                self.wal.push((ev.time, ev.seq, ev.event));
+            }
+            self.handle_event(ev.event, ev.time);
             if self.audit_enabled {
                 self.audit();
             }
+            if matches!(ev.event, Event::Checkpoint) && self.wal_enabled() {
+                // Snapshot *after* the Checkpoint event's own dispatch so
+                // the WAL restarts empty from exactly this state.
+                self.wal.clear();
+                self.checkpoint = Some(Box::new(self.clone_for_checkpoint()));
+            }
         }
         self.finish()
+    }
+
+    /// Handles one popped event — the unit the WAL records and master
+    /// recovery replays. Dispatch (release/allocate/offer) runs after
+    /// every event, exactly as in the main loop.
+    fn handle_event(&mut self, event: Event, now: SimTime) {
+        self.events_processed += 1;
+        match event {
+            Event::Submit { app, seq } => self.on_submit(app, seq, now),
+            Event::Finish { executor, epoch } => self.on_finish(executor, epoch, now),
+            Event::NodeFail { node } => self.on_scripted_fail(node, now),
+            Event::NodeRecover { node } => self.on_node_recover(node, now),
+            Event::ChaosFault => self.on_chaos_fault(now),
+            Event::Wake => {
+                self.wakes.remove(&now);
+                self.pending_wakes -= 1;
+            }
+            Event::HeartbeatTick { node } => self.on_heartbeat_tick(node, now),
+            Event::HeartbeatArrive {
+                node,
+                channel,
+                phys_epoch,
+            } => self.on_heartbeat_arrive(node, channel, phys_epoch, now),
+            Event::DetectorDeadline { node, kind } => self.on_detector_deadline(node, kind, now),
+            Event::LeaseExpiry => self.on_lease_expiry(now),
+            Event::Checkpoint => self.on_checkpoint_tick(now),
+        }
+        self.dispatch(now);
+        self.peak_queue_len = self.peak_queue_len.max(self.queue.len());
+    }
+
+    /// Whether this run keeps a checkpoint + WAL (master recovery).
+    fn wal_enabled(&self) -> bool {
+        self.control_plane.is_some_and(|cp| cp.wal_enabled())
+    }
+
+    /// Draws the master-crash coin for this event. Only `ChaosFault` pops
+    /// can crash the master, and only when checkpointing is on; the draw
+    /// comes from a dedicated stream so a `master_crash_fraction` sweep
+    /// perturbs nothing else.
+    fn maybe_crash_master(&mut self, ev: &custody_simcore::ScheduledEvent<Event>) -> bool {
+        let Some(cp) = &self.control_plane else {
+            return false;
+        };
+        if !cp.wal_enabled()
+            || cp.master_crash_fraction <= 0.0
+            || !matches!(ev.event, Event::ChaosFault)
+        {
+            return false;
+        }
+        self.crash_rng.chance(cp.master_crash_fraction)
+    }
+
+    /// Re-arms the periodic checkpoint while the run still has events —
+    /// the tick must not keep an otherwise-finished simulation alive.
+    fn on_checkpoint_tick(&mut self, now: SimTime) {
+        let cp = self
+            .control_plane
+            .expect("checkpoint event without a control plane");
+        if !self.queue.is_empty() {
+            self.queue.schedule(
+                now + SimDuration::from_secs_f64(cp.checkpoint_interval_secs),
+                Event::Checkpoint,
+            );
+        }
     }
 
     /// Records a winning task completion into the trace, if enabled.
@@ -470,9 +662,20 @@ impl Driver {
     fn on_finish(&mut self, executor: ExecutorId, epoch: u64, now: SimTime) {
         let state = &mut self.exec_state[executor.index()];
         if state.dead || state.epoch != epoch {
-            return; // stale completion for a task killed by a failure
+            // Stale completion for a task killed by a failure (or, in
+            // detector mode, fenced out by a belief-kill's epoch bump).
+            self.stale_finishes_fenced += 1;
+            return;
         }
-        let running = state.running.take().expect("finish on idle executor");
+        let Some(running) = state.running.take() else {
+            if self.detector.is_some() {
+                // A stale finish that slipped past epoch fencing — never
+                // expected; the auditor asserts this stays zero.
+                self.unfenced_stale_finishes += 1;
+                return;
+            }
+            panic!("finish on idle executor");
+        };
         state.idle_since = now;
         if running.remote_input {
             self.remote_reads_in_flight = self
@@ -640,35 +843,46 @@ impl Driver {
         true
     }
 
-    /// Kills every live executor on `node`: running attempts die with
-    /// attempt-exact rollback, owners lose the executor, and the idle
-    /// pool shrinks. Displaced tasks are tracked as one open disruption
-    /// for the recovery-time-to-stable-locality metric.
+    /// Kills one live executor (physically in oracle mode, in the
+    /// master's belief in detector mode): the running attempt dies with
+    /// attempt-exact rollback, the owner loses the executor, the idle
+    /// pool shrinks, and any lease is dropped. Displaced-task keys are
+    /// accumulated into `displaced` for disruption tracking.
+    fn kill_executor(&mut self, e: ExecutorId, now: SimTime, displaced: &mut BTreeSet<TaskKey>) {
+        let state = &mut self.exec_state[e.index()];
+        if state.dead {
+            return;
+        }
+        state.dead = true;
+        state.epoch += 1;
+        if let Some(running) = state.running.take() {
+            if running.remote_input {
+                self.remote_reads_in_flight = self
+                    .remote_reads_in_flight
+                    .checked_sub(1)
+                    .expect("remote-read counter underflow");
+            }
+            if self.on_attempt_killed(&running, now) {
+                displaced.insert((running.job_idx, running.stage, running.task));
+            }
+        }
+        if let Some(owner) = self.exec_state[e.index()].owner.take() {
+            self.apps[owner.index()].held.remove(&e);
+        }
+        self.pool.remove(&e);
+        if let Some(d) = &mut self.detector {
+            d.leases.drop_lease(e);
+        }
+    }
+
+    /// Kills every live executor on `node`. Displaced tasks are tracked
+    /// as one open disruption for the recovery-time-to-stable-locality
+    /// metric.
     fn kill_executors_on(&mut self, node: custody_dfs::NodeId, now: SimTime) {
         let executors: Vec<ExecutorId> = self.cluster.executors_on(node).to_vec();
         let mut displaced = BTreeSet::new();
         for e in executors {
-            let state = &mut self.exec_state[e.index()];
-            if state.dead {
-                continue;
-            }
-            state.dead = true;
-            state.epoch += 1;
-            if let Some(running) = state.running.take() {
-                if running.remote_input {
-                    self.remote_reads_in_flight = self
-                        .remote_reads_in_flight
-                        .checked_sub(1)
-                        .expect("remote-read counter underflow");
-                }
-                if self.on_attempt_killed(&running, now) {
-                    displaced.insert((running.job_idx, running.stage, running.task));
-                }
-            }
-            if let Some(owner) = self.exec_state[e.index()].owner.take() {
-                self.apps[owner.index()].held.remove(&e);
-            }
-            self.pool.remove(&e);
+            self.kill_executor(e, now, &mut displaced);
         }
         if !displaced.is_empty() {
             self.open_disruptions.push((now, displaced));
@@ -683,7 +897,13 @@ impl Driver {
     fn on_node_fail(&mut self, node: custody_dfs::NodeId, now: SimTime) {
         self.nodes_failed += 1;
         self.node_down[node.index()] = Some(FaultKind::Machine);
-        let _sole_copies = self.namenode.fail_node(node);
+        if self.detector.is_some() {
+            // The master learns nothing here: only heartbeat silence
+            // (suspicion, lease expiry) changes its belief.
+            self.phys_fail(node, now, FaultKind::Machine);
+            return;
+        }
+        self.blocks_lost += self.namenode.fail_node(node).len();
         self.namenode.restore_replication(&mut self.fail_rng);
 
         self.kill_executors_on(node, now);
@@ -714,9 +934,18 @@ impl Driver {
             Some(FaultKind::ExecutorsOnly) => {
                 self.node_down[node.index()] = Some(FaultKind::Machine);
                 self.nodes_failed += 1;
-                let _sole_copies = self.namenode.fail_node(node);
-                self.namenode.restore_replication(&mut self.fail_rng);
-                self.refresh_all_preferred();
+                if let Some(d) = &mut self.detector {
+                    // Escalation destroys the disk; the DFS channel gets
+                    // a fresh incarnation and the master finds out via
+                    // heartbeat silence.
+                    d.phys_epoch_dfs[node.index()] += 1;
+                    d.data_lost[node.index()] = true;
+                    d.phys_down_at[node.index()] = now;
+                } else {
+                    self.blocks_lost += self.namenode.fail_node(node).len();
+                    self.namenode.restore_replication(&mut self.fail_rng);
+                    self.refresh_all_preferred();
+                }
             }
             Some(FaultKind::Machine) => {}
         }
@@ -729,6 +958,10 @@ impl Driver {
     fn on_executor_fault(&mut self, node: custody_dfs::NodeId, now: SimTime) {
         self.executor_faults += 1;
         self.node_down[node.index()] = Some(FaultKind::ExecutorsOnly);
+        if self.detector.is_some() {
+            self.phys_fail(node, now, FaultKind::ExecutorsOnly);
+            return;
+        }
         self.kill_executors_on(node, now);
         self.cache.invalidate_executors();
         self.cache.mark_pool_changed();
@@ -746,6 +979,11 @@ impl Driver {
         let kind = self.node_down[node.index()]
             .take()
             .expect("recovering a node that is up");
+        if self.detector.is_some() {
+            self.phys_recover(node, kind, now);
+            self.nodes_recovered += 1;
+            return;
+        }
         if kind == FaultKind::Machine {
             self.namenode.recover_node(node);
         }
@@ -856,6 +1094,9 @@ impl Driver {
                 self.apps[i].held.remove(&e);
                 self.exec_state[e.index()].owner = None;
                 self.pool.insert(e);
+                if let Some(d) = &mut self.detector {
+                    d.leases.drop_lease(e); // released before expiry
+                }
                 released += 1;
             }
         }
@@ -876,7 +1117,7 @@ impl Driver {
     /// first call, `DynamicOffer` advances its cursor only on grants), so
     /// re-running it would grant nothing again. The skip replays the
     /// previous round's counting so metrics stay bit-identical.
-    fn allocation_round(&mut self, _now: SimTime) -> usize {
+    fn allocation_round(&mut self, now: SimTime) -> usize {
         if self.pool.is_empty() {
             self.last_round = LastRound::EmptyPool;
             return 0;
@@ -922,6 +1163,16 @@ impl Driver {
             assert!(removed, "allocator granted non-pooled executor");
             self.exec_state[a.executor.index()].owner = Some(a.app);
             self.apps[a.app.index()].held.insert(a.executor);
+            if let Some(d) = &mut self.detector {
+                // Every grant is a time-bounded lease; the host node's
+                // heartbeats renew it, silence revokes it.
+                let expiry = now + SimDuration::from_secs_f64(d.cp.lease_duration_secs);
+                d.leases.grant(a.executor, expiry);
+                if d.lease_deadline_at.is_none() {
+                    d.lease_deadline_at = Some(expiry);
+                    self.queue.schedule(expiry, Event::LeaseExpiry);
+                }
+            }
         }
         if granted > 0 {
             self.cache.mark_pool_changed();
@@ -1163,14 +1414,20 @@ impl Driver {
             local: is_input.then_some(local),
             launched_at: now,
             is_clone: true,
+            launch_epoch: self.exec_state[e.index()].epoch,
         });
-        self.queue.schedule(
-            now + io_time + compute,
-            Event::Finish {
-                executor: e,
-                epoch: self.exec_state[e.index()].epoch,
-            },
-        );
+        // A doomed launch — onto a believed-alive but physically down
+        // executor — never completes; lease expiry or a post-recovery
+        // heartbeat's ghost check cleans it up.
+        if self.node_down[node.index()].is_none() {
+            self.queue.schedule(
+                now + io_time + compute,
+                Event::Finish {
+                    executor: e,
+                    epoch: self.exec_state[e.index()].epoch,
+                },
+            );
+        }
         true
     }
 
@@ -1274,14 +1531,19 @@ impl Driver {
             local: is_input.then_some(actual_local),
             launched_at: now,
             is_clone: false,
+            launch_epoch: self.exec_state[executor.index()].epoch,
         });
-        self.queue.schedule(
-            now + io_time + compute,
-            Event::Finish {
-                executor,
-                epoch: self.exec_state[executor.index()].epoch,
-            },
-        );
+        // Doomed launches (detector mode: executor believed alive but
+        // physically down) never complete — see `try_speculate`.
+        if self.node_down[node.index()].is_none() {
+            self.queue.schedule(
+                now + io_time + compute,
+                Event::Finish {
+                    executor,
+                    epoch: self.exec_state[executor.index()].epoch,
+                },
+            );
+        }
         if !self.open_disruptions.is_empty() {
             self.note_relaunch((job_idx, stage, task), now);
         }
@@ -1364,6 +1626,13 @@ impl Driver {
                 clones_lost: self.clones_lost,
                 requeue_drain_secs: self.requeue_drain,
                 peak_queue_len: self.peak_queue_len,
+                blocks_lost: self.blocks_lost,
+                false_suspicions: self.false_suspicions,
+                detection_latency_secs: self.detection_latency,
+                leases_revoked: self.leases_revoked,
+                master_recoveries: self.master_recoveries,
+                stale_finishes_fenced: self.stale_finishes_fenced,
+                unfenced_stale_finishes: self.unfenced_stale_finishes,
             },
         };
         (outcome, trace)

@@ -37,6 +37,11 @@
 //!    decommission state.
 //! 9. **Demand-cache freshness** — every clean cache slot matches a
 //!    from-scratch recomputation (incremental engine only).
+//! 10. **Belief coherence** (detector mode) — executor death tracks
+//!     suspicion/lease-revocation belief exactly, DFS decommissions
+//!     track DataNode suspicion, ownership and leases form a bijection,
+//!     suspicion timers are disarmed exactly while their suspicion
+//!     stands, and no stale completion ever slipped past epoch fencing.
 
 use crate::job::TaskState;
 
@@ -228,7 +233,17 @@ impl Driver {
 
     /// Invariant 8: driver fault records, executor liveness, and DFS
     /// decommission state all agree; then the NameNode's own deep check.
+    ///
+    /// In oracle mode liveness is coupled to *physical* truth
+    /// (`node_down`); in detector mode it is coupled to the master's
+    /// *belief* (suspicions and lease revocations), which is checked by
+    /// [`audit_detector`](Self::audit_detector) instead.
     fn audit_topology(&self) {
+        if self.detector.is_some() {
+            self.audit_detector();
+            self.namenode.check_invariants();
+            return;
+        }
         for (e, st) in self.exec_state.iter().enumerate() {
             let node = self.cluster.node_of(custody_cluster::ExecutorId::new(e));
             assert_eq!(
@@ -251,6 +266,70 @@ impl Driver {
                 None => assert!(!failed, "node {n} is up but decommissioned"),
             }
         }
+        assert!(
+            self.blocks_lost == 0 || self.nodes_failed > 0,
+            "blocks recorded lost without any machine loss"
+        );
         self.namenode.check_invariants();
+    }
+
+    /// Invariant 10 (detector mode): the master's belief state is
+    /// internally coherent — executor death tracks suspicion/revocation
+    /// exactly, DFS decommissions track DataNode suspicion exactly,
+    /// ownership and leases are a bijection, suspicion timers are
+    /// disarmed exactly while their suspicion stands, the single lease
+    /// timer covers the earliest expiry, and no stale completion ever
+    /// slipped past epoch fencing.
+    fn audit_detector(&self) {
+        let d = self.detector.as_ref().expect("detector audit without one");
+        for (e, st) in self.exec_state.iter().enumerate() {
+            let node = self.cluster.node_of(custody_cluster::ExecutorId::new(e));
+            let believed_dead = d.exec_suspected[node.index()] || d.revoked[e];
+            assert_eq!(
+                st.dead, believed_dead,
+                "executor {e} deadness disagrees with suspicion/revocation belief"
+            );
+            assert_eq!(
+                st.owner.is_some(),
+                d.leases.holds(custody_cluster::ExecutorId::new(e)),
+                "executor {e} ownership and lease disagree"
+            );
+        }
+        for n in 0..self.node_down.len() {
+            assert_eq!(
+                self.namenode.is_node_failed(custody_dfs::NodeId::new(n)),
+                d.dfs_suspected[n],
+                "node {n} DFS decommission state disagrees with suspicion belief"
+            );
+            if d.exec_suspected[n] {
+                assert!(
+                    !d.exec_deadline_armed[n],
+                    "node {n} exec-suspected with its suspicion timer still armed"
+                );
+            }
+            if d.dfs_suspected[n] {
+                assert!(
+                    !d.dfs_deadline_armed[n],
+                    "node {n} dfs-suspected with its suspicion timer still armed"
+                );
+            }
+        }
+        if let Some(next) = d.leases.next_expiry() {
+            let armed_at = d
+                .lease_deadline_at
+                .expect("live leases without a pending expiry timer");
+            assert!(
+                armed_at <= next,
+                "lease timer armed after the earliest lease expiry"
+            );
+        }
+        assert!(
+            self.blocks_lost == 0 || self.nodes_failed > 0,
+            "blocks recorded lost without any machine loss"
+        );
+        assert_eq!(
+            self.unfenced_stale_finishes, 0,
+            "a stale completion slipped past epoch fencing"
+        );
     }
 }

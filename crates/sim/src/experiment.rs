@@ -194,6 +194,59 @@ pub fn chaos_sweep(
     (custody_calm, baseline_calm, cells)
 }
 
+/// One cell of the detector sweep: the full modeled control plane at one
+/// heartbeat-drop probability, riding the same chaos schedule as every
+/// other cell.
+#[derive(Debug, Clone)]
+pub struct DetectorCell {
+    /// Per-heartbeat drop probability for this cell.
+    pub drop_probability: f64,
+    /// Metrics with the detector in the loop.
+    pub metrics: RunMetrics,
+}
+
+/// The detector sweep: one chaotic run with oracle failure knowledge
+/// (instant, perfect detection) as the reference, then the same chaos
+/// schedule re-run with the modeled control plane at each heartbeat-drop
+/// probability. Master checkpointing and crash/recovery stay on
+/// throughout the modeled cells, so every row also exercises WAL replay.
+/// Returns `(oracle, cells)`; cells are run in parallel and ordered by
+/// increasing drop probability.
+pub fn detector_sweep(
+    num_nodes: usize,
+    jobs_per_app: usize,
+    drops: &[f64],
+    seed: u64,
+) -> (RunMetrics, Vec<DetectorCell>) {
+    let mut base = SimConfig::paper(
+        WorkloadKind::WordCount,
+        num_nodes,
+        AllocatorKind::Custody,
+        seed,
+    );
+    base.campaign = base.campaign.with_jobs_per_app(jobs_per_app);
+    let chaos = crate::config::ChaosConfig::default()
+        .with_mean_time_between_faults(30.0)
+        .with_horizon(240.0);
+    let base = base.with_chaos(chaos);
+    let grid: Vec<f64> = drops.to_vec();
+    let base_for_cells = base.clone();
+    let mut cells = custody_simcore::par_map(&grid, move |&drop| {
+        let cp = crate::config::ControlPlaneConfig::default()
+            .with_drop_probability(drop)
+            .with_checkpoints(15.0)
+            .with_master_crash_fraction(0.25);
+        let cfg = base_for_cells.clone().with_control_plane(cp);
+        DetectorCell {
+            drop_probability: drop,
+            metrics: Simulation::run(&cfg).cluster_metrics,
+        }
+    });
+    cells.sort_by(|a, b| a.drop_probability.total_cmp(&b.drop_probability));
+    let oracle = Simulation::run(&base).cluster_metrics;
+    (oracle, cells)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +269,19 @@ mod tests {
         assert_eq!(cells[0].num_nodes, 8);
         assert_eq!(cells[5].num_nodes, 12);
         assert_eq!(cells[1].workload, WorkloadKind::WordCount);
+    }
+
+    #[test]
+    fn detector_sweep_runs_and_orders_cells() {
+        let (oracle, cells) = detector_sweep(10, 2, &[0.05, 0.4], 17);
+        assert_eq!(cells.len(), 2);
+        assert!(cells[0].drop_probability < cells[1].drop_probability);
+        assert_eq!(oracle.false_suspicions, 0);
+        assert_eq!(oracle.jobs_completed, 8);
+        for cell in &cells {
+            assert_eq!(cell.metrics.jobs_completed, 8);
+            assert_eq!(cell.metrics.unfenced_stale_finishes, 0);
+        }
     }
 
     #[test]

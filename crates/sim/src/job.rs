@@ -26,7 +26,7 @@ pub enum TaskState {
 }
 
 /// One task's runtime record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeTask {
     /// Lifecycle state.
     pub state: TaskState,
@@ -62,7 +62,7 @@ impl RuntimeTask {
 }
 
 /// One stage's runtime record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeStage {
     /// Stage label.
     pub name: String,
@@ -115,7 +115,7 @@ impl RuntimeStage {
 }
 
 /// One job's runtime record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeJob {
     /// Globally unique id.
     pub id: JobId,

@@ -35,7 +35,9 @@ pub mod report;
 pub mod sweep;
 pub mod trace;
 
-pub use config::{ChaosConfig, NodeFailure, PlacementKind, QuotaMode, SimConfig};
+pub use config::{
+    ChaosConfig, ControlPlaneConfig, NodeFailure, PlacementKind, QuotaMode, SimConfig,
+};
 pub use driver::Simulation;
 pub use metrics::{AppMetrics, RunMetrics, SimOutcome};
 pub use sweep::{Sweep, SweepResult};

@@ -13,7 +13,7 @@ use custody_simcore::SimTime;
 use custody_workload::{AppId, WorkloadKind};
 
 /// Metrics of one application.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppMetrics {
     /// The application.
     pub app: AppId,
@@ -71,7 +71,7 @@ impl AppMetrics {
 }
 
 /// Metrics of one whole run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Per-application breakdown, app-id order.
     pub per_app: Vec<AppMetrics>,
@@ -115,6 +115,26 @@ pub struct RunMetrics {
     /// Largest event-queue length observed (bounded-queue guard for the
     /// wake-dedup logic).
     pub peak_queue_len: usize,
+    /// Blocks whose last replica lived on a failed (or suspected) node —
+    /// data the DFS could not re-replicate and jobs must read degraded.
+    pub blocks_lost: usize,
+    /// Detector suspicions raised against nodes that were actually alive
+    /// (a heartbeat was merely lost or late).
+    pub false_suspicions: usize,
+    /// Seconds from a node's physical failure to the detector suspecting
+    /// it, per true suspicion (the detection latency the paper's lease
+    /// and heartbeat timeouts trade off against false positives).
+    pub detection_latency_secs: Summary,
+    /// Executor leases revoked because they expired without renewal.
+    pub leases_revoked: usize,
+    /// Master crash/recovery cycles survived via checkpoint + WAL replay.
+    pub master_recoveries: usize,
+    /// Finish events fenced because the executor's epoch had advanced
+    /// (the attempt belonged to a revoked or restarted incarnation).
+    pub stale_finishes_fenced: usize,
+    /// Finish events from a stale incarnation that slipped past fencing —
+    /// always zero unless fencing is broken (the auditor asserts on it).
+    pub unfenced_stale_finishes: usize,
 }
 
 impl RunMetrics {
@@ -235,6 +255,13 @@ mod tests {
             clones_lost: 0,
             requeue_drain_secs: Summary::new(),
             peak_queue_len: 0,
+            blocks_lost: 0,
+            false_suspicions: 0,
+            detection_latency_secs: Summary::new(),
+            leases_revoked: 0,
+            master_recoveries: 0,
+            stale_finishes_fenced: 0,
+            unfenced_stale_finishes: 0,
         };
         assert_eq!(run.input_locality().count(), 4);
         assert_eq!(run.job_completion_secs().count(), 4);
@@ -262,6 +289,13 @@ mod tests {
             clones_lost: 0,
             requeue_drain_secs: Summary::new(),
             peak_queue_len: 0,
+            blocks_lost: 0,
+            false_suspicions: 0,
+            detection_latency_secs: Summary::new(),
+            leases_revoked: 0,
+            master_recoveries: 0,
+            stale_finishes_fenced: 0,
+            unfenced_stale_finishes: 0,
         };
         assert_eq!(run.min_local_job_fraction(), 1.0);
     }

@@ -70,6 +70,31 @@ fn assert_identical(on: &RunMetrics, off: &RunMetrics, label: &str) {
         on.peak_queue_len, off.peak_queue_len,
         "{label}: peak event-queue length"
     );
+    assert_eq!(on.blocks_lost, off.blocks_lost, "{label}: blocks lost");
+    assert_eq!(
+        on.false_suspicions, off.false_suspicions,
+        "{label}: false suspicions"
+    );
+    assert_eq!(
+        on.detection_latency_secs, off.detection_latency_secs,
+        "{label}: detection latency"
+    );
+    assert_eq!(
+        on.leases_revoked, off.leases_revoked,
+        "{label}: lease revocations"
+    );
+    assert_eq!(
+        on.master_recoveries, off.master_recoveries,
+        "{label}: master recoveries"
+    );
+    assert_eq!(
+        on.stale_finishes_fenced, off.stale_finishes_fenced,
+        "{label}: fenced stale finishes"
+    );
+    assert_eq!(
+        on.unfenced_stale_finishes, off.unfenced_stale_finishes,
+        "{label}: unfenced stale finishes"
+    );
     // The scan-everything path never skips.
     assert_eq!(off.rounds_skipped, 0, "{label}: reference path skipped");
 }
@@ -124,6 +149,30 @@ fn chaos_injection_identical_for_every_allocator() {
                 .with_allocator(kind)
                 .with_chaos(chaos),
             &format!("chaos {kind}"),
+        );
+    }
+}
+
+#[test]
+fn detector_and_master_crashes_identical() {
+    // The full control plane: lossy heartbeats, suspicion, leases,
+    // checkpoints, and master crashes on top of chaos — all its RNG
+    // draws come from dedicated streams, so the incremental engine must
+    // replay the exact same belief evolution and recovery schedule.
+    use custody_sim::ControlPlaneConfig;
+    let chaos = ChaosConfig::default()
+        .with_mean_time_between_faults(9.0)
+        .with_horizon(120.0);
+    let cp = ControlPlaneConfig::default()
+        .with_checkpoints(10.0)
+        .with_master_crash_fraction(0.5);
+    for kind in [AllocatorKind::Custody, AllocatorKind::DynamicOffer] {
+        run_pair(
+            SimConfig::small_demo(19)
+                .with_allocator(kind)
+                .with_chaos(chaos)
+                .with_control_plane(cp),
+            &format!("detector {kind}"),
         );
     }
 }

@@ -23,6 +23,7 @@ pub struct ScheduledEvent<E> {
     pub event: E,
 }
 
+#[derive(Clone)]
 struct HeapEntry<E> {
     time: SimTime,
     seq: u64,
@@ -74,6 +75,16 @@ pub struct EventQueue<E> {
     /// Time of the most recently popped event; used to reject scheduling in
     /// the past, which would indicate a logic bug in a model.
     watermark: SimTime,
+}
+
+impl<E: Clone> Clone for EventQueue<E> {
+    fn clone(&self) -> Self {
+        EventQueue {
+            heap: self.heap.clone(),
+            next_seq: self.next_seq,
+            watermark: self.watermark,
+        }
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -149,6 +160,33 @@ impl<E> EventQueue<E> {
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// The sequence number the next scheduled event will receive. Two
+    /// queues that agree on `snapshot()` and `next_seq()` will assign
+    /// identical (time, seq) pairs to identical future schedules.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// All pending events in delivery order, without disturbing the queue.
+    /// Used by checkpoint/recovery convergence checks to compare two
+    /// queues' exact future schedules.
+    pub fn snapshot(&self) -> Vec<ScheduledEvent<E>>
+    where
+        E: Clone,
+    {
+        let mut out: Vec<ScheduledEvent<E>> = self
+            .heap
+            .iter()
+            .map(|e| ScheduledEvent {
+                time: e.time,
+                seq: e.seq,
+                event: e.event.clone(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.time.cmp(&b.time).then_with(|| a.seq.cmp(&b.seq)));
+        out
     }
 
     /// Drains all events whose time equals the next pending timestamp,

@@ -13,7 +13,11 @@
 //! dependency and the exact sequences are pinned by this file alone.
 
 /// A deterministic PRNG with labelled sub-stream derivation.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares generator state exactly; two generators compare
+/// equal iff they will produce identical future sequences, which is what
+/// the master-recovery convergence check relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
     s: [u64; 4],
 }

@@ -8,7 +8,7 @@
 //! displays.
 
 /// Numerically stable online mean / variance (Welford's algorithm).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Welford {
     n: u64,
     mean: f64,
@@ -83,7 +83,7 @@ impl Welford {
 /// A sample-retaining summary supporting exact percentiles, min/max, mean
 /// and standard deviation. Suitable for the sample counts this reproduction
 /// produces (thousands of jobs/tasks per run).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Summary {
     samples: Vec<f64>,
     sorted: bool,
