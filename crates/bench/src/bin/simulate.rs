@@ -7,7 +7,9 @@
 //!     [--quota 12] [--scheduler delay:3000|fifo|locality-first] \
 //!     [--fail 10:3] [--chaos <mtbf-secs>[:<downtime-secs>]] [--audit] \
 //!     [--detector <drop-prob>[:<suspicion-secs>]] [--checkpoint <secs>] \
-//!     [--master-crash <prob>] [--speculation] [--trace out.tsv] [--analyze]
+//!     [--master-crash <prob>] [--speculation] \
+//!     [--failslow <sick-fraction>[:<fault-prob>]] [--no-quarantine] \
+//!     [--retry-budget <n>] [--trace out.tsv] [--analyze]
 //! ```
 //!
 //! With `--baseline <allocator>` the same configuration is run twice and
@@ -85,6 +87,9 @@ fn main() {
     let mut master_crash: Option<f64> = None;
     let mut audit = false;
     let mut speculation = false;
+    let mut failslow: Option<custody_sim::FailSlowConfig> = None;
+    let mut no_quarantine = false;
+    let mut retry_budget: Option<usize> = None;
     let mut trace_path: Option<String> = None;
     let mut analyze = false;
 
@@ -140,6 +145,23 @@ fn main() {
             "--master-crash" => master_crash = Some(val().parse().expect("--master-crash <prob>")),
             "--audit" => audit = true,
             "--speculation" => speculation = true,
+            "--failslow" => {
+                let v = val();
+                let fs = custody_sim::FailSlowConfig::default();
+                failslow = Some(match v.split_once(':') {
+                    Some((sick, fault)) => fs
+                        .with_sick_fraction(
+                            sick.parse()
+                                .expect("--failslow <sick-fraction>[:<fault-prob>]"),
+                        )
+                        .with_transient_fault_prob(fault.parse().expect("fault probability")),
+                    None => fs.with_sick_fraction(v.parse().expect("--failslow <sick-fraction>")),
+                });
+            }
+            "--no-quarantine" => no_quarantine = true,
+            "--retry-budget" => {
+                retry_budget = Some(val().parse().expect("--retry-budget <n>"));
+            }
             "--trace" => trace_path = Some(val()),
             "--analyze" => analyze = true,
             other => panic!("unknown flag {other:?}"),
@@ -176,6 +198,19 @@ fn main() {
     }
     if let Some(cp) = control_plane {
         cfg = cfg.with_control_plane(cp);
+    }
+    if no_quarantine || retry_budget.is_some() {
+        let mut fs = failslow.expect("--no-quarantine / --retry-budget modify --failslow");
+        if no_quarantine {
+            fs = fs.with_detection(false);
+        }
+        if let Some(budget) = retry_budget {
+            fs = fs.with_retry_budget(budget);
+        }
+        failslow = Some(fs);
+    }
+    if let Some(fs) = failslow {
+        cfg = cfg.with_failslow(fs);
     }
 
     println!("{}\n", cfg.label());
@@ -234,6 +269,21 @@ fn main() {
                 m.master_recoveries
             );
         }
+    }
+    if failslow.is_some() {
+        println!(
+            "gray failures: {} onsets  {} task faults ({} retried, {} jobs failed)  \
+             {} quarantined ({} false)  quarantine latency {:.1} s mean ({})  {} probes",
+            m.failslow_onsets,
+            m.task_faults_injected,
+            m.task_retries,
+            m.jobs_failed,
+            m.nodes_quarantined,
+            m.false_quarantines,
+            m.quarantine_latency_secs.mean(),
+            m.quarantine_latency_secs.count(),
+            m.probes_launched,
+        );
     }
     println!(
         "allocator: {:.3} ms wall total ({:.2} µs/round)  rounds skipped {}",

@@ -547,6 +547,77 @@ pub fn detector_table(opts: &FigureOptions) -> String {
     )
 }
 
+/// Fail-slow sweep: gray failures (limping disks, NICs, CPUs plus
+/// transient task faults) at increasing sick fractions, Custody vs the
+/// baseline, with the peer-relative health detector on vs off. Shows
+/// what detection buys (JCT with quarantine + demotion vs riding the
+/// slowdown out) and what it costs (false quarantines, capacity held in
+/// probation). Every variant is averaged over five seeds — which node
+/// sickens decides how much quarantine pays, so single runs are noisy.
+pub fn failslow_table(opts: &FigureOptions) -> String {
+    use custody_sim::experiment::failslow_sweep;
+    // The latency-sensitive regime: a small cluster with headroom. In a
+    // deeply queued batch, makespan is pure throughput and excluding a
+    // half-useful slow node always costs; with spare capacity the
+    // exclusion is free and detection shows its real value — killing
+    // stragglers before they stretch every job's tail.
+    let nodes = opts.sizes.iter().copied().min().unwrap_or(10).min(10);
+    let fractions = [0.0, 0.1, 0.2, 0.3];
+    let seeds = [
+        opts.seed,
+        opts.seed + 1,
+        opts.seed + 2,
+        opts.seed + 3,
+        opts.seed + 4,
+    ];
+    let cells = failslow_sweep(nodes, opts.jobs_per_app.min(8), &fractions, &seeds);
+    let mut rows = Vec::new();
+    for cell in &cells {
+        let (gc, gb) = cell.detection_jct_gain_pct();
+        let on = &cell.custody_on;
+        rows.push(vec![
+            format!("{:.0} %", cell.sick_fraction * 100.0),
+            format!(
+                "{:.2} / {:.2} s",
+                on.jct.mean(),
+                cell.custody_off.jct.mean()
+            ),
+            format!(
+                "{:.2} / {:.2} s",
+                cell.baseline_on.jct.mean(),
+                cell.baseline_off.jct.mean()
+            ),
+            format!("{gc:+.1} / {gb:+.1} %"),
+            pct_mean_std(&on.locality),
+            format!("{} ({} false)", on.quarantines, on.false_quarantines),
+            if on.quarantine_latency.count() > 0 {
+                format!("{:.1} s", on.quarantine_latency.mean())
+            } else {
+                "-".to_string()
+            },
+            format!("{} retry, {} failed", on.task_retries, on.jobs_failed),
+        ]);
+    }
+    format!(
+        "Fail-slow sweep — gray failures by sick fraction, WordCount, {nodes} nodes,\n\
+         5 seeds per cell (jct on/off = health detection enabled/disabled; gain = mean-JCT\n\
+         reduction from detection, positive = quarantine paid off)\n{}",
+        render_table(
+            &[
+                "sick",
+                "custody jct on/off",
+                "spark jct on/off",
+                "det gain c/s",
+                "locality (on)",
+                "quarantines",
+                "q-latency",
+                "faults (custody on)"
+            ],
+            &rows
+        )
+    )
+}
+
 /// Theory check: the greedy strategy of Algorithm 2 vs the exact optima
 /// on random intra-application instances.
 ///

@@ -29,7 +29,7 @@ pub mod topology;
 pub use executor::{Executor, ExecutorId};
 pub use lease::LeaseTable;
 pub use network::{DataLocality, NetworkModel};
-pub use node::WorkerNode;
+pub use node::{HealthState, WorkerNode};
 pub use topology::{ClusterSpec, ClusterState, RackId};
 
 // Re-export the shared machine id so downstream crates need not import

@@ -134,7 +134,7 @@ impl NetworkModel {
 
     /// Time to shuffle `bytes` across the network (intermediate data always
     /// crosses the fabric; locality does not help shuffles, which is why
-    /// the paper "only care[s] about the locality for input tasks", §III-A).
+    /// the paper "only care\[s\] about the locality for input tasks", §III-A).
     pub fn shuffle_time(&self, bytes: u64) -> SimDuration {
         self.remote_read_time(bytes, 0)
     }

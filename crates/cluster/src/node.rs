@@ -1,8 +1,84 @@
-//! Worker-node hardware description.
+//! Worker-node hardware description and the health-belief state machine.
 
 use custody_dfs::NodeId;
 
 use crate::executor::ExecutorId;
+
+/// The control plane's *belief* about a node's gray-failure health.
+///
+/// This is belief, not physical truth: it is derived solely from
+/// peer-relative service-time observations, never from the simulator's
+/// knowledge of which nodes are actually sick. The legal transitions form
+/// a graceful-degradation loop:
+///
+/// ```text
+/// Healthy ⇄ Suspect → Quarantined → Probation → Healthy
+///                          ↑            │
+///                          └────────────┘  (probes still slow)
+/// ```
+///
+/// * **Suspect** nodes are demoted in the allocator's discretionary pick
+///   order but still schedulable (the evidence is weak).
+/// * **Quarantined** nodes receive no new tasks at all — not from the
+///   allocator's idle set and not as speculation-clone hosts. Running
+///   tasks are allowed to drain (graceful degradation, not fencing).
+/// * **Probation** nodes are re-admitted for a bounded number of probe
+///   tasks whose service times decide between re-admission and
+///   re-quarantine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthState {
+    /// No evidence of degradation.
+    #[default]
+    Healthy,
+    /// Service times elevated past the suspect threshold; demoted but
+    /// schedulable.
+    Suspect,
+    /// Service times elevated past the quarantine threshold; excluded
+    /// from all new placement.
+    Quarantined,
+    /// Serving probe tasks to earn re-admission.
+    Probation,
+}
+
+impl HealthState {
+    /// Whether new tasks may be launched on a node in this state.
+    /// Only quarantine excludes a node outright.
+    pub fn is_schedulable(self) -> bool {
+        self != HealthState::Quarantined
+    }
+
+    /// Whether the allocator should prefer other nodes when it has free
+    /// choice (filler grants): weak-evidence states are demoted, healthy
+    /// nodes are not, quarantined nodes never reach the pick order.
+    pub fn is_demoted(self) -> bool {
+        matches!(self, HealthState::Suspect | HealthState::Probation)
+    }
+
+    /// Whether the transition `self → next` is legal in the
+    /// graceful-degradation state machine.
+    pub fn can_transition_to(self, next: HealthState) -> bool {
+        use HealthState::*;
+        matches!(
+            (self, next),
+            (Healthy, Suspect)
+                | (Suspect, Healthy)
+                | (Suspect, Quarantined)
+                | (Quarantined, Probation)
+                | (Probation, Healthy)
+                | (Probation, Quarantined)
+        )
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Probation => "probation",
+        }
+    }
+}
 
 /// A machine in the cluster, as the cluster manager sees it.
 #[derive(Debug, Clone)]
@@ -44,5 +120,36 @@ mod tests {
         let n = WorkerNode::new(NodeId::new(0), 8, 16_000_000_000);
         assert_eq!(n.executor_count(), 0);
         assert_eq!(n.cores, 8);
+    }
+
+    #[test]
+    fn health_state_schedulability_and_demotion() {
+        use HealthState::*;
+        assert!(Healthy.is_schedulable() && !Healthy.is_demoted());
+        assert!(Suspect.is_schedulable() && Suspect.is_demoted());
+        assert!(!Quarantined.is_schedulable());
+        assert!(Probation.is_schedulable() && Probation.is_demoted());
+        assert_eq!(HealthState::default(), Healthy);
+    }
+
+    #[test]
+    fn health_transitions_follow_the_degradation_loop() {
+        use HealthState::*;
+        // The loop itself.
+        assert!(Healthy.can_transition_to(Suspect));
+        assert!(Suspect.can_transition_to(Quarantined));
+        assert!(Quarantined.can_transition_to(Probation));
+        assert!(Probation.can_transition_to(Healthy));
+        assert!(Probation.can_transition_to(Quarantined));
+        // Recovery from weak evidence.
+        assert!(Suspect.can_transition_to(Healthy));
+        // Shortcuts that must not exist.
+        assert!(!Healthy.can_transition_to(Quarantined));
+        assert!(!Quarantined.can_transition_to(Healthy));
+        assert!(!Healthy.can_transition_to(Probation));
+        assert!(!Quarantined.can_transition_to(Suspect));
+        for s in [Healthy, Suspect, Quarantined, Probation] {
+            assert!(!s.can_transition_to(s), "{} self-loop", s.name());
+        }
     }
 }

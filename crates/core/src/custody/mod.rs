@@ -26,6 +26,7 @@ mod round;
 pub use reference::reference_allocate;
 pub use round::{Round, RoundScratch};
 
+use custody_dfs::NodeId;
 use custody_simcore::SimRng;
 
 use crate::allocator::{AllocationView, Assignment, ExecutorAllocator};
@@ -96,6 +97,10 @@ pub enum InterPolicy {
 pub struct CustodyAllocator {
     intra: IntraPolicy,
     inter: InterPolicy,
+    /// Health-demoted nodes from the gray-failure detector; the filler
+    /// phase avoids them while alternatives exist. Empty (the default)
+    /// leaves allocation byte-identical to a build without demotion.
+    demoted: Vec<NodeId>,
     /// Buffers (selection heap, demand maps) recycled across rounds so the
     /// steady-state allocation path performs no repeated large allocations.
     scratch: RoundScratch,
@@ -134,12 +139,19 @@ impl ExecutorAllocator for CustodyAllocator {
 
     fn allocate(&mut self, view: &AllocationView, _rng: &mut SimRng) -> Vec<Assignment> {
         let scratch = std::mem::take(&mut self.scratch);
-        let mut round = Round::recycled(view, scratch).with_policies(self.inter, self.intra);
+        let mut round = Round::recycled(view, scratch)
+            .with_policies(self.inter, self.intra)
+            .with_demoted(&self.demoted);
         round.locality_phase();
         round.filler_phase();
         let (assignments, scratch) = round.finish();
         self.scratch = scratch;
         assignments
+    }
+
+    fn set_demoted_nodes(&mut self, nodes: &[NodeId]) {
+        self.demoted.clear();
+        self.demoted.extend_from_slice(nodes);
     }
 
     fn clone_box(&self) -> Box<dyn ExecutorAllocator> {
@@ -494,6 +506,35 @@ mod tests {
                 .with_intra(IntraPolicy::RoundRobinFair)
                 .name(),
             "custody-naive-both"
+        );
+    }
+
+    /// The trait-level demotion hint steers the filler away from a sick
+    /// node, and clearing it restores the original pick.
+    #[test]
+    fn demotion_hint_steers_filler_and_clears() {
+        let execs = toy_executors(2);
+        let view = AllocationView {
+            idle: execs.clone(),
+            all_executors: execs,
+            // Preferred node 9 exists nowhere: pure filler traffic.
+            apps: vec![fresh_app(0, 1, vec![job(0, vec![task(0, &[9])])])],
+        };
+        let mut alloc = CustodyAllocator::new();
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(
+            alloc.allocate(&view, &mut rng)[0].executor,
+            ExecutorId::new(0)
+        );
+        alloc.set_demoted_nodes(&[NodeId::new(0)]);
+        assert_eq!(
+            alloc.allocate(&view, &mut rng)[0].executor,
+            ExecutorId::new(1)
+        );
+        alloc.set_demoted_nodes(&[]);
+        assert_eq!(
+            alloc.allocate(&view, &mut rng)[0].executor,
+            ExecutorId::new(0)
         );
     }
 

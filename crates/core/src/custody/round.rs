@@ -157,7 +157,8 @@ impl RoundApp {
 /// discarded on pop.
 type HeapEntry = Reverse<(LocalityKey, u32)>;
 
-/// Reusable allocations carried across rounds by [`CustodyAllocator`]
+/// Reusable allocations carried across rounds by
+/// [`CustodyAllocator`](super::CustodyAllocator)
 /// (`crate::custody::CustodyAllocator`): the selection heap, version
 /// counters, and per-node demand buffers. A fresh default works too — the
 /// scratch only avoids re-allocating on every round.
@@ -186,6 +187,11 @@ pub struct Round {
     assignments: Vec<Assignment>,
     inter: InterPolicy,
     intra: IntraPolicy,
+    /// Health-demoted nodes (dense by node id): the filler avoids them
+    /// while any non-demoted node still has an idle executor. Empty in
+    /// the common case, in which every path is byte-identical to a round
+    /// with no demotion support at all.
+    demoted: Vec<bool>,
     heap: BinaryHeap<HeapEntry>,
     versions: Vec<u32>,
     stash: Vec<HeapEntry>,
@@ -288,6 +294,7 @@ impl Round {
             assignments: Vec::new(),
             inter: InterPolicy::default(),
             intra: IntraPolicy::default(),
+            demoted: Vec::new(),
             heap,
             versions,
             stash,
@@ -303,6 +310,23 @@ impl Round {
         self.inter = inter;
         self.intra = intra;
         self.rebuild_heap();
+        self
+    }
+
+    /// Installs the health-demoted node set. Locality grants still use
+    /// demoted nodes (the data is there and moving it costs more than the
+    /// slowdown), but the filler — which has free choice — prefers
+    /// non-demoted hosts. An empty set leaves every pick byte-identical
+    /// to a round without demotion.
+    pub fn with_demoted(mut self, nodes: &[NodeId]) -> Self {
+        self.demoted.clear();
+        for &n in nodes {
+            let i = n.index();
+            if i >= self.demoted.len() {
+                self.demoted.resize(i + 1, false);
+            }
+            self.demoted[i] = true;
+        }
         self
     }
 
@@ -429,8 +453,23 @@ impl Round {
         Some(id)
     }
 
-    /// Takes the lowest-id idle executor anywhere (filler phase).
+    /// Takes the lowest-id idle executor anywhere (filler phase),
+    /// preferring non-demoted hosts and falling back to demoted ones only
+    /// when nothing else is idle.
     fn take_any_executor(&mut self) -> Option<ExecutorId> {
+        if !self.demoted.is_empty() {
+            let preferred = self
+                .idle_by_node
+                .iter()
+                .filter(|(n, s)| {
+                    !s.is_empty() && !self.demoted.get(n.index()).copied().unwrap_or(false)
+                })
+                .min_by_key(|(_, s)| *s.iter().next().expect("non-empty set"))
+                .map(|(&node, _)| node);
+            if let Some(node) = preferred {
+                return self.take_executor_on(node);
+            }
+        }
         let (&node, _) = self
             .idle_by_node
             .iter()
@@ -717,6 +756,65 @@ mod tests {
         assert_eq!(round.contention_excluding(NodeId::new(0), 1), 1);
         assert_eq!(round.contention_excluding(NodeId::new(5), 1), 1);
         assert_eq!(round.contention_excluding(NodeId::new(9), 0), 0);
+    }
+
+    /// One filler-only task (preferred node 5 has no executor): the filler
+    /// would normally hand out executor 0 on node 0; demoting node 0 must
+    /// steer it to node 1, and demoting everything must fall back rather
+    /// than starve the task.
+    #[test]
+    fn filler_avoids_demoted_nodes_until_forced() {
+        let mk_view = || {
+            let execs: Vec<ExecutorInfo> = (0..2)
+                .map(|i| ExecutorInfo {
+                    id: ExecutorId::new(i),
+                    node: NodeId::new(i),
+                })
+                .collect();
+            AllocationView {
+                idle: execs.clone(),
+                all_executors: execs,
+                apps: vec![AppState {
+                    app: AppId::new(0),
+                    quota: 1,
+                    held: 0,
+                    local_jobs: 0,
+                    total_jobs: 1,
+                    local_tasks: 0,
+                    total_tasks: 1,
+                    pending_jobs: vec![JobDemand {
+                        job: JobId::new(0),
+                        unsatisfied_inputs: vec![TaskDemand {
+                            task_index: 0,
+                            preferred_nodes: [NodeId::new(5)].into(),
+                        }],
+                        pending_tasks: 1,
+                        total_inputs: 1,
+                        satisfied_inputs: 0,
+                    }],
+                }],
+            }
+        };
+        let grant_with = |demoted: &[NodeId]| {
+            let view = mk_view();
+            let mut round = Round::new(&view).with_demoted(demoted);
+            round.locality_phase();
+            round.filler_phase();
+            round.into_assignments()
+        };
+        let plain = grant_with(&[]);
+        assert_eq!(plain.len(), 1);
+        assert_eq!(plain[0].executor, ExecutorId::new(0), "lowest id wins");
+        let steered = grant_with(&[NodeId::new(0)]);
+        assert_eq!(steered.len(), 1);
+        assert_eq!(
+            steered[0].executor,
+            ExecutorId::new(1),
+            "demoted node 0 is passed over"
+        );
+        let forced = grant_with(&[NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(forced.len(), 1, "all-demoted falls back, never starves");
+        assert_eq!(forced[0].executor, ExecutorId::new(0));
     }
 
     #[test]

@@ -28,10 +28,12 @@
 
 pub mod delay;
 pub mod fifo;
+pub mod retry;
 pub mod speculation;
 
 pub use delay::DelayScheduler;
 pub use fifo::FifoScheduler;
+pub use retry::RetryPolicy;
 
 use custody_dfs::NodeId;
 use custody_simcore::{SimDuration, SimTime};

@@ -1,0 +1,134 @@
+//! Retry budgets with exponential backoff and jitter.
+//!
+//! Transient task faults (a JVM that dies, a container OOM, a flaky disk
+//! read) are not worth failing a job over — but retrying forever turns a
+//! persistently broken task into a livelock. The [`RetryPolicy`] bounds
+//! both directions: each retry waits exponentially longer (with jitter so
+//! co-faulted tasks do not stampede back in lockstep), and a job that
+//! exhausts its *budget* of retries fails cleanly.
+//!
+//! The policy is deliberately deterministic given an RNG stream: the
+//! simulation draws jitter from its dedicated `"task-faults"` stream so
+//! retry timing never perturbs any other seeded schedule.
+
+use custody_simcore::{SimDuration, SimRng};
+
+/// Bounded-retry policy: a total per-job budget and an exponential
+/// backoff schedule with multiplicative jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total retries one job may consume before it fails cleanly.
+    pub budget: usize,
+    /// Base wait: retry *n* (1-indexed) waits `base * 2^(n-1)`, jittered.
+    pub base_backoff: SimDuration,
+    /// Jitter fraction in `[0, 1]`: each wait is scaled by a uniform
+    /// factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+/// Exponent cap so `2^(n-1)` cannot overflow or produce absurd waits for
+/// large budgets; retries past this reuse the capped wait.
+const MAX_DOUBLINGS: u32 = 16;
+
+impl RetryPolicy {
+    /// Creates a policy; panics on a jitter outside `[0, 1]`.
+    pub fn new(budget: usize, base_backoff: SimDuration, jitter: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&jitter),
+            "retry jitter must be a fraction"
+        );
+        RetryPolicy {
+            budget,
+            base_backoff,
+            jitter,
+        }
+    }
+
+    /// Whether a job that has already consumed `retries_used` retries has
+    /// exhausted its budget (the next fault must fail the job).
+    pub fn exhausted(&self, retries_used: usize) -> bool {
+        retries_used >= self.budget
+    }
+
+    /// The wait before retry number `attempt` (1-indexed: the first retry
+    /// of a task passes `1`). Exponential in the attempt number, scaled by
+    /// a jitter factor drawn from `rng`.
+    ///
+    /// The jitter draw happens even when `jitter == 0` so that toggling
+    /// jitter alone never shifts later draws on the stream.
+    pub fn backoff(&self, attempt: usize, rng: &mut SimRng) -> SimDuration {
+        assert!(attempt >= 1, "retry attempts are 1-indexed");
+        let doublings = (attempt as u32 - 1).min(MAX_DOUBLINGS);
+        let scale = 1.0 - self.jitter + rng.unit() * 2.0 * self.jitter;
+        let secs = self.base_backoff.as_secs_f64() * f64::from(1u32 << doublings) * scale;
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(jitter: f64) -> RetryPolicy {
+        RetryPolicy::new(4, SimDuration::from_secs_f64(0.5), jitter)
+    }
+
+    #[test]
+    fn budget_exhaustion_is_inclusive() {
+        let p = policy(0.0);
+        assert!(!p.exhausted(0));
+        assert!(!p.exhausted(3));
+        assert!(p.exhausted(4));
+        assert!(p.exhausted(5));
+    }
+
+    #[test]
+    fn backoff_doubles_without_jitter() {
+        let p = policy(0.0);
+        let mut rng = SimRng::seed_from_u64(7);
+        let waits: Vec<f64> = (1..=4)
+            .map(|n| p.backoff(n, &mut rng).as_secs_f64())
+            .collect();
+        assert_eq!(waits, vec![0.5, 1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn jitter_stays_within_the_band() {
+        let p = policy(0.25);
+        let mut rng = SimRng::seed_from_u64(42);
+        for attempt in 1..=32 {
+            let nominal = 0.5 * f64::from(1u32 << (attempt as u32 - 1).min(MAX_DOUBLINGS));
+            let w = p.backoff(attempt, &mut rng).as_secs_f64();
+            assert!(
+                w >= nominal * 0.75 - 1e-9 && w <= nominal * 1.25 + 1e-9,
+                "attempt {attempt}: wait {w} outside ±25 % of {nominal}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_is_capped() {
+        let p = policy(0.0);
+        let mut rng = SimRng::seed_from_u64(0);
+        let capped = p.backoff(MAX_DOUBLINGS as usize + 1, &mut rng);
+        let beyond = p.backoff(MAX_DOUBLINGS as usize + 50, &mut rng);
+        assert_eq!(capped, beyond, "waits stop growing at the cap");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_stream() {
+        let p = policy(0.2);
+        let mut a = SimRng::for_stream(9, "task-faults");
+        let mut b = SimRng::for_stream(9, "task-faults");
+        for attempt in 1..=8 {
+            assert_eq!(p.backoff(attempt, &mut a), p.backoff(attempt, &mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-indexed")]
+    fn zeroth_attempt_is_rejected() {
+        RetryPolicy::new(1, SimDuration::from_secs_f64(1.0), 0.0)
+            .backoff(0, &mut SimRng::seed_from_u64(0));
+    }
+}

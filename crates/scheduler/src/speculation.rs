@@ -139,6 +139,58 @@ mod tests {
     }
 
     #[test]
+    fn median_of_even_count_takes_lower_middle() {
+        let mut p = policy(8);
+        for secs in [4, 1, 3, 2] {
+            p.record_completion(SimDuration::from_secs(secs));
+        }
+        // Sorted [1, 2, 3, 4], index (4-1)/2 = 1 → the lower middle.
+        assert_eq!(p.median_duration(), Some(SimDuration::from_secs(2)));
+    }
+
+    #[test]
+    fn median_of_odd_count_takes_exact_middle() {
+        let mut p = policy(8);
+        for secs in [5, 1, 3, 2, 4] {
+            p.record_completion(SimDuration::from_secs(secs));
+        }
+        assert_eq!(p.median_duration(), Some(SimDuration::from_secs(3)));
+    }
+
+    #[test]
+    fn single_completion_is_its_own_median() {
+        let mut p = policy(8);
+        p.record_completion(SimDuration::from_secs(7));
+        assert_eq!(p.median_duration(), Some(SimDuration::from_secs(7)));
+    }
+
+    #[test]
+    fn zero_duration_tasks_clone_any_running_task() {
+        // All completed tasks took zero time (cache-hot trivial work):
+        // median 0 ⇒ threshold 0 ⇒ anything that has run at all is a
+        // straggler; anything launched *right now* is not.
+        let mut p = policy(4);
+        for _ in 0..3 {
+            p.record_completion(SimDuration::ZERO);
+        }
+        assert_eq!(p.median_duration(), Some(SimDuration::ZERO));
+        assert!(!p.should_speculate(SimTime::from_secs(5), SimTime::from_secs(5)));
+        assert!(p.should_speculate(SimTime::ZERO, SimTime::from_millis(1)));
+    }
+
+    #[test]
+    fn zero_duration_mixed_with_real_durations_keeps_ordering() {
+        let mut p = policy(4);
+        p.record_completion(SimDuration::ZERO);
+        p.record_completion(SimDuration::from_secs(2));
+        p.record_completion(SimDuration::from_secs(4));
+        // Sorted [0, 2, 4] → median 2s, threshold 3s.
+        assert_eq!(p.median_duration(), Some(SimDuration::from_secs(2)));
+        assert!(!p.should_speculate(SimTime::ZERO, SimTime::from_secs(3)));
+        assert!(p.should_speculate(SimTime::ZERO, SimTime::from_millis(3_001)));
+    }
+
+    #[test]
     fn custom_config_thresholds() {
         let mut p = SpeculationPolicy::new(
             SpeculationConfig {

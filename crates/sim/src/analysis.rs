@@ -1,6 +1,6 @@
 //! Offline analysis over task traces.
 //!
-//! Operates on the [`TaskTrace`](crate::TaskTrace) a
+//! Operates on the [`TaskTrace`] a
 //! [`Simulation::run_traced`](crate::Simulation::run_traced) run emits:
 //! per-node busy time and utilization, cluster concurrency over time, and
 //! a terminal-friendly sparkline for eyeballing load shapes. Used by the

@@ -182,6 +182,246 @@ impl ChaosConfig {
     }
 }
 
+/// Gray-failure injection: fail-slow nodes and transient task faults.
+///
+/// Crash-stop chaos ([`ChaosConfig`]) and the suspicion-timeout detector
+/// ([`ControlPlaneConfig`]) model the binary dead/alive world. This layer
+/// models the *gray* middle: a node whose disk, NIC or CPU silently
+/// degrades keeps heartbeating — the control plane sees nothing — yet a
+/// "local" executor on such a limping node can be slower than a remote
+/// one on a healthy node, poisoning data-aware allocation.
+///
+/// Two independent mechanisms, both seeded off dedicated RNG streams so
+/// golden determinism holds:
+///
+/// * **fail-slow nodes** — a seeded subset of nodes develops a slowdown
+///   after an exponential onset, with a *cause* dimension that decides
+///   what gets slower: a sick disk multiplies local reads, a sick NIC
+///   multiplies remote reads and shuffles, a sick CPU multiplies compute.
+///   Episodes either persist forever or remit and relapse (drawn from the
+///   `"failslow"` stream);
+/// * **transient task faults** — each task attempt fails outright with a
+///   seeded probability (elevated on sick nodes), consuming one unit of
+///   its job's retry budget and re-queueing after exponential backoff
+///   with jitter (drawn from the `"task-faults"` stream). A job that
+///   exhausts its budget fails cleanly instead of retrying forever.
+///
+/// When [`detection`](Self::detection) is on, the driver also runs the
+/// peer-relative fail-slow detector of `driver/health.rs`: per-node task
+/// service times are compared against the cluster median (belief, no
+/// oracle access) and sufficiently slow nodes walk a graceful-degradation
+/// state machine healthy → suspect → quarantined → probation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailSlowConfig {
+    /// Fraction of nodes that (eventually) develop a fail-slow condition.
+    pub sick_fraction: f64,
+    /// Mean seconds until a sick node's slowdown sets in (exponential).
+    pub mean_onset_secs: f64,
+    /// Mean seconds a slowdown episode lasts before remitting; `0` makes
+    /// slowdowns persistent (they never remit).
+    pub mean_episode_secs: f64,
+    /// Mean healthy seconds between episodes once a slowdown has
+    /// remitted (episodic mode only).
+    pub mean_remission_secs: f64,
+    /// No new slowdown episodes begin after this simulated time (open
+    /// episodes still remit), bounding episodic chains.
+    pub horizon_secs: f64,
+    /// Probability a sick node's cause is a degraded disk (slows local
+    /// input reads).
+    pub disk_fraction: f64,
+    /// Probability the cause is a degraded NIC (slows remote reads and
+    /// shuffles); the remaining probability is a throttled CPU.
+    pub nic_fraction: f64,
+    /// Local input reads on a disk-sick node take this many times longer
+    /// (≥ 1).
+    pub disk_factor: f64,
+    /// Remote reads and shuffles on a NIC-sick node take this many times
+    /// longer (≥ 1).
+    pub nic_factor: f64,
+    /// Compute on a CPU-sick node takes this many times longer (≥ 1).
+    pub cpu_factor: f64,
+    /// Per-attempt probability a task fails transiently on a healthy
+    /// node.
+    pub transient_fault_prob: f64,
+    /// Transient-fault probability is multiplied by this on a node whose
+    /// slowdown is currently active (gray failures correlate).
+    pub sick_fault_multiplier: f64,
+    /// Total transient-fault retries a single job may consume before it
+    /// fails cleanly.
+    pub retry_budget: usize,
+    /// Base of the exponential retry backoff: retry *n* of a task waits
+    /// `retry_backoff_secs * 2^(n-1)`, jittered.
+    pub retry_backoff_secs: f64,
+    /// Backoff jitter fraction in `[0, 1]`: each wait is scaled by a
+    /// uniform factor in `[1 - jitter, 1 + jitter]`.
+    pub retry_jitter: f64,
+    /// Run the peer-relative fail-slow detector (quarantine machinery).
+    /// Off, the layer injects slowdowns and faults but never reacts —
+    /// the ablation baseline of the fail-slow sweep.
+    pub detection: bool,
+    /// Demote suspect/probation nodes in the allocator's filler pick
+    /// order (the `core` toggle; quarantine exclusion is unconditional
+    /// whenever detection is on).
+    pub demotion: bool,
+    /// Completed-task samples a node needs before the detector judges it.
+    pub min_samples: usize,
+    /// Sliding window of per-node service-time samples the detector keeps.
+    pub window: usize,
+    /// Node mean service time above cluster median × this ⇒ suspect.
+    pub suspect_ratio: f64,
+    /// Node mean service time above cluster median × this ⇒ quarantined.
+    pub quarantine_ratio: f64,
+    /// Seconds a quarantined node waits before probation re-admits it.
+    pub probation_delay_secs: f64,
+    /// Probe-task completions a probation node must serve before the
+    /// detector re-judges it (back to healthy or back to quarantine).
+    pub probation_probes: usize,
+}
+
+impl Default for FailSlowConfig {
+    fn default() -> Self {
+        FailSlowConfig {
+            sick_fraction: 0.2,
+            mean_onset_secs: 20.0,
+            mean_episode_secs: 0.0,
+            mean_remission_secs: 60.0,
+            horizon_secs: 600.0,
+            disk_fraction: 0.4,
+            nic_fraction: 0.4,
+            disk_factor: 6.0,
+            nic_factor: 6.0,
+            cpu_factor: 4.0,
+            transient_fault_prob: 0.02,
+            sick_fault_multiplier: 4.0,
+            retry_budget: 8,
+            retry_backoff_secs: 0.5,
+            retry_jitter: 0.2,
+            detection: true,
+            demotion: true,
+            min_samples: 4,
+            window: 20,
+            suspect_ratio: 1.5,
+            quarantine_ratio: 2.5,
+            probation_delay_secs: 15.0,
+            probation_probes: 3,
+        }
+    }
+}
+
+impl FailSlowConfig {
+    /// Sets the fraction of nodes that develop fail-slow (the sweep axis).
+    pub fn with_sick_fraction(mut self, fraction: f64) -> Self {
+        self.sick_fraction = fraction;
+        self
+    }
+
+    /// Turns the peer-relative detector (and quarantine) on or off.
+    pub fn with_detection(mut self, detection: bool) -> Self {
+        self.detection = detection;
+        self
+    }
+
+    /// Sets the per-attempt transient-fault probability.
+    pub fn with_transient_fault_prob(mut self, p: f64) -> Self {
+        self.transient_fault_prob = p;
+        self
+    }
+
+    /// Sets the per-job retry budget.
+    pub fn with_retry_budget(mut self, budget: usize) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Makes slowdowns episodic with the given mean episode length
+    /// (`0` restores persistent slowdowns).
+    pub fn with_episodes(mut self, mean_episode_secs: f64) -> Self {
+        self.mean_episode_secs = mean_episode_secs;
+        self
+    }
+
+    /// A configuration that injects nothing — no node ever sickens and no
+    /// attempt ever faults — degenerates to the oracle: the driver keeps
+    /// the whole layer inert, so such a run is event-for-event identical
+    /// to one with no fail-slow configuration at all (the gray-failure
+    /// analogue of [`ControlPlaneConfig::is_perfect`]).
+    pub fn is_inert(&self) -> bool {
+        self.sick_fraction == 0.0 && self.transient_fault_prob == 0.0
+    }
+
+    /// Panics unless every field is physically sensible.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.sick_fraction),
+            "sick fraction must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.transient_fault_prob),
+            "transient fault probability must be a probability"
+        );
+        if self.is_inert() {
+            return; // oracle degeneration: nothing else applies
+        }
+        assert!(self.mean_onset_secs > 0.0, "mean onset must be positive");
+        assert!(
+            self.mean_episode_secs >= 0.0,
+            "mean episode must be non-negative"
+        );
+        if self.mean_episode_secs > 0.0 {
+            assert!(
+                self.mean_remission_secs > 0.0,
+                "episodic slowdowns need a positive mean remission"
+            );
+        }
+        assert!(self.horizon_secs >= 0.0, "horizon must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&self.disk_fraction)
+                && (0.0..=1.0).contains(&self.nic_fraction)
+                && self.disk_fraction + self.nic_fraction <= 1.0,
+            "cause fractions must be probabilities summing to at most one"
+        );
+        assert!(
+            self.disk_factor >= 1.0 && self.nic_factor >= 1.0 && self.cpu_factor >= 1.0,
+            "fail-slow cannot speed a node up"
+        );
+        assert!(
+            self.sick_fault_multiplier >= 1.0,
+            "sick nodes cannot fault less than healthy ones"
+        );
+        assert!(
+            self.retry_backoff_secs >= 0.0,
+            "retry backoff must be non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.retry_jitter),
+            "retry jitter must be a fraction"
+        );
+        if self.detection {
+            assert!(self.min_samples > 0, "detector needs at least one sample");
+            assert!(
+                self.window >= self.min_samples,
+                "sample window must hold min_samples"
+            );
+            assert!(
+                self.suspect_ratio > 1.0,
+                "suspect ratio must exceed one (the median itself)"
+            );
+            assert!(
+                self.quarantine_ratio >= self.suspect_ratio,
+                "quarantine ratio must be at least the suspect ratio"
+            );
+            assert!(
+                self.probation_delay_secs > 0.0,
+                "probation delay must be positive"
+            );
+            assert!(
+                self.probation_probes > 0,
+                "probation needs at least one probe"
+            );
+        }
+    }
+}
+
 /// The modeled master ↔ worker control plane: heartbeats over a lossy,
 /// delayed channel, a timeout failure detector, time-bounded executor
 /// leases, and (optionally) master checkpoint/recovery.
@@ -335,6 +575,9 @@ pub struct SimConfig {
     /// Modeled heartbeat/lease control plane; `None` keeps the oracle
     /// failure knowledge of earlier versions.
     pub control_plane: Option<ControlPlaneConfig>,
+    /// Gray-failure layer: fail-slow nodes, transient task faults and the
+    /// peer-relative health detector; `None` disables all three.
+    pub failslow: Option<FailSlowConfig>,
     /// Run the invariant auditor after every event even in release
     /// builds. Debug builds (and therefore the test suite) always audit.
     pub audit: bool,
@@ -371,6 +614,7 @@ impl SimConfig {
             failures: Vec::new(),
             chaos: None,
             control_plane: None,
+            failslow: None,
             audit: false,
             speculation: None,
             seed,
@@ -391,6 +635,7 @@ impl SimConfig {
             failures: Vec::new(),
             chaos: None,
             control_plane: None,
+            failslow: None,
             audit: false,
             speculation: None,
             seed,
@@ -438,6 +683,13 @@ impl SimConfig {
     /// Enables the modeled heartbeat/lease control plane.
     pub fn with_control_plane(mut self, cp: ControlPlaneConfig) -> Self {
         self.control_plane = Some(cp);
+        self
+    }
+
+    /// Enables the gray-failure layer (fail-slow nodes, transient task
+    /// faults, peer-relative health detection).
+    pub fn with_failslow(mut self, failslow: FailSlowConfig) -> Self {
+        self.failslow = Some(failslow);
         self
     }
 
@@ -551,6 +803,62 @@ mod tests {
         ChaosConfig {
             degraded_fraction: 1.5,
             ..ChaosConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn failslow_builders_and_validation() {
+        let c = SimConfig::small_demo(1).with_failslow(
+            FailSlowConfig::default()
+                .with_sick_fraction(0.3)
+                .with_detection(false)
+                .with_transient_fault_prob(0.05)
+                .with_retry_budget(4)
+                .with_episodes(25.0),
+        );
+        let fs = c.failslow.expect("failslow set");
+        assert_eq!(fs.sick_fraction, 0.3);
+        assert!(!fs.detection);
+        assert_eq!(fs.transient_fault_prob, 0.05);
+        assert_eq!(fs.retry_budget, 4);
+        assert_eq!(fs.mean_episode_secs, 25.0);
+        fs.validate();
+        FailSlowConfig::default().validate();
+    }
+
+    #[test]
+    fn inert_failslow_degenerates() {
+        let inert = FailSlowConfig {
+            sick_fraction: 0.0,
+            transient_fault_prob: 0.0,
+            // Nonsense timing fields are tolerated exactly because the
+            // config is inert — mirrors the perfect-control-plane early
+            // return.
+            mean_onset_secs: 0.0,
+            ..FailSlowConfig::default()
+        };
+        assert!(inert.is_inert());
+        inert.validate();
+        assert!(!FailSlowConfig::default().is_inert());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn failslow_validation_rejects_bad_fraction() {
+        FailSlowConfig {
+            sick_fraction: 2.0,
+            ..FailSlowConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "speed a node up")]
+    fn failslow_validation_rejects_speedup_factor() {
+        FailSlowConfig {
+            disk_factor: 0.5,
+            ..FailSlowConfig::default()
         }
         .validate();
     }

@@ -14,14 +14,19 @@
 //! * `Wake` — a delayed-offer retry (delay scheduling declined an offer
 //!   and asked to be re-offered later).
 //!
-//! With a [`ControlPlaneConfig`](crate::ControlPlaneConfig) the oracle is
+//! With a [`ControlPlaneConfig`] the oracle is
 //! replaced by a modeled control plane and four more event types appear:
 //! `HeartbeatTick` (a node emits lossy/delayed heartbeats), `HeartbeatArrive`
 //! (one reaches the master), `DetectorDeadline` (a suspicion timer fires),
 //! and `Checkpoint`/`LeaseExpiry` (master snapshots and lease revocation).
 //! The detector and checkpoint submodules hold that logic.
 //!
-//! After every event the driver runs [`Driver::dispatch`], which loops to
+//! With a [`FailSlowConfig`](crate::FailSlowConfig) the gray-failure layer
+//! adds three more: `FailSlowOnset`/`FailSlowRemit` (a node's silent
+//! slowdown begins or remits) and `ProbationStart` (a quarantined node's
+//! cool-off elapsed). The health submodule holds that logic.
+//!
+//! After every event the driver runs its dispatch loop, which iterates to
 //! a fixed point over three steps:
 //!
 //! 1. **Release** — applications with no runnable work return their idle
@@ -55,8 +60,10 @@ use crate::trace::{TaskRecord, TaskTrace};
 pub mod audit;
 mod checkpoint;
 mod detector;
+mod health;
 
 use detector::{DeadlineKind, DetectorState, HbChannel};
+use health::HealthLayer;
 
 /// Entry point: runs a configuration to completion.
 pub struct Simulation;
@@ -125,6 +132,18 @@ enum Event {
     LeaseExpiry,
     /// Periodic master checkpoint (WAL-enabled runs only).
     Checkpoint,
+    /// A node's fail-slow condition sets in (gray-failure layer).
+    FailSlowOnset {
+        node: custody_dfs::NodeId,
+    },
+    /// An episodic fail-slow condition remits; the node may relapse.
+    FailSlowRemit {
+        node: custody_dfs::NodeId,
+    },
+    /// A quarantined node's cool-off elapsed: probation begins.
+    ProbationStart {
+        node: custody_dfs::NodeId,
+    },
 }
 
 /// Identifies one task: (global job index, stage index, task index).
@@ -262,6 +281,17 @@ struct Driver {
     /// Master-crash draws. A dedicated stream so a crash-fraction sweep
     /// shares every other schedule with the crash-free run.
     crash_rng: SimRng,
+    /// The gray-failure layer, if configured and non-inert: per-node
+    /// physical sickness plus the peer-relative health detector's belief.
+    health: Option<HealthLayer>,
+    /// Fail-slow draws (sick set, causes, onsets, episode lengths). A
+    /// dedicated stream so a sick-fraction sweep perturbs nothing else.
+    failslow_rng: SimRng,
+    /// Transient-fault coins and retry-backoff jitter.
+    taskfault_rng: SimRng,
+    /// Tasks re-queued by a transient fault may not relaunch before their
+    /// backoff gate; entries are dropped at launch.
+    retry_gates: std::collections::BTreeMap<TaskKey, SimTime>,
     /// The last master checkpoint: a full driver snapshot recovery
     /// replays the WAL on top of.
     checkpoint: Option<Box<Driver>>,
@@ -300,6 +330,22 @@ struct Driver {
     stale_finishes_fenced: usize,
     /// Stale finishes that slipped past fencing (the auditor asserts 0).
     unfenced_stale_finishes: usize,
+    /// Fail-slow episodes that began.
+    failslow_onsets: usize,
+    /// Transient task faults injected.
+    task_faults_injected: usize,
+    /// Faulted attempts re-queued within their job's retry budget.
+    task_retries: usize,
+    /// Jobs failed cleanly after exhausting their retry budget.
+    jobs_failed: usize,
+    /// Health-detector quarantine transitions taken.
+    nodes_quarantined: usize,
+    /// Quarantines of nodes whose slowdown was not physically active.
+    false_quarantines: usize,
+    /// Seconds from slowdown onset to quarantine, per true quarantine.
+    quarantine_latency: Summary,
+    /// Probe tasks launched on probation nodes.
+    probes_launched: usize,
     /// Open fault disruptions: (fault time, tasks it displaced that have
     /// not relaunched yet). Drained sets record their drain time into
     /// `requeue_drain` — the recovery-time-to-stable-locality metric.
@@ -463,6 +509,27 @@ impl Driver {
             }
         }
 
+        // Gray-failure layer: draw the sick set and schedule onsets. An
+        // inert config (nothing to inject) keeps the layer off entirely,
+        // so it degenerates to the oracle event-for-event.
+        let mut failslow_rng = SimRng::for_stream(config.seed, "failslow");
+        let health = match &config.failslow {
+            Some(fs) => {
+                fs.validate();
+                if fs.is_inert() {
+                    None
+                } else {
+                    Some(HealthLayer::new(
+                        *fs,
+                        cluster.num_nodes(),
+                        &mut failslow_rng,
+                        &mut queue,
+                    ))
+                }
+            }
+            None => None,
+        };
+
         let num_nodes = cluster.num_nodes();
         Driver {
             queue,
@@ -491,6 +558,10 @@ impl Driver {
             detector,
             control_rng: SimRng::for_stream(config.seed, "control-plane"),
             crash_rng: SimRng::for_stream(config.seed, "master-crash"),
+            health,
+            failslow_rng,
+            taskfault_rng: SimRng::for_stream(config.seed, "task-faults"),
+            retry_gates: std::collections::BTreeMap::new(),
             checkpoint: None,
             wal: Vec::new(),
             node_down: vec![None; num_nodes],
@@ -513,6 +584,14 @@ impl Driver {
             master_recoveries: 0,
             stale_finishes_fenced: 0,
             unfenced_stale_finishes: 0,
+            failslow_onsets: 0,
+            task_faults_injected: 0,
+            task_retries: 0,
+            jobs_failed: 0,
+            nodes_quarantined: 0,
+            false_quarantines: 0,
+            quarantine_latency: Summary::new(),
+            probes_launched: 0,
             open_disruptions: Vec::new(),
             requeue_drain: Summary::new(),
             peak_queue_len: 0,
@@ -577,6 +656,9 @@ impl Driver {
             Event::DetectorDeadline { node, kind } => self.on_detector_deadline(node, kind, now),
             Event::LeaseExpiry => self.on_lease_expiry(now),
             Event::Checkpoint => self.on_checkpoint_tick(now),
+            Event::FailSlowOnset { node } => self.on_failslow_onset(node, now),
+            Event::FailSlowRemit { node } => self.on_failslow_remit(node, now),
+            Event::ProbationStart { node } => self.on_probation_start(node, now),
         }
         self.dispatch(now);
         self.peak_queue_len = self.peak_queue_len.max(self.queue.len());
@@ -682,6 +764,28 @@ impl Driver {
                 .remote_reads_in_flight
                 .checked_sub(1)
                 .expect("remote-read counter underflow");
+        }
+        if self.health.is_some() {
+            let node = self.cluster.node_of(executor);
+            // Transient-fault coin, drawn for every physical completion
+            // (clone losers included) so the "task-faults" stream advances
+            // identically regardless of speculation-race outcomes.
+            let p = self
+                .health
+                .as_ref()
+                .expect("checked above")
+                .fault_probability(node);
+            if self.taskfault_rng.chance(p) {
+                self.on_task_fault(running, now);
+                return;
+            }
+            // A completion that survived the coin is a service-time
+            // observation for the peer-relative detector.
+            self.observe_service(
+                node,
+                now.saturating_since(running.launched_at).as_secs_f64(),
+                now,
+            );
         }
         if self.jobs[running.job_idx].stages[running.stage].tasks[running.task].state
             == crate::job::TaskState::Done
@@ -841,6 +945,64 @@ impl Driver {
         }
         self.tasks_requeued += 1;
         true
+    }
+
+    /// A transient fault killed the attempt that was about to complete.
+    /// Attempt death is handled exactly like an executor loss (clone
+    /// losers drain, twins take over the record, last attempts re-queue);
+    /// only a re-queue consumes the job's retry budget — within it, the
+    /// task is gated behind exponential backoff with jitter; beyond it,
+    /// the whole job fails cleanly.
+    fn on_task_fault(&mut self, running: RunningTask, now: SimTime) {
+        self.task_faults_injected += 1;
+        if !self.on_attempt_killed(&running, now) {
+            return; // a twin survives (or the race was already lost)
+        }
+        let j = running.job_idx;
+        let policy = self.health.as_ref().expect("fault without layer").retry;
+        if policy.exhausted(self.jobs[j].retries) {
+            self.fail_job(j, now);
+            return;
+        }
+        self.jobs[j].retries += 1;
+        self.task_retries += 1;
+        let attempt = self.jobs[j].retries;
+        let backoff = policy.backoff(attempt, &mut self.taskfault_rng);
+        self.retry_gates
+            .insert((j, running.stage, running.task), now + backoff);
+    }
+
+    /// A job exhausted its retry budget: every live attempt it still has
+    /// is killed (epoch-fenced so in-flight completions are dropped as
+    /// stale) and the job leaves the system as failed — its tasks stop
+    /// counting as demand and its executors free up immediately.
+    fn fail_job(&mut self, j: usize, now: SimTime) {
+        for e in 0..self.exec_state.len() {
+            let st = &mut self.exec_state[e];
+            if st.dead {
+                continue;
+            }
+            let Some(r) = st.running else { continue };
+            if r.job_idx != j {
+                continue;
+            }
+            st.running = None;
+            st.epoch += 1; // fence the attempt's in-flight Finish
+            st.idle_since = now;
+            if r.remote_input {
+                self.remote_reads_in_flight = self
+                    .remote_reads_in_flight
+                    .checked_sub(1)
+                    .expect("remote-read counter underflow");
+            }
+            // Roll the attempt back exactly; a failed job's task records
+            // must hold no launch credit (the auditor re-derives them).
+            self.on_attempt_killed(&r, now);
+        }
+        self.retry_gates.retain(|&(job, _, _), _| job != j);
+        self.jobs[j].mark_failed(now);
+        self.jobs_failed += 1;
+        self.cache.mark_job(j);
     }
 
     /// Kills one live executor (physically in oracle mode, in the
@@ -1070,6 +1232,12 @@ impl Driver {
         if let Some(retry) = min_retry {
             self.schedule_wake(now + retry);
         }
+        // Keep a wake armed for the earliest future retry gate: an
+        // earlier wake may fire (and be consumed) before the gate opens,
+        // and the gated task would otherwise never be re-offered.
+        if let Some(&gate) = self.retry_gates.values().filter(|&&g| g > now).min() {
+            self.schedule_wake(gate);
+        }
     }
 
     /// Step 1: every idle executor returns to the pool so the next
@@ -1152,6 +1320,15 @@ impl Driver {
             return 0;
         }
         self.allocation_rounds += 1;
+        if let Some(h) = &self.health {
+            if h.cfg.detection && h.cfg.demotion {
+                // Suspect/probation nodes drop to the back of the filler
+                // pick order; allocators that ignore the hint (the
+                // data-unaware baselines) are free to.
+                let demoted = h.demoted_nodes();
+                self.allocator.set_demoted_nodes(&demoted);
+            }
+        }
         let assignments = self.allocator.allocate(&view, &mut self.alloc_rng);
         self.alloc_wall += started.elapsed();
         if cfg!(debug_assertions) {
@@ -1185,6 +1362,9 @@ impl Driver {
         if self.incremental {
             self.cache.refresh(&self.jobs);
         }
+        // Quarantined nodes' executors stay pooled but invisible: the
+        // allocator can only grant what the view offers, so nothing is
+        // ever placed on a node the health detector has excluded.
         let idle: Vec<ExecutorInfo> = self
             .pool
             .iter()
@@ -1192,6 +1372,7 @@ impl Driver {
                 id,
                 node: self.cluster.node_of(id),
             })
+            .filter(|info| self.node_schedulable(info.node))
             .collect();
         let all_executors: Vec<ExecutorInfo> = if self.incremental {
             self.cache.all_executors(&self.cluster).to_vec()
@@ -1304,7 +1485,10 @@ impl Driver {
     }
 
     /// Runnable, unlaunched tasks of app `i`, in (job, stage, task) order.
-    fn runnable_tasks(&self, i: usize, _now: SimTime) -> Vec<RunnableTask> {
+    /// Tasks re-queued by a transient fault stay invisible until their
+    /// backoff gate passes (dispatch keeps a wake armed for the earliest
+    /// gate, so a gated task can never starve).
+    fn runnable_tasks(&self, i: usize, now: SimTime) -> Vec<RunnableTask> {
         let mut out = Vec::new();
         for &j in &self.apps[i].jobs {
             let job = &self.jobs[j];
@@ -1316,6 +1500,9 @@ impl Driver {
                     continue;
                 }
                 for (t, task) in stage.tasks.iter().enumerate() {
+                    if self.retry_gates.get(&(j, s, t)).is_some_and(|&g| now < g) {
+                        continue; // backing off after a transient fault
+                    }
                     if task.state == TaskState::Runnable {
                         out.push(RunnableTask {
                             job: job.id,
@@ -1403,6 +1590,13 @@ impl Driver {
         let compute = SimDuration::from_secs_f64(
             stage_ref.compute_per_task.as_secs_f64() * self.noise.sample(&mut self.noise_rng),
         );
+        // Clones pay the host node's fail-slow penalty too, and are
+        // never placed on quarantined nodes (asserted inside).
+        let (io_time, compute) = match &self.health {
+            Some(h) => h.scaled(node, is_input && local, io_time, compute),
+            None => (io_time, compute),
+        };
+        self.note_health_launch(node);
         if remote_input {
             self.remote_reads_in_flight += 1;
         }
@@ -1473,6 +1667,11 @@ impl Driver {
             "scheduler locality flag mismatch"
         );
 
+        // Quarantine exclusion is enforced upstream (view filtering);
+        // this asserts it held and counts probation probes.
+        self.note_health_launch(node);
+        self.retry_gates.remove(&(job_idx, stage, task));
+
         let idle_since = self.exec_state[executor.index()].idle_since;
         let runnable_since = self.jobs[job_idx].stages[stage].tasks[task]
             .runnable_since
@@ -1520,6 +1719,13 @@ impl Driver {
         let compute = SimDuration::from_secs_f64(
             stage_ref.compute_per_task.as_secs_f64() * self.noise.sample(&mut self.noise_rng),
         );
+        // An active fail-slow condition inflates the cause-matched
+        // component: disk → local reads, NIC → remote reads and shuffles,
+        // CPU → compute.
+        let (io_time, compute) = match &self.health {
+            Some(h) => h.scaled(node, is_input && actual_local, io_time, compute),
+            None => (io_time, compute),
+        };
         if remote_input {
             self.remote_reads_in_flight += 1;
         }
@@ -1604,6 +1810,25 @@ impl Driver {
         let nodes_failed = self.nodes_failed;
         let tasks_requeued = self.tasks_requeued;
         let tasks_speculated = self.speculation.as_ref().map_or(0, |s| s.launches);
+        // End-of-run metric self-consistency: every clone's race resolved
+        // one way or the other, and recoveries never outnumber the faults
+        // that caused them. `nodes_recovered` counts executor-only fault
+        // recoveries as well as machine recoveries, so the bound is the
+        // sum — not `nodes_failed` alone (executor-only chaos runs have
+        // `nodes_failed == 0` with recoveries present).
+        assert!(
+            self.clones_won + self.clones_lost <= tasks_speculated,
+            "clone races resolved ({} + {}) exceed clones launched ({tasks_speculated})",
+            self.clones_won,
+            self.clones_lost,
+        );
+        assert!(
+            self.nodes_recovered <= nodes_failed + self.executor_faults,
+            "{} recoveries exceed {} machine + {} executor-only faults",
+            self.nodes_recovered,
+            nodes_failed,
+            self.executor_faults,
+        );
         let jobs_completed = self.apps.iter().map(|a| a.metrics.jobs_completed).sum();
         let trace = self.trace.take().unwrap_or_default();
         let outcome = SimOutcome {
@@ -1633,6 +1858,14 @@ impl Driver {
                 master_recoveries: self.master_recoveries,
                 stale_finishes_fenced: self.stale_finishes_fenced,
                 unfenced_stale_finishes: self.unfenced_stale_finishes,
+                failslow_onsets: self.failslow_onsets,
+                task_faults_injected: self.task_faults_injected,
+                task_retries: self.task_retries,
+                jobs_failed: self.jobs_failed,
+                nodes_quarantined: self.nodes_quarantined,
+                false_quarantines: self.false_quarantines,
+                quarantine_latency_secs: self.quarantine_latency,
+                probes_launched: self.probes_launched,
             },
         };
         (outcome, trace)
@@ -2044,6 +2277,103 @@ mod tests {
             out.peak_queue_len < 1000,
             "queue peaked at {} — wake flood?",
             out.peak_queue_len
+        );
+    }
+
+    fn failslow(allocator: AllocatorKind, seed: u64) -> SimConfig {
+        small(allocator, seed)
+            .with_failslow(crate::config::FailSlowConfig::default().with_sick_fraction(0.3))
+    }
+
+    #[test]
+    fn failslow_runs_complete_or_fail_cleanly() {
+        for kind in AllocatorKind::ALL {
+            let out = Simulation::run(&failslow(kind, 50)).cluster_metrics;
+            assert_eq!(
+                out.jobs_completed + out.jobs_failed,
+                12,
+                "{kind} lost a job without failing it cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn failslow_runs_are_deterministic() {
+        let a = Simulation::run(&failslow(AllocatorKind::Custody, 51)).cluster_metrics;
+        let b = Simulation::run(&failslow(AllocatorKind::Custody, 51)).cluster_metrics;
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.failslow_onsets, b.failslow_onsets);
+        assert_eq!(a.task_faults_injected, b.task_faults_injected);
+        assert_eq!(a.task_retries, b.task_retries);
+        assert_eq!(a.nodes_quarantined, b.nodes_quarantined);
+        assert_eq!(a.jobs_failed, b.jobs_failed);
+    }
+
+    #[test]
+    fn detection_quarantines_a_limping_node() {
+        // One persistently CPU-sick node with a brutal slowdown on a
+        // congested cluster: the peer-relative detector must notice.
+        let mut fs = crate::config::FailSlowConfig::default()
+            .with_sick_fraction(0.2)
+            .with_transient_fault_prob(0.0);
+        fs.mean_onset_secs = 2.0;
+        fs.cpu_factor = 12.0;
+        fs.disk_factor = 12.0;
+        fs.nic_factor = 12.0;
+        fs.min_samples = 3;
+        // Seed chosen so the sick node is one StaticSpread actually
+        // uses (an idle node produces no observations to judge).
+        let mut cfg = small(AllocatorKind::StaticSpread, 54).with_failslow(fs);
+        cfg.cluster.num_nodes = 5;
+        let out = Simulation::run(&cfg).cluster_metrics;
+        assert_eq!(out.jobs_completed, 12);
+        assert!(out.failslow_onsets > 0, "no slowdown ever set in");
+        assert!(
+            out.nodes_quarantined > 0,
+            "a 12x-slower node escaped quarantine"
+        );
+        assert!(
+            out.quarantine_latency_secs.count() + out.false_quarantines <= out.nodes_quarantined,
+            "scored quarantines exceed quarantines taken"
+        );
+        assert!(
+            out.quarantine_latency_secs.count() > 0,
+            "a true quarantine must score its detection latency"
+        );
+    }
+
+    #[test]
+    fn exhausted_retry_budget_fails_jobs_cleanly() {
+        // Every attempt faults: with a zero budget the first fault per
+        // job fails it — nothing completes, nothing deadlocks.
+        let fs = crate::config::FailSlowConfig::default()
+            .with_sick_fraction(0.0)
+            .with_transient_fault_prob(1.0)
+            .with_retry_budget(0);
+        let cfg = small(AllocatorKind::Custody, 54).with_failslow(fs);
+        let out = Simulation::run(&cfg).cluster_metrics;
+        assert_eq!(out.jobs_completed, 0);
+        assert_eq!(out.jobs_failed, 12);
+        assert_eq!(out.task_retries, 0, "a zero budget allows no retries");
+        assert!(out.task_faults_injected >= 12);
+    }
+
+    #[test]
+    fn transient_faults_retry_within_budget() {
+        let fs = crate::config::FailSlowConfig::default()
+            .with_sick_fraction(0.0)
+            .with_transient_fault_prob(0.08);
+        let cfg = small(AllocatorKind::Custody, 55).with_failslow(fs);
+        let out = Simulation::run(&cfg).cluster_metrics;
+        assert!(out.task_faults_injected > 0, "an 8% fault rate hit nothing");
+        assert!(
+            out.task_retries > 0,
+            "faults were injected but none retried"
+        );
+        assert_eq!(
+            out.jobs_completed + out.jobs_failed,
+            12,
+            "every job either completed or failed cleanly"
         );
     }
 

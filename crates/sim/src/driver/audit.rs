@@ -42,6 +42,14 @@
 //!     track DataNode suspicion, ownership and leases form a bijection,
 //!     suspicion timers are disarmed exactly while their suspicion
 //!     stands, and no stale completion ever slipped past epoch fencing.
+//! 11. **Gray-failure discipline** (fail-slow layer) — no job's retry
+//!     count exceeds the budget, a failed job holds no live attempts and
+//!     no backoff gates, backoff gates cover only re-queued (runnable)
+//!     tasks of live jobs, and with detection on no idle executor on a
+//!     quarantined node is held by any application (launches there are
+//!     additionally asserted at launch time).
+
+use custody_cluster::HealthState;
 
 use crate::job::TaskState;
 
@@ -63,6 +71,61 @@ impl Driver {
         self.audit_topology();
         if self.incremental {
             self.cache.audit(&self.jobs);
+        }
+        if self.health.is_some() {
+            self.audit_health();
+        }
+    }
+
+    /// Invariant 11: gray-failure discipline — retry budgets, failed-job
+    /// hygiene, backoff gates, and quarantine exclusion.
+    fn audit_health(&self) {
+        let h = self.health.as_ref().expect("health audit without layer");
+        for (j, job) in self.jobs.iter().enumerate() {
+            assert!(
+                job.retries <= h.retry.budget,
+                "job {j} consumed {} retries against a budget of {}",
+                job.retries,
+                h.retry.budget
+            );
+            if job.failed {
+                let running = job
+                    .stages
+                    .iter()
+                    .flat_map(|s| &s.tasks)
+                    .filter(|t| t.state == TaskState::Running)
+                    .count();
+                assert_eq!(running, 0, "failed job {j} still has running tasks");
+            }
+        }
+        for &(j, s, t) in self.retry_gates.keys() {
+            assert!(
+                !self.jobs[j].is_finished(),
+                "retry gate outlives finished job {j}"
+            );
+            assert_eq!(
+                self.jobs[j].stages[s].tasks[t].state,
+                TaskState::Runnable,
+                "job {j} stage {s} task {t} gated while not runnable"
+            );
+        }
+        if !h.cfg.detection {
+            return;
+        }
+        for (e, st) in self.exec_state.iter().enumerate() {
+            let node = self.cluster.node_of(custody_cluster::ExecutorId::new(e));
+            if h.belief[node.index()].state == HealthState::Quarantined
+                && st.owner.is_some()
+                && st.running.is_none()
+            {
+                panic!("idle executor {e} on quarantined node {node} is still held");
+            }
+        }
+        for (n, b) in h.belief.iter().enumerate() {
+            assert!(
+                b.samples.len() <= h.cfg.window,
+                "node {n} sample window overflowed"
+            );
         }
     }
 

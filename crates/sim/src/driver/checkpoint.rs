@@ -148,6 +148,18 @@ fn assert_converged(live: &Driver, ghost: &Driver) {
     check!(leases_revoked);
     check!(stale_finishes_fenced);
     check!(unfenced_stale_finishes);
+    check!(health);
+    check!(failslow_rng);
+    check!(taskfault_rng);
+    check!(retry_gates);
+    check!(failslow_onsets);
+    check!(task_faults_injected);
+    check!(task_retries);
+    check!(jobs_failed);
+    check!(nodes_quarantined);
+    check!(false_quarantines);
+    check!(quarantine_latency);
+    check!(probes_launched);
     check!(open_disruptions);
     check!(requeue_drain);
     check!(peak_queue_len);

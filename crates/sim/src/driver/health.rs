@@ -1,0 +1,470 @@
+//! Gray failures: fail-slow nodes, transient task faults, and the
+//! peer-relative health detector.
+//!
+//! Crash-stop failures are binary and the detector of `detector.rs` sees
+//! them as *silence*. Gray failures are worse: a node whose disk, NIC or
+//! CPU silently degrades keeps heartbeating, so the control plane sees a
+//! perfectly healthy machine — while every task it runs takes several
+//! times longer, and data-aware allocation keeps steering "local" work
+//! onto it. This module models both sides of that problem:
+//!
+//! * **Physical truth** — a seeded subset of nodes develops a slowdown
+//!   ([`Sickness`]) with a *cause* that decides which service-time
+//!   component inflates: a sick disk multiplies local reads, a sick NIC
+//!   multiplies remote reads and shuffles, a sick CPU multiplies compute.
+//!   Episodes either persist or remit and relapse. All draws come from
+//!   the dedicated `"failslow"` stream so every other seeded schedule is
+//!   untouched.
+//! * **Belief** — when detection is on, the master compares each node's
+//!   mean task service time against the cluster median of per-node means
+//!   (no oracle access: only completed-task observations). Nodes whose
+//!   ratio crosses the configured thresholds walk the graceful-degradation
+//!   state machine of [`HealthState`]: healthy → suspect (demoted in the
+//!   allocator's pick order) → quarantined (excluded from placement and
+//!   speculation) → probation (a few probe tasks earn re-admission or a
+//!   fresh quarantine).
+//!
+//! Belief can be wrong in both directions and the driver scores it:
+//! `false_quarantines` counts nodes quarantined while physically fine,
+//! `quarantine_latency_secs` measures onset-to-quarantine for the true
+//! positives. The peer-relative scheme is deliberately blind to a
+//! uniformly slow cluster — with no healthy peers the median itself
+//! shifts — which is the documented limitation of real-world fail-slow
+//! detectors this reproduces.
+
+use std::collections::VecDeque;
+
+use custody_cluster::HealthState;
+use custody_dfs::NodeId;
+use custody_scheduler::RetryPolicy;
+use custody_simcore::dist::{Distribution, Exponential};
+use custody_simcore::{SimDuration, SimRng, SimTime};
+
+use crate::config::FailSlowConfig;
+
+use super::{Driver, Event};
+
+/// Which component of a sick node degraded — decides which service-time
+/// term the slowdown factor multiplies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlowCause {
+    /// Degraded disk: local input reads slow down.
+    Disk,
+    /// Degraded NIC: remote reads and shuffles slow down.
+    Nic,
+    /// Throttled CPU: compute slows down.
+    Cpu,
+}
+
+/// Physical fail-slow condition of one node (ground truth, invisible to
+/// the detector).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Sickness {
+    /// What degraded.
+    pub cause: SlowCause,
+    /// Whether an episode is currently active.
+    pub active: bool,
+    /// When the current (or last) episode began.
+    pub since: SimTime,
+}
+
+/// The detector's belief about one node, derived purely from observed
+/// task service times.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct NodeBelief {
+    /// Current position in the graceful-degradation state machine.
+    pub state: HealthState,
+    /// Sliding window of completed-task service times on this node.
+    pub samples: VecDeque<f64>,
+    /// Probe launches granted since probation began (placement on a
+    /// probation node is capped at the configured probe count, so one
+    /// flapping node cannot soak up real work between re-quarantines).
+    pub probes_started: usize,
+    /// Probe completions served since probation began.
+    pub probes_done: usize,
+    /// When the node was last quarantined.
+    pub quarantined_at: SimTime,
+}
+
+/// The whole gray-failure layer: configuration, per-node physical
+/// sickness, and per-node belief. Lives on the driver only when the
+/// configured [`FailSlowConfig`] actually injects something —
+/// [`FailSlowConfig::is_inert`] keeps the layer off entirely, making an
+/// inert config event-for-event identical to no config at all.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct HealthLayer {
+    /// The gray-failure parameters (non-inert by construction).
+    pub cfg: FailSlowConfig,
+    /// Physical truth per node; `None` = never sickens.
+    pub sickness: Vec<Option<Sickness>>,
+    /// Belief per node (only advanced when detection is on).
+    pub belief: Vec<NodeBelief>,
+    /// The retry policy transient faults consume budget against.
+    pub retry: RetryPolicy,
+}
+
+impl HealthLayer {
+    /// Draws the sick-node set, their causes and their first onsets, and
+    /// schedules a `FailSlowOnset` per sick node (within the horizon).
+    pub(crate) fn new(
+        cfg: FailSlowConfig,
+        num_nodes: usize,
+        rng: &mut SimRng,
+        queue: &mut custody_simcore::EventQueue<Event>,
+    ) -> Self {
+        let num_sick = ((cfg.sick_fraction * num_nodes as f64).round() as usize).min(num_nodes);
+        let mut sickness: Vec<Option<Sickness>> = vec![None; num_nodes];
+        for n in rng.choose_distinct(num_nodes, num_sick) {
+            let u = rng.unit();
+            let cause = if u < cfg.disk_fraction {
+                SlowCause::Disk
+            } else if u < cfg.disk_fraction + cfg.nic_fraction {
+                SlowCause::Nic
+            } else {
+                SlowCause::Cpu
+            };
+            sickness[n] = Some(Sickness {
+                cause,
+                active: false,
+                since: SimTime::ZERO,
+            });
+            let onset = Exponential::with_mean(cfg.mean_onset_secs).sample(rng);
+            if onset <= cfg.horizon_secs {
+                queue.schedule(
+                    SimTime::ZERO + SimDuration::from_secs_f64(onset),
+                    Event::FailSlowOnset {
+                        node: NodeId::new(n),
+                    },
+                );
+            }
+        }
+        HealthLayer {
+            cfg,
+            sickness,
+            belief: vec![
+                NodeBelief {
+                    state: HealthState::Healthy,
+                    samples: VecDeque::new(),
+                    probes_started: 0,
+                    probes_done: 0,
+                    quarantined_at: SimTime::ZERO,
+                };
+                num_nodes
+            ],
+            retry: RetryPolicy::new(
+                cfg.retry_budget,
+                SimDuration::from_secs_f64(cfg.retry_backoff_secs),
+                cfg.retry_jitter,
+            ),
+        }
+    }
+
+    /// Whether the node's slowdown is currently active (physical truth).
+    pub(crate) fn slow_active(&self, node: NodeId) -> bool {
+        self.sickness[node.index()].is_some_and(|s| s.active)
+    }
+
+    /// Scales one attempt's service-time components by the node's active
+    /// slowdown. `local_read` marks a node-local input read (disk-bound);
+    /// everything else crossing the wire (remote reads, shuffles) is
+    /// NIC-bound. Compute is scaled independently.
+    pub(crate) fn scaled(
+        &self,
+        node: NodeId,
+        local_read: bool,
+        io: SimDuration,
+        compute: SimDuration,
+    ) -> (SimDuration, SimDuration) {
+        let Some(s) = self.sickness[node.index()].filter(|s| s.active) else {
+            return (io, compute);
+        };
+        let (io_factor, compute_factor) = match s.cause {
+            SlowCause::Disk if local_read => (self.cfg.disk_factor, 1.0),
+            SlowCause::Disk => (1.0, 1.0),
+            SlowCause::Nic if !local_read => (self.cfg.nic_factor, 1.0),
+            SlowCause::Nic => (1.0, 1.0),
+            SlowCause::Cpu => (1.0, self.cfg.cpu_factor),
+        };
+        (
+            SimDuration::from_secs_f64(io.as_secs_f64() * io_factor),
+            SimDuration::from_secs_f64(compute.as_secs_f64() * compute_factor),
+        )
+    }
+
+    /// Per-attempt transient-fault probability on `node` (elevated while
+    /// the node's slowdown is active), capped at one.
+    pub(crate) fn fault_probability(&self, node: NodeId) -> f64 {
+        let p = if self.slow_active(node) {
+            self.cfg.transient_fault_prob * self.cfg.sick_fault_multiplier
+        } else {
+            self.cfg.transient_fault_prob
+        };
+        p.min(1.0)
+    }
+
+    /// Nodes the allocator should demote in its pick order: suspects and
+    /// probationers (quarantined nodes are excluded outright, not merely
+    /// demoted).
+    pub(crate) fn demoted_nodes(&self) -> Vec<NodeId> {
+        self.belief
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.state.is_demoted())
+            .map(|(n, _)| NodeId::new(n))
+            .collect()
+    }
+
+    /// Mean of the node's sample window, if it holds at least `min`
+    /// samples.
+    fn node_mean(&self, node: usize, min: usize) -> Option<f64> {
+        let s = &self.belief[node].samples;
+        if s.len() < min {
+            return None;
+        }
+        Some(s.iter().sum::<f64>() / s.len() as f64)
+    }
+
+    /// The node's service-time ratio against its peers: node mean divided
+    /// by the cluster median of per-node means (nodes with enough samples
+    /// only). `None` until the node and at least one peer are measurable.
+    fn peer_ratio(&self, node: usize, node_min: usize) -> Option<f64> {
+        let mine = self.node_mean(node, node_min)?;
+        let mut means: Vec<f64> = (0..self.belief.len())
+            .filter_map(|n| self.node_mean(n, self.cfg.min_samples))
+            .collect();
+        if means.len() < 2 {
+            return None; // no peers to be relative to yet
+        }
+        means.sort_by(|a, b| a.partial_cmp(b).expect("service times are finite"));
+        let median = means[(means.len() - 1) / 2];
+        if median <= 0.0 {
+            return None;
+        }
+        Some(mine / median)
+    }
+}
+
+impl Driver {
+    /// Every job submitted and finished: stop seeding new fail-slow
+    /// episodes so the event queue can drain (mirrors the control plane's
+    /// idle discipline — post-run episodes could not change any outcome).
+    fn failslow_idle(&self) -> bool {
+        self.jobs.len() == self.apps.iter().map(|a| a.specs.len()).sum::<usize>()
+            && self.jobs.iter().all(|j| j.is_finished())
+    }
+
+    /// A node's slowdown sets in. Episodic configs draw the episode
+    /// length and schedule the remission; persistent ones never remit.
+    pub(super) fn on_failslow_onset(&mut self, node: NodeId, now: SimTime) {
+        if self.failslow_idle() {
+            return; // the run has drained; a late onset changes nothing
+        }
+        let h = self.health.as_mut().expect("fail-slow onset without layer");
+        let episodic = h.cfg.mean_episode_secs > 0.0;
+        let mean_episode = h.cfg.mean_episode_secs;
+        let s = h.sickness[node.index()]
+            .as_mut()
+            .expect("onset on a node that never sickens");
+        debug_assert!(!s.active, "overlapping fail-slow episodes");
+        s.active = true;
+        s.since = now;
+        self.failslow_onsets += 1;
+        if episodic {
+            let len = Exponential::with_mean(mean_episode).sample(&mut self.failslow_rng);
+            self.queue.schedule(
+                now + SimDuration::from_secs_f64(len),
+                Event::FailSlowRemit { node },
+            );
+        }
+    }
+
+    /// An episodic slowdown remits; the node may relapse after a healthy
+    /// gap (drawn now, scheduled only within the horizon).
+    pub(super) fn on_failslow_remit(&mut self, node: NodeId, now: SimTime) {
+        let h = self.health.as_mut().expect("fail-slow remit without layer");
+        let horizon = h.cfg.horizon_secs;
+        let mean_remission = h.cfg.mean_remission_secs;
+        let s = h.sickness[node.index()]
+            .as_mut()
+            .expect("remit on a node that never sickens");
+        debug_assert!(s.active, "remission of an inactive episode");
+        s.active = false;
+        if self.failslow_idle() {
+            return;
+        }
+        let gap = Exponential::with_mean(mean_remission).sample(&mut self.failslow_rng);
+        let next = now + SimDuration::from_secs_f64(gap);
+        if next.as_secs_f64() <= horizon {
+            self.queue.schedule(next, Event::FailSlowOnset { node });
+        }
+    }
+
+    /// A quarantined node's cool-off elapsed: it enters probation — back
+    /// in the (demoted) pick order, earning re-admission through probe
+    /// completions.
+    pub(super) fn on_probation_start(&mut self, node: NodeId, _now: SimTime) {
+        let h = self.health.as_mut().expect("probation without layer");
+        let b = &mut h.belief[node.index()];
+        debug_assert_eq!(
+            b.state,
+            HealthState::Quarantined,
+            "probation of a node not quarantined"
+        );
+        debug_assert!(b.state.can_transition_to(HealthState::Probation));
+        b.state = HealthState::Probation;
+        b.probes_started = 0;
+        b.probes_done = 0;
+        // Judge probation on probe completions alone: the old window is
+        // what got the node quarantined and must not retry the verdict.
+        b.samples.clear();
+        self.cache.mark_pool_changed();
+    }
+
+    /// Feeds one completed attempt's service time into the detector and
+    /// advances the node's belief state machine.
+    pub(super) fn observe_service(&mut self, node: NodeId, service_secs: f64, now: SimTime) {
+        let Some(h) = self.health.as_mut() else {
+            return;
+        };
+        if !h.cfg.detection {
+            return;
+        }
+        let cfg = h.cfg;
+        let b = &mut h.belief[node.index()];
+        b.samples.push_back(service_secs);
+        while b.samples.len() > cfg.window {
+            b.samples.pop_front();
+        }
+        if b.state == HealthState::Probation {
+            b.probes_done += 1;
+        }
+        let state = b.state;
+        let probes_done = b.probes_done;
+        let h = self.health.as_ref().expect("checked above");
+        match state {
+            HealthState::Healthy => {
+                if let Some(ratio) = h.peer_ratio(node.index(), cfg.min_samples) {
+                    if ratio >= cfg.suspect_ratio {
+                        self.transition(node, HealthState::Suspect, now);
+                    }
+                }
+            }
+            HealthState::Suspect => {
+                if let Some(ratio) = h.peer_ratio(node.index(), cfg.min_samples) {
+                    if ratio >= cfg.quarantine_ratio {
+                        self.try_quarantine(node, now);
+                    } else if ratio < cfg.suspect_ratio {
+                        self.transition(node, HealthState::Healthy, now);
+                    }
+                }
+            }
+            // In-flight tasks keep completing after quarantine; only the
+            // probation timer moves a quarantined node.
+            HealthState::Quarantined => {}
+            HealthState::Probation => {
+                if probes_done >= cfg.probation_probes {
+                    // Judge on the probe window alone (any sample count).
+                    match h.peer_ratio(node.index(), 1) {
+                        Some(ratio) if ratio >= cfg.suspect_ratio => {
+                            self.try_quarantine(node, now);
+                        }
+                        _ => self.transition(node, HealthState::Healthy, now),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Takes one legal belief transition and dirties the allocation view.
+    fn transition(&mut self, node: NodeId, next: HealthState, _now: SimTime) {
+        let h = self.health.as_mut().expect("transition without layer");
+        let b = &mut h.belief[node.index()];
+        debug_assert!(
+            b.state.can_transition_to(next),
+            "illegal health transition {} -> {}",
+            b.state.name(),
+            next.name()
+        );
+        b.state = next;
+        self.cache.mark_pool_changed();
+    }
+
+    /// Quarantines `node` unless doing so would leave half the cluster or
+    /// less schedulable — the capacity guard real quarantine systems ship
+    /// with, so a skewed median can never starve the run. Scores the
+    /// verdict against physical truth and arms the probation timer.
+    fn try_quarantine(&mut self, node: NodeId, now: SimTime) {
+        let h = self.health.as_ref().expect("quarantine without layer");
+        let schedulable = h.belief.iter().filter(|b| b.state.is_schedulable()).count();
+        let alive = h.belief.len() - self.node_down.len();
+        if (schedulable - 1) * 2 <= alive {
+            return; // capacity guard: keep over half the live cluster
+        }
+        let truly_slow = h.slow_active(node);
+        let onset = h.sickness[node.index()].map(|s| s.since);
+        let last_quarantine = h.belief[node.index()].quarantined_at;
+        self.transition(node, HealthState::Quarantined, now);
+        let h = self.health.as_mut().expect("checked above");
+        h.belief[node.index()].quarantined_at = now;
+        let delay = SimDuration::from_secs_f64(h.cfg.probation_delay_secs);
+        self.nodes_quarantined += 1;
+        if truly_slow {
+            let since = onset.expect("active sickness has an onset");
+            // Detection latency is scored once per episode: a flapping
+            // re-quarantine of an already-caught slowdown says nothing
+            // about how fast the detector notices.
+            if last_quarantine < since || last_quarantine == SimTime::ZERO {
+                self.quarantine_latency
+                    .push(now.saturating_since(since).as_secs_f64());
+            }
+        } else {
+            self.false_quarantines += 1;
+        }
+        self.queue
+            .schedule(now + delay, Event::ProbationStart { node });
+    }
+
+    /// Whether the detector currently allows placement on `node`.
+    /// Quarantine excludes outright; probation admits only up to the
+    /// configured probe count — a still-slow node is re-judged on a few
+    /// sacrificial tasks, not a fresh batch of real work.
+    pub(super) fn node_schedulable(&self, node: NodeId) -> bool {
+        match &self.health {
+            Some(h) if h.cfg.detection => {
+                let b = &h.belief[node.index()];
+                match b.state {
+                    HealthState::Quarantined => false,
+                    HealthState::Probation => b.probes_started < h.cfg.probation_probes,
+                    HealthState::Healthy | HealthState::Suspect => true,
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Counts a launch on a probation node as a probe, and asserts the
+    /// quarantine exclusion held (the auditor's launch-time invariant).
+    pub(super) fn note_health_launch(&mut self, node: NodeId) {
+        let Some(h) = self.health.as_mut() else {
+            return;
+        };
+        if !h.cfg.detection {
+            return;
+        }
+        let cap = h.cfg.probation_probes;
+        let b = &mut h.belief[node.index()];
+        assert!(
+            b.state != HealthState::Quarantined,
+            "task launched on quarantined {node}"
+        );
+        if b.state == HealthState::Probation {
+            b.probes_started += 1;
+            self.probes_launched += 1;
+            if b.probes_started >= cap {
+                // The node just stopped accepting placements; the cached
+                // idle view must not replay it as available.
+                self.cache.mark_pool_changed();
+            }
+        }
+    }
+}

@@ -14,7 +14,7 @@ use crate::driver::Simulation;
 use crate::metrics::RunMetrics;
 
 /// The cluster sizes of §VI-A1 (experiments "separately run on clusters
-/// with 25, [50] and 100 nodes").
+/// with 25, \[50\] and 100 nodes").
 pub const PAPER_CLUSTER_SIZES: [usize; 3] = [25, 50, 100];
 
 /// The baseline the paper compares against: Spark's standalone cluster
@@ -247,6 +247,168 @@ pub fn detector_sweep(
     (oracle, cells)
 }
 
+/// One detection variant of a fail-slow cell, aggregated over the sweep
+/// seeds (the trade detection makes is noisy per seed — which node
+/// sickens decides how much quarantine pays — so each variant merges
+/// several independent runs).
+#[derive(Debug, Clone)]
+pub struct FailSlowVariant {
+    /// Per-job completion times merged across seeds (completed jobs).
+    pub jct: Summary,
+    /// Per-job input-locality fractions merged across seeds.
+    pub locality: Summary,
+    /// Total fail-slow onsets across seeds.
+    pub onsets: usize,
+    /// Total quarantines across seeds.
+    pub quarantines: usize,
+    /// Total false quarantines across seeds.
+    pub false_quarantines: usize,
+    /// Onset-to-quarantine latencies merged across seeds.
+    pub quarantine_latency: Summary,
+    /// Total jobs that exhausted their retry budget across seeds.
+    pub jobs_failed: usize,
+    /// Total transient-fault retries across seeds.
+    pub task_retries: usize,
+}
+
+impl FailSlowVariant {
+    fn accumulate(runs: &[RunMetrics]) -> Self {
+        let mut v = FailSlowVariant {
+            jct: Summary::new(),
+            locality: Summary::new(),
+            onsets: 0,
+            quarantines: 0,
+            false_quarantines: 0,
+            quarantine_latency: Summary::new(),
+            jobs_failed: 0,
+            task_retries: 0,
+        };
+        for m in runs {
+            v.jct.merge(&m.job_completion_secs());
+            v.locality.merge(&m.input_locality());
+            v.onsets += m.failslow_onsets;
+            v.quarantines += m.nodes_quarantined;
+            v.false_quarantines += m.false_quarantines;
+            v.quarantine_latency.merge(&m.quarantine_latency_secs);
+            v.jobs_failed += m.jobs_failed;
+            v.task_retries += m.task_retries;
+        }
+        v
+    }
+}
+
+/// One cell of the fail-slow sweep: one sick fraction, four variants —
+/// {Custody, baseline} × {detection on, off} — all riding identical
+/// physical sickness schedules per seed (belief never feeds back into
+/// the `"failslow"` stream).
+#[derive(Debug, Clone)]
+pub struct FailSlowCell {
+    /// Fraction of nodes that develop a slowdown in this cell.
+    pub sick_fraction: f64,
+    /// Custody with the health detector on.
+    pub custody_on: FailSlowVariant,
+    /// Custody with detection disabled (slowdowns invisible).
+    pub custody_off: FailSlowVariant,
+    /// The baseline with the health detector on.
+    pub baseline_on: FailSlowVariant,
+    /// The baseline with detection disabled.
+    pub baseline_off: FailSlowVariant,
+}
+
+impl FailSlowCell {
+    /// Mean-JCT reduction from turning detection on, in percent:
+    /// `(custody, baseline)`. Positive = quarantine + demotion paid off.
+    pub fn detection_jct_gain_pct(&self) -> (f64, f64) {
+        let gain = |on: &FailSlowVariant, off: &FailSlowVariant| {
+            let (a, b) = (on.jct.mean(), off.jct.mean());
+            if b == 0.0 {
+                0.0
+            } else {
+                (b - a) / b * 100.0
+            }
+        };
+        (
+            gain(&self.custody_on, &self.custody_off),
+            gain(&self.baseline_on, &self.baseline_off),
+        )
+    }
+}
+
+/// The severe gray-failure template the sweep injects: brutal slowdown
+/// factors and a quick detector, so the cells measure the detection
+/// trade-off rather than waiting out gentle defaults.
+fn severe_failslow(sick_fraction: f64, detection: bool) -> crate::config::FailSlowConfig {
+    let mut fs = crate::config::FailSlowConfig::default()
+        .with_sick_fraction(sick_fraction)
+        .with_detection(detection);
+    fs.mean_onset_secs = 3.0;
+    fs.disk_factor = 20.0;
+    fs.nic_factor = 20.0;
+    fs.cpu_factor = 20.0;
+    // An aggressive detector: a short window flushes pre-onset samples
+    // fast (low detection latency), and a long probation delay keeps a
+    // confirmed-slow node out instead of flapping through re-admission
+    // probes that each run 10x slow — the right call against the
+    // persistent slowdowns this sweep injects.
+    fs.min_samples = 3;
+    fs.window = 8;
+    fs.suspect_ratio = 1.4;
+    fs.quarantine_ratio = 2.4;
+    fs.probation_delay_secs = 60.0;
+    fs
+}
+
+/// The fail-slow sweep: gray failures at increasing sick fractions on a
+/// deliberately congested cluster, each cell comparing Custody vs the
+/// baseline with the peer-relative detector on vs off. Every variant is
+/// averaged over `seeds` (which sick node a seed draws decides how much
+/// quarantine pays, so single runs are noisy). Cells are run in parallel
+/// and ordered by increasing sick fraction.
+pub fn failslow_sweep(
+    num_nodes: usize,
+    jobs_per_app: usize,
+    sick_fractions: &[f64],
+    seeds: &[u64],
+) -> Vec<FailSlowCell> {
+    let grid: Vec<(f64, AllocatorKind, bool)> = sick_fractions
+        .iter()
+        .flat_map(|&f| {
+            [
+                (f, AllocatorKind::Custody, true),
+                (f, AllocatorKind::Custody, false),
+                (f, PAPER_BASELINE, true),
+                (f, PAPER_BASELINE, false),
+            ]
+        })
+        .collect();
+    let seeds = seeds.to_vec();
+    let variants = custody_simcore::par_map(&grid, move |&(fraction, kind, detection)| {
+        let runs: Vec<RunMetrics> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut cfg = SimConfig::paper(WorkloadKind::WordCount, num_nodes, kind, seed)
+                    .with_failslow(severe_failslow(fraction, detection));
+                cfg.campaign = cfg.campaign.with_jobs_per_app(jobs_per_app);
+                Simulation::run(&cfg).cluster_metrics
+            })
+            .collect();
+        FailSlowVariant::accumulate(&runs)
+    });
+    let mut cells: Vec<FailSlowCell> = sick_fractions
+        .iter()
+        .zip(variants.chunks_exact(4))
+        .map(|(&fraction, chunk)| FailSlowCell {
+            sick_fraction: fraction,
+            custody_on: chunk[0].clone(),
+            custody_off: chunk[1].clone(),
+            baseline_on: chunk[2].clone(),
+            baseline_off: chunk[3].clone(),
+        })
+        .collect();
+    cells.sort_by(|a, b| a.sick_fraction.total_cmp(&b.sick_fraction));
+    cells
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +444,25 @@ mod tests {
             assert_eq!(cell.metrics.jobs_completed, 8);
             assert_eq!(cell.metrics.unfenced_stale_finishes, 0);
         }
+    }
+
+    #[test]
+    fn failslow_sweep_runs_and_orders_cells() {
+        let cells = failslow_sweep(6, 1, &[0.3, 0.0], &[21, 22]);
+        assert_eq!(cells.len(), 2);
+        // Ordered healthy → sick (increasing fraction).
+        assert!(cells[0].sick_fraction < cells[1].sick_fraction);
+        // No sick nodes: nothing to detect on either variant.
+        assert_eq!(cells[0].custody_on.onsets, 0);
+        assert_eq!(cells[0].custody_on.quarantines, 0);
+        // Sick cell: slowdowns set in, and only detection-on variants
+        // may quarantine.
+        let sick = &cells[1];
+        assert!(sick.custody_on.onsets > 0, "no slowdown drawn");
+        assert_eq!(sick.custody_off.quarantines, 0);
+        assert_eq!(sick.baseline_off.quarantines, 0);
+        let (c, b) = sick.detection_jct_gain_pct();
+        assert!(c.is_finite() && b.is_finite());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Runtime state of jobs, stages and tasks inside a simulation.
 //!
 //! A [`RuntimeJob`] is an instantiated
-//! [`JobSpec`](custody_workload::JobSpec): its input dataset exists, each
+//! [`JobSpec`]: its input dataset exists, each
 //! input task is bound to a block (and hence to the replica nodes the
 //! NameNode reports), and downstream stage widths are resolved. The DAG
 //! unlock logic lives here so it can be tested without the event loop.
@@ -137,6 +137,13 @@ pub struct RuntimeJob {
     /// allocator's accounting (undone if a failure re-queues an input
     /// task).
     pub settled_local: bool,
+    /// Transient-fault retries this job has consumed (bounded by the
+    /// gray-failure layer's per-job retry budget).
+    pub retries: usize,
+    /// Whether the job failed cleanly (retry budget exhausted). A failed
+    /// job counts as finished — it leaves the system — but contributes no
+    /// completion metrics and no demand.
+    pub failed: bool,
 }
 
 impl RuntimeJob {
@@ -201,10 +208,13 @@ impl RuntimeJob {
             submitted_at: now,
             finished_at: None,
             settled_local: false,
+            retries: 0,
+            failed: false,
         }
     }
 
-    /// True when every stage completed.
+    /// True when the job has left the system: every stage completed, or
+    /// the job failed cleanly.
     pub fn is_finished(&self) -> bool {
         self.finished_at.is_some()
     }
@@ -237,13 +247,25 @@ impl RuntimeJob {
     }
 
     /// Tasks not yet launched across currently runnable stages — the
-    /// job's immediate executor demand.
+    /// job's immediate executor demand. A failed job demands nothing.
     pub fn pending_tasks(&self) -> usize {
+        if self.failed {
+            return 0;
+        }
         self.stages
             .iter()
             .filter(|s| s.ready_at.is_some() && !s.is_complete())
             .map(RuntimeStage::unlaunched)
             .sum()
+    }
+
+    /// Fails the job cleanly: it leaves the system at `now` with whatever
+    /// task state it has (running attempts must already have been killed
+    /// or re-queued by the caller), demanding no further executors.
+    pub fn mark_failed(&mut self, now: SimTime) {
+        assert!(!self.is_finished(), "failing a job that already finished");
+        self.failed = true;
+        self.finished_at = Some(now);
     }
 
     /// Marks a task launched. Returns the task's scheduler delay.
@@ -477,6 +499,32 @@ mod tests {
     fn requeue_of_unlaunched_task_panics() {
         let mut j = job();
         j.mark_requeued(0, 0, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn failed_job_is_finished_and_demands_nothing() {
+        let mut j = job();
+        assert_eq!(j.pending_tasks(), 2);
+        j.mark_failed(SimTime::from_secs(20));
+        assert!(j.failed);
+        assert!(j.is_finished());
+        assert_eq!(j.pending_tasks(), 0, "failed jobs leave the demand pool");
+        assert_eq!(j.finished_at, Some(SimTime::from_secs(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn failing_a_finished_job_panics() {
+        let mut j = job();
+        let t = SimTime::from_secs(11);
+        j.mark_launched(0, 0, t, Some(true));
+        j.mark_launched(0, 1, t, Some(true));
+        j.mark_done(0, 0, t);
+        j.mark_done(0, 1, t);
+        j.mark_launched(1, 0, t, None);
+        j.mark_done(1, 0, t);
+        assert!(j.is_finished());
+        j.mark_failed(SimTime::from_secs(12));
     }
 
     #[test]

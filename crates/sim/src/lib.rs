@@ -15,7 +15,8 @@
 //! 3. The discrete-event loop processes job arrivals, task completions
 //!    and delayed-offer retries. At every event it (a) releases executors
 //!    applications no longer need, (b) runs one allocation round through
-//!    the configured [`ExecutorAllocator`], and (c) offers each
+//!    the configured [`ExecutorAllocator`](custody_core::ExecutorAllocator),
+//!    and (c) offers each
 //!    application's idle executors to its task scheduler.
 //! 4. [`RunMetrics`] collect exactly what the paper's figures report:
 //!    per-job input locality (Fig. 7), job completion times (Fig. 8),
@@ -36,7 +37,8 @@ pub mod sweep;
 pub mod trace;
 
 pub use config::{
-    ChaosConfig, ControlPlaneConfig, NodeFailure, PlacementKind, QuotaMode, SimConfig,
+    ChaosConfig, ControlPlaneConfig, FailSlowConfig, NodeFailure, PlacementKind, QuotaMode,
+    SimConfig,
 };
 pub use driver::Simulation;
 pub use metrics::{AppMetrics, RunMetrics, SimOutcome};

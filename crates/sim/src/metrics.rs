@@ -100,7 +100,8 @@ pub struct RunMetrics {
     pub executor_faults: usize,
     /// Network degradation windows opened.
     pub degraded_windows: usize,
-    /// Tasks re-queued because their executor died.
+    /// Tasks re-queued because their executor died or their attempt hit
+    /// a transient fault with no surviving twin.
     pub tasks_requeued: usize,
     /// Speculative task copies launched (straggler mitigation).
     pub tasks_speculated: usize,
@@ -135,6 +136,26 @@ pub struct RunMetrics {
     /// Finish events from a stale incarnation that slipped past fencing —
     /// always zero unless fencing is broken (the auditor asserts on it).
     pub unfenced_stale_finishes: usize,
+    /// Fail-slow episodes that began (a node's disk/NIC/CPU degraded).
+    pub failslow_onsets: usize,
+    /// Transient task faults injected (attempts that failed outright).
+    pub task_faults_injected: usize,
+    /// Faulted attempts re-queued for retry within their job's budget.
+    pub task_retries: usize,
+    /// Jobs that failed cleanly after exhausting their retry budget.
+    pub jobs_failed: usize,
+    /// Healthy→…→quarantined transitions taken by the health detector
+    /// (re-quarantines from probation included).
+    pub nodes_quarantined: usize,
+    /// Quarantines of nodes whose slowdown was *not* physically active at
+    /// quarantine time — the detector's false positives.
+    pub false_quarantines: usize,
+    /// Seconds from a slowdown's physical onset to the node's quarantine,
+    /// scored once per detected episode (re-quarantines of an
+    /// already-caught slowdown say nothing about detection speed).
+    pub quarantine_latency_secs: Summary,
+    /// Probe tasks launched on probation nodes to earn re-admission.
+    pub probes_launched: usize,
 }
 
 impl RunMetrics {
@@ -262,6 +283,14 @@ mod tests {
             master_recoveries: 0,
             stale_finishes_fenced: 0,
             unfenced_stale_finishes: 0,
+            failslow_onsets: 0,
+            task_faults_injected: 0,
+            task_retries: 0,
+            jobs_failed: 0,
+            nodes_quarantined: 0,
+            false_quarantines: 0,
+            quarantine_latency_secs: Summary::new(),
+            probes_launched: 0,
         };
         assert_eq!(run.input_locality().count(), 4);
         assert_eq!(run.job_completion_secs().count(), 4);
@@ -296,6 +325,14 @@ mod tests {
             master_recoveries: 0,
             stale_finishes_fenced: 0,
             unfenced_stale_finishes: 0,
+            failslow_onsets: 0,
+            task_faults_injected: 0,
+            task_retries: 0,
+            jobs_failed: 0,
+            nodes_quarantined: 0,
+            false_quarantines: 0,
+            quarantine_latency_secs: Summary::new(),
+            probes_launched: 0,
         };
         assert_eq!(run.min_local_job_fraction(), 1.0);
     }

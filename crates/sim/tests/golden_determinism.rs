@@ -95,6 +95,32 @@ fn assert_identical(on: &RunMetrics, off: &RunMetrics, label: &str) {
         on.unfenced_stale_finishes, off.unfenced_stale_finishes,
         "{label}: unfenced stale finishes"
     );
+    assert_eq!(
+        on.failslow_onsets, off.failslow_onsets,
+        "{label}: fail-slow onsets"
+    );
+    assert_eq!(
+        on.task_faults_injected, off.task_faults_injected,
+        "{label}: task faults"
+    );
+    assert_eq!(on.task_retries, off.task_retries, "{label}: task retries");
+    assert_eq!(on.jobs_failed, off.jobs_failed, "{label}: failed jobs");
+    assert_eq!(
+        on.nodes_quarantined, off.nodes_quarantined,
+        "{label}: quarantines"
+    );
+    assert_eq!(
+        on.false_quarantines, off.false_quarantines,
+        "{label}: false quarantines"
+    );
+    assert_eq!(
+        on.quarantine_latency_secs, off.quarantine_latency_secs,
+        "{label}: quarantine latency"
+    );
+    assert_eq!(
+        on.probes_launched, off.probes_launched,
+        "{label}: probation probes"
+    );
     // The scan-everything path never skips.
     assert_eq!(off.rounds_skipped, 0, "{label}: reference path skipped");
 }
@@ -173,6 +199,25 @@ fn detector_and_master_crashes_identical() {
                 .with_chaos(chaos)
                 .with_control_plane(cp),
             &format!("detector {kind}"),
+        );
+    }
+}
+
+#[test]
+fn failslow_identical_for_every_allocator() {
+    // The gray-failure layer draws from its own "failslow" and
+    // "task-faults" streams; the incremental engine must replay the same
+    // sickness schedule, fault coins, retries and belief transitions.
+    use custody_sim::FailSlowConfig;
+    let fs = FailSlowConfig::default()
+        .with_sick_fraction(0.3)
+        .with_transient_fault_prob(0.05);
+    for kind in AllocatorKind::ALL {
+        run_pair(
+            SimConfig::small_demo(23)
+                .with_allocator(kind)
+                .with_failslow(fs),
+            &format!("failslow {kind}"),
         );
     }
 }

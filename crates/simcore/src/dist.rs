@@ -8,7 +8,7 @@
 //! * **Uniform job input sizes** — WordCount inputs are 4–8 GB, Sort inputs
 //!   1–8 GB (§VI-A2).
 //! * **Zipf block popularity** — the popularity-based replication extension
-//!   (Scarlett [9], discussed in §II and §VII) models skewed access
+//!   (Scarlett \[9\], discussed in §II and §VII) models skewed access
 //!   frequency.
 
 use crate::rng::SimRng;

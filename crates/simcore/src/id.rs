@@ -2,7 +2,7 @@
 //!
 //! The simulator is index-based: nodes, executors, blocks, datasets,
 //! applications, jobs and tasks are all stored in dense `Vec`s and referred
-//! to by typed indices. The [`define_id!`] macro stamps out a `u32`-backed
+//! to by typed indices. The [`define_id!`](crate::define_id) macro stamps out a `u32`-backed
 //! newtype with the conversions and trait impls every id needs. Using `u32`
 //! rather than `usize` keeps hot structs small (see the type-size guidance
 //! in the Rust Performance Book) — no experiment in the reproduction needs

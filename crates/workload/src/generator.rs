@@ -12,8 +12,8 @@
 //!   significantly reduced in comparison with the input ... a
 //!   representative of network-light jobs. The size of the input file ...
 //!   ranges between 4 GB and 8 GB." One map stage plus one tiny reduce.
-//! * **Sort** — "not only call[s] for extensive computation resources but
-//!   also incur[s] a large amount of network transmissions. The size of the
+//! * **Sort** — "not only call\[s\] for extensive computation resources but
+//!   also incur\[s\] a large amount of network transmissions. The size of the
 //!   input file for a Sort job ranges between 1 GB and 8 GB." Map plus a
 //!   full-input-size shuffle into a per-block reduce.
 //!

@@ -18,7 +18,7 @@
 //! * **Sort** — compute- and network-heavy; 1–8 GB input, full-size shuffle.
 //!
 //! and submits "30 jobs with an independent submission schedule to each
-//! [of four] application[s]", inter-arrival times exponential with mean
+//! \[of four\] application\[s\]", inter-arrival times exponential with mean
 //! 4 s (Facebook trace).
 //!
 //! * [`spec`] — [`JobSpec`]/[`StageSpec`]: declarative job shapes.
