@@ -2,7 +2,7 @@
 //!
 //! Measures single allocation rounds on synthetic grant-heavy views
 //! (every executor idle, demand sized to drain the pool) at
-//! 100/500/1000 nodes × 4/16 applications, for:
+//! 100–10,000 nodes × 4–64 applications, for:
 //!
 //! * `custody` — the production round (lazy-deletion heap MINLOCALITY,
 //!   cached per-node demand, recycled scratch);
@@ -17,91 +17,28 @@
 //! custody-vs-reference speedup per configuration.
 
 use std::fmt::Write as _;
-use std::sync::Arc;
 
 use criterion::{black_box, BenchResult, Criterion};
-use custody_cluster::ExecutorId;
+use custody_bench::synthetic_round_view;
 use custody_core::custody::reference_allocate;
 use custody_core::{
-    AllocationView, AppState, CustodyAllocator, DynamicOfferAllocator, ExecutorAllocator,
-    ExecutorInfo, JobDemand, StaticSpreadAllocator, TaskDemand,
+    CustodyAllocator, DynamicOfferAllocator, ExecutorAllocator, StaticSpreadAllocator,
 };
-use custody_dfs::NodeId;
 use custody_simcore::SimRng;
-use custody_workload::{AppId, JobId};
 
-/// Cluster sizes × app counts, matching the ISSUE's acceptance grid.
-const CONFIGS: [(usize, usize); 6] = [
+/// Cluster sizes × app counts. The tail extends into the `sim_scale`
+/// grid (1k × 64 apps, 10k nodes) so the dense round's scaling shows up
+/// in the same per-round numbers as the original shapes.
+const CONFIGS: [(usize, usize); 8] = [
     (100, 4),
     (100, 16),
     (500, 4),
     (500, 16),
     (1000, 4),
     (1000, 16),
+    (1000, 64),
+    (10_000, 16),
 ];
-
-/// A grant-heavy round: one idle executor per node, per-app quotas that
-/// together cover the whole pool, and enough pending tasks (3 replicas,
-/// random placement) that both the locality and filler phases run hot.
-fn synthetic_view(nodes: usize, apps: usize, seed: u64) -> AllocationView {
-    let mut rng = SimRng::seed_from_u64(seed);
-    let executors: Vec<ExecutorInfo> = (0..nodes)
-        .map(|i| ExecutorInfo {
-            id: ExecutorId::new(i),
-            node: NodeId::new(i),
-        })
-        .collect();
-    let quota = nodes.div_ceil(apps);
-    let mut job_counter = 0;
-    let app_states: Vec<AppState> = (0..apps)
-        .map(|i| {
-            let mut pending_jobs = Vec::new();
-            let mut demand = 0;
-            // Demand slightly over quota so the app stays hungry all round.
-            while demand < quota + quota / 4 + 1 {
-                let total_inputs = 4 + rng.below(9);
-                let unsatisfied_inputs: Vec<TaskDemand> = (0..total_inputs)
-                    .map(|t| {
-                        let mut prefs: Vec<NodeId> =
-                            (0..3).map(|_| NodeId::new(rng.below(nodes))).collect();
-                        prefs.sort_unstable();
-                        prefs.dedup();
-                        TaskDemand {
-                            task_index: t,
-                            preferred_nodes: Arc::from(prefs),
-                        }
-                    })
-                    .collect();
-                pending_jobs.push(JobDemand {
-                    job: JobId::new(job_counter),
-                    unsatisfied_inputs,
-                    pending_tasks: total_inputs,
-                    total_inputs,
-                    satisfied_inputs: 0,
-                });
-                job_counter += 1;
-                demand += total_inputs;
-            }
-            let total_jobs = 10 + rng.below(10);
-            let total_tasks = total_jobs * 8;
-            AppState {
-                app: AppId::new(i),
-                quota,
-                held: 0,
-                local_jobs: rng.below(total_jobs),
-                total_jobs,
-                local_tasks: rng.below(total_tasks),
-                total_tasks,
-                pending_jobs,
-            }
-        })
-        .collect();
-    AllocationView {
-        idle: executors.clone(),
-        all_executors: executors,
-        apps: app_states,
-    }
-}
 
 fn median_ns(results: &[BenchResult], id: &str) -> u128 {
     results
@@ -114,7 +51,7 @@ fn median_ns(results: &[BenchResult], id: &str) -> u128 {
 
 fn bench(c: &mut Criterion) {
     for &(nodes, apps) in &CONFIGS {
-        let view = synthetic_view(nodes, apps, 0xA110C);
+        let view = synthetic_round_view(nodes, apps, 0xA110C);
 
         // Sanity outside the timed region: the production round and the
         // reference specification must agree on the benched view, so the

@@ -291,6 +291,12 @@ fn main() {
         m.allocator_wall_secs * 1e6 / m.allocation_rounds.max(1) as f64,
         m.rounds_skipped,
     );
+    println!(
+        "host: event-pop {:.3} ms wall  demand maintenance {:.3} ms wall  peak RSS {:.1} MiB",
+        m.event_pop_wall_secs * 1e3,
+        m.demand_wall_secs * 1e3,
+        m.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+    );
 
     if let Some(base) = baseline {
         let other = Simulation::run(&cfg.clone().with_allocator(base));

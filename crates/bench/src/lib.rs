@@ -19,6 +19,9 @@
 //! and how trends move with cluster size — is the reproduction target.
 //! EXPERIMENTS.md records paper-vs-measured for every row.
 
+pub mod scale;
+pub use scale::{scale_config, synthetic_round_view};
+
 use custody_core::theory::{exact_max_local_jobs, greedy_local_jobs, roundrobin_local_jobs};
 use custody_core::AllocatorKind;
 use custody_sim::experiment::{locality_and_jct_sweep, ComparisonCell, PAPER_CLUSTER_SIZES};

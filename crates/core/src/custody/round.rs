@@ -9,13 +9,24 @@
 //! only grows, `demand_remaining` and per-node demand only shrink, and idle
 //! executors are only consumed — so an entry that fails an eligibility
 //! check can never become eligible again and may be dropped for good.
+//!
+//! Node-keyed state is **interned**: raw `NodeId`s are mapped to dense
+//! per-round slots ([`Interner`]), so a round's memory and setup cost scale
+//! with the nodes that actually appear in the view (idle hosts + demanded
+//! replicas), never with the cluster size. On a 100k-node cluster a round
+//! over 50 active nodes touches 50 slots. Idle executors live in per-slot
+//! sorted lists consumed front-to-back — within a round executors are only
+//! ever taken, so a cursor per slot replaces the old
+//! `BTreeMap<NodeId, BTreeSet<ExecutorId>>` while preserving its
+//! lowest-id-first order bit for bit.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use custody_cluster::ExecutorId;
 use custody_dfs::NodeId;
+use custody_simcore::Interner;
 use custody_workload::{AppId, JobId};
 
 use crate::allocator::{AllocationView, Assignment};
@@ -66,7 +77,7 @@ pub struct RoundApp {
     /// Pending jobs.
     pub jobs: Vec<RoundJob>,
     /// Count of this app's unsatisfied tasks preferring each node,
-    /// indexed by node id (dense — nodes are numbered from zero).
+    /// indexed by the round's interned node slot.
     node_demand: Vec<u32>,
 }
 
@@ -104,13 +115,15 @@ impl RoundApp {
         }
     }
 
-    /// This app's unsatisfied-task pressure on `node`.
-    pub fn node_demand(&self, node: NodeId) -> u32 {
-        self.node_demand.get(node.index()).copied().unwrap_or(0)
+    /// This app's unsatisfied-task pressure on the interned node `slot`.
+    #[inline]
+    fn node_demand_at(&self, slot: usize) -> u32 {
+        self.node_demand.get(slot).copied().unwrap_or(0)
     }
 
-    fn sub_node_demand(&mut self, node: NodeId) {
-        if let Some(c) = self.node_demand.get_mut(node.index()) {
+    #[inline]
+    fn sub_node_demand_at(&mut self, slot: usize) {
+        if let Some(c) = self.node_demand.get_mut(slot) {
             *c -= 1;
         }
     }
@@ -157,11 +170,22 @@ impl RoundApp {
 /// discarded on pop.
 type HeapEntry = Reverse<(LocalityKey, u32)>;
 
+/// One idle executor in the round-global list: its id, its node's interned
+/// slot, and its position inside that slot's idle list. An entry is taken
+/// exactly when `pos` falls below the slot's consume cursor.
+#[derive(Debug, Clone, Copy)]
+struct IdleEntry {
+    id: ExecutorId,
+    slot: u32,
+    pos: u32,
+}
+
 /// Reusable allocations carried across rounds by
 /// [`CustodyAllocator`](super::CustodyAllocator)
 /// (`crate::custody::CustodyAllocator`): the selection heap, version
-/// counters, and per-node demand buffers. A fresh default works too — the
-/// scratch only avoids re-allocating on every round.
+/// counters, the node interner, idle lists, and per-node demand buffers. A
+/// fresh default works too — the scratch only avoids re-allocating on
+/// every round.
 #[derive(Debug, Clone, Default)]
 pub struct RoundScratch {
     heap: BinaryHeap<HeapEntry>,
@@ -169,28 +193,47 @@ pub struct RoundScratch {
     stash: Vec<HeapEntry>,
     order: Vec<usize>,
     demand_pool: Vec<Vec<u32>>,
+    nodes: Interner,
+    idle_lists: Vec<Vec<ExecutorId>>,
+    node_cursor: Vec<u32>,
+    global_idle: Vec<IdleEntry>,
+    demoted: Vec<bool>,
 }
 
 /// The state machine of one allocation round.
 #[derive(Debug)]
 pub struct Round {
-    /// Idle executors grouped by host node; sets keep executor order
-    /// deterministic.
-    idle_by_node: BTreeMap<NodeId, BTreeSet<ExecutorId>>,
-    /// Idle-executor count per node, indexed by node id (O(1) checks).
-    idle_counts: Vec<u32>,
+    /// Raw node id → dense per-round slot, covering every node that hosts
+    /// an idle executor or appears in some task's preferred list.
+    nodes: Interner,
+    /// Idle executors per slot, ascending by id. Only the first
+    /// `idle_slots` entries belong to this round; the tail is pooled
+    /// capacity awaiting reuse.
+    idle_lists: Vec<Vec<ExecutorId>>,
+    /// Number of slots that host idle executors (idle nodes are interned
+    /// first, so their slots are exactly `0..idle_slots`).
+    idle_slots: usize,
+    /// Consumed prefix of each slot's idle list. Executors are only ever
+    /// taken within a round, so taken = a prefix.
+    node_cursor: Vec<u32>,
+    /// Every idle executor, ascending by id (the order `BTreeSet` gave).
+    global_idle: Vec<IdleEntry>,
+    /// Skip-ahead cursors over `global_idle`: entries before them are
+    /// known-taken (and, for the filler cursor, known-demoted).
+    global_cursor: usize,
+    filler_cursor: usize,
     idle_count: usize,
     apps: Vec<RoundApp>,
-    /// Σ over apps of `node_demand`, indexed by node id — makes
+    /// Σ over apps of `node_demand`, indexed by slot — makes
     /// [`Round::contention_excluding`] O(1) instead of O(apps).
     total_node_demand: Vec<u32>,
     assignments: Vec<Assignment>,
     inter: InterPolicy,
     intra: IntraPolicy,
-    /// Health-demoted nodes (dense by node id): the filler avoids them
-    /// while any non-demoted node still has an idle executor. Empty in
-    /// the common case, in which every path is byte-identical to a round
-    /// with no demotion support at all.
+    /// Health-demoted nodes (dense by **raw** node id): the filler avoids
+    /// them while any non-demoted node still has an idle executor. Empty
+    /// in the common case, in which every path is byte-identical to a
+    /// round with no demotion support at all.
     demoted: Vec<bool>,
     heap: BinaryHeap<HeapEntry>,
     versions: Vec<u32>,
@@ -213,24 +256,52 @@ impl Round {
             mut stash,
             mut order,
             mut demand_pool,
+            mut nodes,
+            mut idle_lists,
+            mut node_cursor,
+            mut global_idle,
+            mut demoted,
         } = scratch;
         heap.clear();
         stash.clear();
         order.clear();
         versions.clear();
         versions.resize(view.apps.len(), 0);
+        nodes.clear();
+        demoted.clear();
 
-        let mut idle_by_node: BTreeMap<NodeId, BTreeSet<ExecutorId>> = BTreeMap::new();
-        let mut idle_counts: Vec<u32> = demand_pool.pop().unwrap_or_default();
-        idle_counts.clear();
+        // Idle nodes are interned first, in order of appearance, so a new
+        // slot is always minted at the end of the active prefix.
+        let mut idle_slots = 0;
         for e in &view.idle {
-            idle_by_node.entry(e.node).or_default().insert(e.id);
-            let i = e.node.index();
-            if i >= idle_counts.len() {
-                idle_counts.resize(i + 1, 0);
+            let slot = nodes.intern(e.node.index());
+            if slot == idle_slots {
+                if idle_slots == idle_lists.len() {
+                    idle_lists.push(Vec::new());
+                }
+                idle_lists[idle_slots].clear();
+                idle_slots += 1;
             }
-            idle_counts[i] += 1;
+            idle_lists[slot].push(e.id);
         }
+        for list in &mut idle_lists[..idle_slots] {
+            // Views built from the driver's pool arrive in id order; the
+            // sort is a no-op there but keeps arbitrary views correct.
+            if !list.is_sorted() {
+                list.sort_unstable();
+            }
+        }
+        node_cursor.clear();
+        node_cursor.resize(idle_slots, 0);
+        global_idle.clear();
+        for (slot, list) in idle_lists[..idle_slots].iter().enumerate() {
+            global_idle.extend(list.iter().enumerate().map(|(pos, &id)| IdleEntry {
+                id,
+                slot: slot as u32,
+                pos: pos as u32,
+            }));
+        }
+        global_idle.sort_unstable_by_key(|e| e.id);
 
         let mut total_node_demand: Vec<u32> = demand_pool.pop().unwrap_or_default();
         total_node_demand.clear();
@@ -255,17 +326,17 @@ impl Round {
                 let mut node_demand: Vec<u32> = demand_pool.pop().unwrap_or_default();
                 node_demand.clear();
                 for job in &jobs {
-                    for (_, nodes) in &job.tasks {
-                        for &n in nodes.iter() {
-                            let i = n.index();
-                            if i >= node_demand.len() {
-                                node_demand.resize(i + 1, 0);
+                    for (_, nodes_list) in &job.tasks {
+                        for &n in nodes_list.iter() {
+                            let slot = nodes.intern(n.index());
+                            if slot >= node_demand.len() {
+                                node_demand.resize(slot + 1, 0);
                             }
-                            node_demand[i] += 1;
-                            if i >= total_node_demand.len() {
-                                total_node_demand.resize(i + 1, 0);
+                            node_demand[slot] += 1;
+                            if slot >= total_node_demand.len() {
+                                total_node_demand.resize(slot + 1, 0);
                             }
-                            total_node_demand[i] += 1;
+                            total_node_demand[slot] += 1;
                         }
                     }
                 }
@@ -286,15 +357,20 @@ impl Round {
             })
             .collect();
         let mut round = Round {
+            nodes,
+            idle_lists,
+            idle_slots,
+            node_cursor,
+            global_idle,
+            global_cursor: 0,
+            filler_cursor: 0,
             idle_count: view.idle.len(),
-            idle_by_node,
-            idle_counts,
             apps,
             total_node_demand,
             assignments: Vec::new(),
             inter: InterPolicy::default(),
             intra: IntraPolicy::default(),
-            demoted: Vec::new(),
+            demoted,
             heap,
             versions,
             stash,
@@ -416,66 +492,102 @@ impl Round {
         }
     }
 
+    /// Untaken idle executors on `slot`.
+    #[inline]
+    fn idle_remaining(&self, slot: usize) -> usize {
+        if slot < self.idle_slots {
+            self.idle_lists[slot].len() - self.node_cursor[slot] as usize
+        } else {
+            0
+        }
+    }
+
     /// An idle executor exists on `node`.
     pub fn node_has_idle(&self, node: NodeId) -> bool {
-        self.idle_counts.get(node.index()).copied().unwrap_or(0) > 0
+        self.nodes
+            .get(node.index())
+            .is_some_and(|slot| self.idle_remaining(slot) > 0)
     }
 
     /// True if `app` has an unsatisfied task whose block sits on a node
     /// with an idle executor.
     fn has_local_opportunity(&self, app: &RoundApp) -> bool {
         // Iterate whichever side is denser in information: the app's
-        // demanded nodes are typically few, so walk those.
+        // demanded slots are typically few, so walk those.
         app.node_demand
             .iter()
             .enumerate()
-            .any(|(n, &c)| c > 0 && self.idle_counts.get(n).copied().unwrap_or(0) > 0)
+            .any(|(slot, &c)| c > 0 && self.idle_remaining(slot) > 0)
+    }
+
+    /// This app's unsatisfied-task pressure on `node`.
+    pub fn app_node_demand(&self, i: usize, node: NodeId) -> u32 {
+        self.nodes
+            .get(node.index())
+            .map_or(0, |slot| self.apps[i].node_demand_at(slot))
     }
 
     /// Unsatisfied-task pressure on `node` from apps other than `except` —
     /// total pressure minus the app's own, O(1).
     pub fn contention_excluding(&self, node: NodeId, except: usize) -> u32 {
-        let total = self
-            .total_node_demand
-            .get(node.index())
-            .copied()
-            .unwrap_or(0);
-        total - self.apps[except].node_demand(node)
+        let Some(slot) = self.nodes.get(node.index()) else {
+            return 0;
+        };
+        let total = self.total_node_demand.get(slot).copied().unwrap_or(0);
+        total - self.apps[except].node_demand_at(slot)
     }
 
-    /// Takes the lowest-id idle executor on `node`.
-    pub fn take_executor_on(&mut self, node: NodeId) -> Option<ExecutorId> {
-        let set = self.idle_by_node.get_mut(&node)?;
-        let id = *set.iter().next()?;
-        set.remove(&id);
-        self.idle_counts[node.index()] -= 1;
+    /// Consumes the next (lowest-id) idle executor on `slot`.
+    fn take_on_slot(&mut self, slot: usize) -> Option<ExecutorId> {
+        let cursor = self.node_cursor[slot] as usize;
+        let id = *self.idle_lists[slot].get(cursor)?;
+        self.node_cursor[slot] += 1;
         self.idle_count -= 1;
         Some(id)
     }
 
+    /// Takes the lowest-id idle executor on `node`.
+    pub fn take_executor_on(&mut self, node: NodeId) -> Option<ExecutorId> {
+        let slot = self
+            .nodes
+            .get(node.index())
+            .filter(|&s| s < self.idle_slots)?;
+        self.take_on_slot(slot)
+    }
+
     /// Takes the lowest-id idle executor anywhere (filler phase),
     /// preferring non-demoted hosts and falling back to demoted ones only
-    /// when nothing else is idle.
+    /// when nothing else is idle. The cursors only move forward: an entry
+    /// skipped as taken stays taken, and demotion is fixed for the round,
+    /// so the scans are amortized O(idle) per round.
     fn take_any_executor(&mut self) -> Option<ExecutorId> {
         if !self.demoted.is_empty() {
-            let preferred = self
-                .idle_by_node
-                .iter()
-                .filter(|(n, s)| {
-                    !s.is_empty() && !self.demoted.get(n.index()).copied().unwrap_or(false)
-                })
-                .min_by_key(|(_, s)| *s.iter().next().expect("non-empty set"))
-                .map(|(&node, _)| node);
-            if let Some(node) = preferred {
-                return self.take_executor_on(node);
+            while let Some(&e) = self.global_idle.get(self.filler_cursor) {
+                if e.pos < self.node_cursor[e.slot as usize] {
+                    self.filler_cursor += 1;
+                    continue;
+                }
+                let raw = self.nodes.keys()[e.slot as usize] as usize;
+                if self.demoted.get(raw).copied().unwrap_or(false) {
+                    self.filler_cursor += 1;
+                    continue;
+                }
+                // The first untaken entry of a slot sits exactly at its
+                // cursor: earlier positions have lower ids, appear earlier
+                // here, and were skipped only because they were taken.
+                debug_assert_eq!(e.pos, self.node_cursor[e.slot as usize]);
+                return self.take_on_slot(e.slot as usize);
             }
         }
-        let (&node, _) = self
-            .idle_by_node
-            .iter()
-            .filter(|(_, s)| !s.is_empty())
-            .min_by_key(|(_, s)| *s.iter().next().expect("non-empty set"))?;
-        self.take_executor_on(node)
+        while let Some(&e) = self.global_idle.get(self.global_cursor) {
+            if e.pos < self.node_cursor[e.slot as usize] {
+                self.global_cursor += 1;
+                continue;
+            }
+            debug_assert_eq!(e.pos, self.node_cursor[e.slot as usize]);
+            return self.take_on_slot(e.slot as usize);
+        }
+        None
     }
 
     /// Records a grant of `executor` to app `i` and refreshes the app's
@@ -503,14 +615,18 @@ impl Round {
     /// with [`Round::record_grant`] for the same app, which refreshes the
     /// heap key.
     pub fn satisfy_task(&mut self, i: usize, j: usize, t: usize) -> (JobId, usize) {
-        let app = &mut self.apps[i];
-        let (task_index, nodes) = app.jobs[j].tasks.remove(t);
-        for &n in nodes.iter() {
-            app.sub_node_demand(n);
-            if let Some(c) = self.total_node_demand.get_mut(n.index()) {
+        let (task_index, nodes_list) = self.apps[i].jobs[j].tasks.remove(t);
+        for &n in nodes_list.iter() {
+            let slot = self
+                .nodes
+                .get(n.index())
+                .expect("demanded node was interned at round build");
+            self.apps[i].sub_node_demand_at(slot);
+            if let Some(c) = self.total_node_demand.get_mut(slot) {
                 *c -= 1;
             }
         }
+        let app = &mut self.apps[i];
         app.jobs[j].satisfied += 1;
         app.new_local_tasks += 1;
         if app.jobs[j].fully_local() {
@@ -607,7 +723,11 @@ impl Round {
             mut order,
             mut demand_pool,
             apps,
-            idle_counts,
+            nodes,
+            idle_lists,
+            node_cursor,
+            global_idle,
+            demoted,
             total_node_demand,
             assignments,
             ..
@@ -615,7 +735,6 @@ impl Round {
         heap.clear();
         stash.clear();
         order.clear();
-        demand_pool.push(idle_counts);
         demand_pool.push(total_node_demand);
         for app in apps {
             demand_pool.push(app.node_demand);
@@ -628,6 +747,11 @@ impl Round {
                 stash,
                 order,
                 demand_pool,
+                nodes,
+                idle_lists,
+                node_cursor,
+                global_idle,
+                demoted,
             },
         )
     }
@@ -707,13 +831,30 @@ mod tests {
     }
 
     #[test]
+    fn take_executor_sorts_unordered_views() {
+        // A view whose idle list is not in executor-id order must still
+        // hand out the lowest id first (the old BTreeSet sorted
+        // implicitly; the dense lists sort explicitly).
+        let mut view = view_one_app();
+        view.idle.reverse();
+        let mut round = Round::new(&view);
+        assert_eq!(
+            round.take_executor_on(NodeId::new(0)),
+            Some(ExecutorId::new(0))
+        );
+        assert_eq!(
+            round.take_executor_on(NodeId::new(0)),
+            Some(ExecutorId::new(2))
+        );
+    }
+
+    #[test]
     fn node_demand_counts_preferences() {
         let round = Round::new(&view_one_app());
-        let app = round.app(0);
-        assert_eq!(app.node_demand(NodeId::new(0)), 1);
-        assert_eq!(app.node_demand(NodeId::new(5)), 1);
-        assert_eq!(app.node_demand(NodeId::new(7)), 0);
-        assert_eq!(app.demand_remaining, 2);
+        assert_eq!(round.app_node_demand(0, NodeId::new(0)), 1);
+        assert_eq!(round.app_node_demand(0, NodeId::new(5)), 1);
+        assert_eq!(round.app_node_demand(0, NodeId::new(7)), 0);
+        assert_eq!(round.app(0).demand_remaining, 2);
     }
 
     #[test]

@@ -8,8 +8,6 @@
 //! the exact objective Custody's two-level heuristic approximates.
 //! Exponential in executors × applications: validation use only.
 
-use std::collections::HashMap;
-
 use custody_dfs::NodeId;
 
 use crate::allocator::AllocationView;
@@ -61,15 +59,18 @@ pub fn optimal_min_local_job_fraction(view: &AllocationView) -> f64 {
             if app.pending_jobs.is_empty() {
                 continue;
             }
-            // This app's executors, with a node→local-indices map.
-            let mut node_execs: HashMap<NodeId, Vec<usize>> = HashMap::new();
+            // This app's executors, with a node→local-indices map. A
+            // sorted vec (instances are capped at 8 executors) keeps
+            // iteration and lookup order deterministic, unlike a HashMap.
+            let mut node_execs: Vec<(NodeId, Vec<usize>)> = Vec::new();
             let mut count = 0usize;
             for (ei, &owner) in assigned.iter().enumerate() {
                 if owner == ai {
-                    node_execs
-                        .entry(view.idle[ei].node)
-                        .or_default()
-                        .push(count);
+                    let node = view.idle[ei].node;
+                    match node_execs.binary_search_by_key(&node, |(n, _)| *n) {
+                        Ok(pos) => node_execs[pos].1.push(count),
+                        Err(pos) => node_execs.insert(pos, (node, vec![count])),
+                    }
                     count += 1;
                 }
             }
@@ -82,7 +83,12 @@ pub fn optimal_min_local_job_fraction(view: &AllocationView) -> f64 {
                         .map(|t| {
                             t.preferred_nodes
                                 .iter()
-                                .flat_map(|p| node_execs.get(p).cloned().unwrap_or_default())
+                                .flat_map(|p| {
+                                    node_execs
+                                        .binary_search_by_key(p, |(n, _)| *n)
+                                        .map(|pos| node_execs[pos].1.clone())
+                                        .unwrap_or_default()
+                                })
                                 .collect()
                         })
                         .collect()

@@ -147,6 +147,29 @@ fn production_round_matches_reference_on_random_views() {
     }
 }
 
+/// Scale-out shape: 2,000-node views. The small shapes above never grow
+/// the dense round's interner, per-slot idle lists, or bitset universes
+/// past a few dozen slots; these views force reallocation-at-capacity
+/// and long skip-ahead cursor walks while the reference rescan keeps it
+/// honest grant-for-grant.
+#[test]
+fn production_round_matches_reference_at_2k_nodes() {
+    let mut rng = SimRng::seed_from_u64(0x5CA1_E007);
+    let mut production = CustodyAllocator::new();
+    for case in 0..4 {
+        let apps = 4 + rng.below(13);
+        let view = random_view(&mut rng, 2_000, apps);
+        let mut alloc_rng = SimRng::seed_from_u64(case);
+        let fast = production.allocate(&view, &mut alloc_rng);
+        validate_assignments(&view, &fast);
+        let slow = reference_allocate(&view);
+        assert_eq!(
+            slow, fast,
+            "case {case}: dense round diverged from the reference at 2k nodes"
+        );
+    }
+}
+
 /// Degenerate shapes the random generator rarely hits: no idle executors,
 /// no apps, demand with no executors anywhere, all-satisfied histories.
 #[test]

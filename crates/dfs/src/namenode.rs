@@ -45,6 +45,13 @@ pub struct NameNode {
     /// with its disk intact, [`reinstate_node`](Self::reinstate_node)
     /// re-registers the still-needed ones. Empty for unsuspected nodes.
     shadow: Vec<Vec<BlockId>>,
+    /// Blocks whose replica list changed since the journal was last
+    /// drained. Every replica-map mutation funnels through
+    /// [`add_replica`](Self::add_replica) /
+    /// [`remove_replica`](Self::remove_replica), so this is a complete
+    /// record — schedulers use it to re-resolve preferred locations for
+    /// exactly the affected blocks instead of rescanning every job.
+    changed: Vec<BlockId>,
 }
 
 impl NameNode {
@@ -62,6 +69,7 @@ impl NameNode {
             replicas: Vec::new(),
             replication,
             shadow: vec![Vec::new(); num_nodes],
+            changed: Vec::new(),
         }
     }
 
@@ -184,6 +192,7 @@ impl NameNode {
             Ok(_) => unreachable!("datanode accepted a duplicate replica"),
             Err(pos) => locs.insert(pos, node),
         }
+        self.changed.push(block);
         true
     }
 
@@ -202,7 +211,24 @@ impl NameNode {
         let size = self.blocks[block.index()].size_bytes;
         let removed = self.datanodes[node.index()].remove(block, size);
         debug_assert!(removed);
+        self.changed.push(block);
         true
+    }
+
+    /// Drains the changed-blocks journal: the blocks whose replica lists
+    /// mutated since the last drain, sorted and deduplicated. Initial
+    /// dataset placement is not journaled (nothing can have resolved those
+    /// locations yet).
+    pub fn take_changed_blocks(&mut self) -> Vec<BlockId> {
+        self.changed.sort_unstable();
+        self.changed.dedup();
+        std::mem::take(&mut self.changed)
+    }
+
+    /// Discards pending journal entries (e.g. setup-time replication that
+    /// predates any location query).
+    pub fn clear_changed_blocks(&mut self) {
+        self.changed.clear();
     }
 
     /// Scarlett-style re-replication: adds up to `extra_per_block` replicas
@@ -708,6 +734,40 @@ mod tests {
         // Healing moves nothing (replication 1 already met).
         assert_eq!(nn.restore_replication(&mut rng), 0);
         assert_eq!(nn.sole_replica_on_failed(), 1);
+    }
+
+    #[test]
+    fn changed_blocks_journal_tracks_replica_mutations() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(40);
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        assert!(
+            nn.take_changed_blocks().is_empty(),
+            "initial placement is not journaled"
+        );
+        let b = nn.dataset(ds).blocks[0];
+        let free = (0..10)
+            .map(NodeId::new)
+            .find(|&n| !nn.is_local(n, b))
+            .unwrap();
+        assert!(nn.add_replica(b, free));
+        assert!(nn.remove_replica(b, free));
+        assert_eq!(nn.take_changed_blocks(), vec![b], "sorted and deduped");
+        assert!(nn.take_changed_blocks().is_empty(), "drain empties");
+
+        // A node failure journals every replica it dropped.
+        let victim = NodeId::new(0);
+        let held: Vec<BlockId> = nn.datanode(victim).blocks().collect();
+        nn.fail_node(victim);
+        let changed = nn.take_changed_blocks();
+        for blk in held {
+            assert!(changed.contains(&blk), "{blk} dropped but not journaled");
+        }
+
+        nn.restore_replication(&mut rng);
+        assert!(!nn.take_changed_blocks().is_empty(), "healing journals");
+        nn.clear_changed_blocks();
+        assert!(nn.take_changed_blocks().is_empty());
     }
 
     #[test]

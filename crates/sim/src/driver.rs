@@ -48,7 +48,7 @@ use custody_scheduler::speculation::{SpeculationConfig, SpeculationPolicy};
 use custody_scheduler::{Placement, RunnableTask, TaskScheduler};
 use custody_simcore::dist::{Distribution, Exponential, TruncatedNormal, Zipf};
 use custody_simcore::stats::Summary;
-use custody_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use custody_simcore::{DenseSet, EventQueue, SimDuration, SimRng, SimTime};
 use custody_workload::{AppId, DatasetMode, JobId, JobSpec, SubmissionSchedule};
 
 use crate::config::{ChaosConfig, ControlPlaneConfig, SimConfig};
@@ -233,7 +233,10 @@ struct AppRuntime {
     /// Indices into `Driver::jobs`, in submission order.
     jobs: Vec<usize>,
     quota: usize,
-    held: BTreeSet<ExecutorId>,
+    /// Executor indices this application currently holds. A bitset keyed
+    /// by `ExecutorId::index()`: iteration is ascending, identical to the
+    /// `BTreeSet<ExecutorId>` it replaced.
+    held: DenseSet,
     /// Pre-generated job specs (and their datasets), indexed by seq.
     specs: Vec<(JobSpec, DatasetId)>,
     // Locality accounting for the allocator view.
@@ -253,8 +256,10 @@ struct Driver {
     apps: Vec<AppRuntime>,
     jobs: Vec<RuntimeJob>,
     exec_state: Vec<ExecState>,
-    /// Idle, unowned executors.
-    pool: BTreeSet<ExecutorId>,
+    /// Idle, unowned executors, as a bitset keyed by
+    /// `ExecutorId::index()` (ascending iteration, so allocator views are
+    /// built in the same order the old tree set produced).
+    pool: DenseSet,
     alloc_rng: SimRng,
     fail_rng: SimRng,
     noise: TruncatedNormal,
@@ -367,9 +372,20 @@ struct Driver {
     rounds_skipped: usize,
     /// Wall-clock spent building views and allocating.
     alloc_wall: std::time::Duration,
+    /// Wall-clock spent popping the event queue.
+    event_wall: std::time::Duration,
+    /// Wall-clock spent on demand maintenance: demand-cache refresh plus
+    /// journal-driven preferred-node re-resolution. Refreshes run inside
+    /// view building, so this overlaps (is not additive with)
+    /// `alloc_wall`.
+    demand_wall: std::time::Duration,
     /// Reused buffer for collecting idle held executors per app
     /// (release + offer passes), avoiding a fresh Vec per app per pass.
     idle_scratch: Vec<ExecutorId>,
+    /// Reused buffer for the offer pass's runnable-task lists.
+    runnable_scratch: Vec<RunnableTask>,
+    /// Reused buffer for journal-affected job indices (preferred refresh).
+    affected_scratch: Vec<usize>,
 }
 
 impl Driver {
@@ -427,7 +443,7 @@ impl Driver {
                 scheduler: config.scheduler.build(),
                 jobs: Vec::new(),
                 quota,
-                held: BTreeSet::new(),
+                held: DenseSet::new(),
                 specs,
                 total_jobs: 0,
                 local_jobs: 0,
@@ -531,10 +547,14 @@ impl Driver {
         };
 
         let num_nodes = cluster.num_nodes();
+        // Dataset creation placed initial replicas directly; the change
+        // journal tracks mutations *after* this point (jobs resolve their
+        // preferred nodes from scratch at submission anyway).
+        namenode.clear_changed_blocks();
         Driver {
             queue,
             exec_state: vec![ExecState::default(); cluster.num_executors()],
-            pool: (0..cluster.num_executors()).map(ExecutorId::new).collect(),
+            pool: (0..cluster.num_executors()).collect(),
             namenode,
             cluster,
             allocator: config.allocator.build(),
@@ -602,7 +622,11 @@ impl Driver {
             last_round: LastRound::None,
             rounds_skipped: 0,
             alloc_wall: std::time::Duration::ZERO,
+            event_wall: std::time::Duration::ZERO,
+            demand_wall: std::time::Duration::ZERO,
             idle_scratch: Vec::new(),
+            runnable_scratch: Vec::new(),
+            affected_scratch: Vec::new(),
         }
     }
 
@@ -611,7 +635,10 @@ impl Driver {
             // Genesis checkpoint: recovery is possible from the first event.
             self.checkpoint = Some(Box::new(self.clone_for_checkpoint()));
         }
-        while let Some(ev) = self.queue.pop() {
+        loop {
+            let pop_started = std::time::Instant::now();
+            let Some(ev) = self.queue.pop() else { break };
+            self.event_wall += pop_started.elapsed();
             if self.maybe_crash_master(&ev) {
                 self.master_crash_recover(&ev);
             }
@@ -738,7 +765,8 @@ impl Driver {
         a.total_tasks += job.num_input_tasks();
         a.jobs.push(self.jobs.len());
         self.jobs.push(job);
-        self.cache.note_job_added();
+        self.cache
+            .note_job_added(self.jobs.last().expect("just pushed"));
     }
 
     fn on_finish(&mut self, executor: ExecutorId, epoch: u64, now: SimTime) {
@@ -926,6 +954,19 @@ impl Driver {
         );
         let app_idx = self.jobs[key.0].app.index();
         let was_local = self.jobs[key.0].mark_requeued(key.1, key.2, now);
+        if key.1 == 0 {
+            // The record's preferred snapshot may predate replica churn
+            // that happened while the attempt ran (launched tasks keep
+            // their snapshot); the re-queued task chases the current map,
+            // like any other unlaunched task.
+            let t = &mut self.jobs[key.0].stages[0].tasks[key.2];
+            let fresh = self
+                .namenode
+                .locations(t.block.expect("input task has a block"));
+            if t.preferred[..] != fresh[..] {
+                t.preferred = fresh.into();
+            }
+        }
         self.cache.mark_job(key.0);
         if key.1 == 0 {
             if was_local {
@@ -1029,9 +1070,9 @@ impl Driver {
             }
         }
         if let Some(owner) = self.exec_state[e.index()].owner.take() {
-            self.apps[owner.index()].held.remove(&e);
+            self.apps[owner.index()].held.remove(e.index());
         }
-        self.pool.remove(&e);
+        self.pool.remove(e.index());
         if let Some(d) = &mut self.detector {
             d.leases.drop_lease(e);
         }
@@ -1074,16 +1115,28 @@ impl Driver {
         self.cache.mark_pool_changed();
     }
 
-    /// Re-resolves preferred nodes after the replica map changed,
-    /// dirtying exactly the jobs whose lists actually moved (re-queues
-    /// mark their own jobs); the invariant auditor cross-checks this
-    /// precision.
+    /// Re-resolves preferred nodes after the replica map changed. The
+    /// NameNode journals every replica mutation; draining the journal
+    /// through the demand cache's block → watching-jobs index re-resolves
+    /// exactly the unfinished jobs that read a changed block — not the
+    /// whole job table — dirtying exactly the jobs whose lists actually
+    /// moved (re-queues mark their own jobs). The invariant auditor
+    /// cross-checks this precision after every event.
     fn refresh_all_preferred(&mut self) {
-        for j in 0..self.jobs.len() {
-            if !self.jobs[j].is_finished() && self.jobs[j].refresh_preferred(&self.namenode) {
-                self.cache.mark_job(j);
+        let started = std::time::Instant::now();
+        let changed = self.namenode.take_changed_blocks();
+        if !changed.is_empty() {
+            let mut affected = std::mem::take(&mut self.affected_scratch);
+            self.cache.jobs_watching(&changed, &mut affected);
+            for &j in &affected {
+                if !self.jobs[j].is_finished() && self.jobs[j].refresh_preferred(&self.namenode) {
+                    self.cache.mark_job(j);
+                }
             }
+            affected.clear();
+            self.affected_scratch = affected;
         }
+        self.demand_wall += started.elapsed();
     }
 
     /// A scripted [`NodeFailure`](crate::config::NodeFailure) fires: the
@@ -1155,7 +1208,7 @@ impl Driver {
             debug_assert!(state.dead && state.running.is_none() && state.owner.is_none());
             state.dead = false;
             state.idle_since = now;
-            self.pool.insert(e);
+            self.pool.insert(e.index());
         }
         self.nodes_recovered += 1;
         self.cache.mark_pool_changed();
@@ -1255,13 +1308,13 @@ impl Driver {
                 self.apps[i]
                     .held
                     .iter()
-                    .copied()
+                    .map(ExecutorId::new)
                     .filter(|e| self.exec_state[e.index()].running.is_none()),
             );
             for &e in &idle {
-                self.apps[i].held.remove(&e);
+                self.apps[i].held.remove(e.index());
                 self.exec_state[e.index()].owner = None;
-                self.pool.insert(e);
+                self.pool.insert(e.index());
                 if let Some(d) = &mut self.detector {
                     d.leases.drop_lease(e); // released before expiry
                 }
@@ -1336,10 +1389,10 @@ impl Driver {
         }
         let granted = assignments.len();
         for a in assignments {
-            let removed = self.pool.remove(&a.executor);
+            let removed = self.pool.remove(a.executor.index());
             assert!(removed, "allocator granted non-pooled executor");
             self.exec_state[a.executor.index()].owner = Some(a.app);
-            self.apps[a.app.index()].held.insert(a.executor);
+            self.apps[a.app.index()].held.insert(a.executor.index());
             if let Some(d) = &mut self.detector {
                 // Every grant is a time-bounded lease; the host node's
                 // heartbeats renew it, silence revokes it.
@@ -1360,7 +1413,9 @@ impl Driver {
 
     fn build_view(&mut self) -> AllocationView {
         if self.incremental {
+            let started = std::time::Instant::now();
             self.cache.refresh(&self.jobs);
+            self.demand_wall += started.elapsed();
         }
         // Quarantined nodes' executors stay pooled but invisible: the
         // allocator can only grant what the view offers, so nothing is
@@ -1368,7 +1423,8 @@ impl Driver {
         let idle: Vec<ExecutorInfo> = self
             .pool
             .iter()
-            .map(|&id| ExecutorInfo {
+            .map(ExecutorId::new)
+            .map(|id| ExecutorInfo {
                 id,
                 node: self.cluster.node_of(id),
             })
@@ -1435,12 +1491,14 @@ impl Driver {
                     self.apps[i]
                         .held
                         .iter()
-                        .copied()
+                        .map(ExecutorId::new)
                         .filter(|e| self.exec_state[e.index()].running.is_none()),
                 );
                 for &e in &idle {
-                    let runnable = self.runnable_tasks(i, now);
+                    let mut runnable = std::mem::take(&mut self.runnable_scratch);
+                    self.runnable_tasks(i, now, &mut runnable);
                     if runnable.is_empty() {
+                        self.runnable_scratch = runnable;
                         if self.try_speculate(i, e, now) {
                             launched_this_pass += 1;
                             continue;
@@ -1448,7 +1506,9 @@ impl Driver {
                         break;
                     }
                     let node = self.cluster.node_of(e);
-                    match self.apps[i].scheduler.on_offer(node, &runnable, now) {
+                    let placement = self.apps[i].scheduler.on_offer(node, &runnable, now);
+                    self.runnable_scratch = runnable;
+                    match placement {
                         Placement::NoWork => break,
                         Placement::Decline { retry_after } => {
                             // The executor would idle through the
@@ -1484,12 +1544,15 @@ impl Driver {
         }
     }
 
-    /// Runnable, unlaunched tasks of app `i`, in (job, stage, task) order.
-    /// Tasks re-queued by a transient fault stay invisible until their
-    /// backoff gate passes (dispatch keeps a wake armed for the earliest
-    /// gate, so a gated task can never starve).
-    fn runnable_tasks(&self, i: usize, now: SimTime) -> Vec<RunnableTask> {
-        let mut out = Vec::new();
+    /// Collects the runnable, unlaunched tasks of app `i` into `out`, in
+    /// (job, stage, task) order. Tasks re-queued by a transient fault stay
+    /// invisible until their backoff gate passes (dispatch keeps a wake
+    /// armed for the earliest gate, so a gated task can never starve).
+    /// Takes a caller-owned buffer so the offer pass reuses one
+    /// allocation across offers instead of building a fresh Vec per idle
+    /// executor.
+    fn runnable_tasks(&self, i: usize, now: SimTime, out: &mut Vec<RunnableTask>) {
+        out.clear();
         for &j in &self.apps[i].jobs {
             let job = &self.jobs[j];
             if job.is_finished() {
@@ -1519,7 +1582,6 @@ impl Driver {
                 }
             }
         }
-        out
     }
 
     /// Attempts to launch a speculative copy of a straggling task of app
@@ -1840,6 +1902,9 @@ impl Driver {
                 allocation_rounds: self.allocation_rounds,
                 rounds_skipped: self.rounds_skipped,
                 allocator_wall_secs: self.alloc_wall.as_secs_f64(),
+                event_pop_wall_secs: self.event_wall.as_secs_f64(),
+                demand_wall_secs: self.demand_wall.as_secs_f64(),
+                peak_rss_bytes: crate::metrics::peak_rss_bytes(),
                 events_processed: self.events_processed,
                 nodes_failed,
                 nodes_recovered: self.nodes_recovered,

@@ -48,6 +48,9 @@
 //!     tasks of live jobs, and with detection on no idle executor on a
 //!     quarantined node is held by any application (launches there are
 //!     additionally asserted at launch time).
+//! 12. **Preferred-node freshness** — every unlaunched input task of an
+//!     unfinished job agrees with the NameNode's current replica map, so
+//!     the journal-driven sharded invalidation misses nothing.
 
 use custody_cluster::HealthState;
 
@@ -69,6 +72,7 @@ impl Driver {
             "queued Wake events out of sync with the dedup set"
         );
         self.audit_topology();
+        self.audit_preferred();
         if self.incremental {
             self.cache.audit(&self.jobs);
         }
@@ -129,6 +133,31 @@ impl Driver {
         }
     }
 
+    /// Invariant 12: preferred-node freshness — every unlaunched input
+    /// task of an unfinished job points at exactly its block's current
+    /// replica set. Replica churn is propagated through the NameNode's
+    /// change journal and the demand cache's block → watching-jobs index;
+    /// this catches a journal entry that was never drained, or a drain
+    /// that missed a watching job.
+    fn audit_preferred(&self) {
+        for (j, job) in self.jobs.iter().enumerate() {
+            if job.is_finished() {
+                continue;
+            }
+            for (t, task) in job.stages[0].tasks.iter().enumerate() {
+                if !matches!(task.state, TaskState::Blocked | TaskState::Runnable) {
+                    continue;
+                }
+                let block = task.block.expect("input task has a block");
+                assert_eq!(
+                    &task.preferred[..],
+                    self.namenode.locations(block),
+                    "job {j} input task {t}: preferred nodes out of date with the replica map"
+                );
+            }
+        }
+    }
+
     /// Invariants 1–3: ownership bijection, pool hygiene, death
     /// discipline, remote-read conservation.
     fn audit_executors(&self) {
@@ -138,15 +167,13 @@ impl Driver {
                 assert!(st.running.is_none(), "dead executor {e} is running a task");
                 assert!(st.owner.is_none(), "dead executor {e} has an owner");
                 assert!(
-                    !self.pool.contains(&custody_cluster::ExecutorId::new(e)),
+                    !self.pool.contains(e),
                     "dead executor {e} sits in the idle pool"
                 );
             }
             if let Some(owner) = st.owner {
                 assert!(
-                    self.apps[owner.index()]
-                        .held
-                        .contains(&custody_cluster::ExecutorId::new(e)),
+                    self.apps[owner.index()].held.contains(e),
                     "executor {e} owned by {owner} but missing from its held set"
                 );
             }
@@ -171,20 +198,23 @@ impl Driver {
             "an executor is held by more than one application"
         );
         for (i, a) in self.apps.iter().enumerate() {
-            for &e in &a.held {
-                let st = &self.exec_state[e.index()];
+            for e in a.held.iter() {
+                let st = &self.exec_state[e];
                 assert_eq!(
                     st.owner.map(custody_workload::AppId::index),
                     Some(i),
-                    "app {i} holds {e} but the executor disagrees"
+                    "app {i} holds executor {e} but the executor disagrees"
                 );
             }
         }
-        for &e in &self.pool {
-            let st = &self.exec_state[e.index()];
-            assert!(st.owner.is_none(), "pooled {e} still has an owner");
-            assert!(st.running.is_none(), "pooled {e} is running a task");
-            assert!(!st.dead, "pooled {e} is dead");
+        for e in self.pool.iter() {
+            let st = &self.exec_state[e];
+            assert!(st.owner.is_none(), "pooled executor {e} still has an owner");
+            assert!(
+                st.running.is_none(),
+                "pooled executor {e} is running a task"
+            );
+            assert!(!st.dead, "pooled executor {e} is dead");
         }
         assert_eq!(
             self.remote_reads_in_flight, remote,

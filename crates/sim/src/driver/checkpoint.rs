@@ -73,6 +73,8 @@ impl Driver {
         assert_converged(self, &ghost);
         ghost.trace = self.trace.take();
         ghost.alloc_wall = self.alloc_wall;
+        ghost.event_wall = self.event_wall;
+        ghost.demand_wall = self.demand_wall;
         ghost.checkpoint = self.checkpoint.take();
         ghost.wal = wal;
         ghost.crash_rng = self.crash_rng.clone();

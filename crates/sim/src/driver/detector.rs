@@ -247,7 +247,7 @@ impl Driver {
                 debug_assert!(st.running.is_none() && st.owner.is_none());
                 st.dead = false;
                 st.idle_since = now;
-                self.pool.insert(e);
+                self.pool.insert(e.index());
                 d.revoked[e.index()] = false;
                 reinstated = true;
             }

@@ -90,6 +90,21 @@ pub struct RunMetrics {
     /// varies across machines and runs, so it is excluded from
     /// determinism comparisons.
     pub allocator_wall_secs: f64,
+    /// Cumulative wall-clock time spent popping the event queue, in
+    /// seconds. Real time — excluded from determinism comparisons.
+    pub event_pop_wall_secs: f64,
+    /// Cumulative wall-clock time spent on demand maintenance
+    /// (demand-cache refreshes plus journal-driven preferred-node
+    /// re-resolution), in seconds. Cache refreshes run inside view
+    /// building, so this overlaps — is not additive with —
+    /// [`allocator_wall_secs`](Self::allocator_wall_secs). Real time —
+    /// excluded from determinism comparisons.
+    pub demand_wall_secs: f64,
+    /// Peak resident set size of the whole process at the end of the run
+    /// (Linux `VmHWM`), in bytes; 0 where unavailable. A process-wide
+    /// high-water mark, not a per-run delta — excluded from determinism
+    /// comparisons.
+    pub peak_rss_bytes: u64,
     /// Events processed.
     pub events_processed: usize,
     /// Machines that failed during the run (failure injection).
@@ -221,6 +236,39 @@ impl RunMetrics {
             .fold(f64::INFINITY, f64::min)
             .min(1.0)
     }
+
+    /// Overwrite every host-measured field (wall-clock timers, peak RSS)
+    /// with `other`'s values. These measure the machine the run happened
+    /// on, not the run itself, so tests that compare two runs for
+    /// simulation-level equality adopt one side's values before
+    /// `assert_eq!`.
+    pub fn adopt_host_measurements(&mut self, other: &RunMetrics) {
+        self.allocator_wall_secs = other.allocator_wall_secs;
+        self.event_pop_wall_secs = other.event_pop_wall_secs;
+        self.demand_wall_secs = other.demand_wall_secs;
+        self.peak_rss_bytes = other.peak_rss_bytes;
+    }
+}
+
+/// Peak resident set size of the current process in bytes, read from
+/// Linux's `/proc/self/status` `VmHWM` line; 0 on platforms without it.
+/// Used for the scale bench's memory column and
+/// [`RunMetrics::peak_rss_bytes`].
+pub fn peak_rss_bytes() -> u64 {
+    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .unwrap_or(0);
+                return kb * 1024;
+            }
+        }
+    }
+    0
 }
 
 /// A finished simulation: configuration label plus metrics.
@@ -265,6 +313,9 @@ mod tests {
             allocation_rounds: 10,
             rounds_skipped: 0,
             allocator_wall_secs: 0.0,
+            event_pop_wall_secs: 0.0,
+            demand_wall_secs: 0.0,
+            peak_rss_bytes: 0,
             events_processed: 50,
             nodes_failed: 0,
             nodes_recovered: 0,
@@ -307,6 +358,9 @@ mod tests {
             allocation_rounds: 0,
             rounds_skipped: 0,
             allocator_wall_secs: 0.0,
+            event_pop_wall_secs: 0.0,
+            demand_wall_secs: 0.0,
+            peak_rss_bytes: 0,
             events_processed: 0,
             nodes_failed: 0,
             nodes_recovered: 0,

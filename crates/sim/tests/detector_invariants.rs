@@ -26,8 +26,8 @@ fn perfect_control_plane_is_event_for_event_oracle() {
         let oracle = Simulation::run(&base).cluster_metrics;
         let mut modeled =
             Simulation::run(&base.clone().with_control_plane(perfect)).cluster_metrics;
-        // Allocator wall-clock measures the host machine, not the run.
-        modeled.allocator_wall_secs = oracle.allocator_wall_secs;
+        // Wall-clock and RSS measure the host machine, not the run.
+        modeled.adopt_host_measurements(&oracle);
         assert_eq!(oracle, modeled, "seed {seed}: perfect mode diverged");
         assert_eq!(modeled.false_suspicions, 0);
         assert_eq!(modeled.leases_revoked, 0);
@@ -184,7 +184,7 @@ fn master_crash_recovery_converges_to_the_uncrashed_run() {
     assert_eq!(calm.master_recoveries, 0);
     let mut crashy_scrubbed = crashy.clone();
     crashy_scrubbed.master_recoveries = 0;
-    crashy_scrubbed.allocator_wall_secs = calm.allocator_wall_secs;
+    crashy_scrubbed.adopt_host_measurements(&calm);
     assert_eq!(
         calm, crashy_scrubbed,
         "master recovery changed an observable metric"
@@ -201,7 +201,7 @@ fn speculation_enable_switch_matches_default_policy() {
         Simulation::run(&base.clone().with_speculation_enabled(true)).cluster_metrics;
     let via_config = Simulation::run(&base.clone().with_speculation(SpeculationConfig::default()))
         .cluster_metrics;
-    via_switch.allocator_wall_secs = via_config.allocator_wall_secs;
+    via_switch.adopt_host_measurements(&via_config);
     assert_eq!(via_switch, via_config);
     let off = Simulation::run(&base.with_speculation_enabled(false)).cluster_metrics;
     assert_eq!(off.tasks_speculated, 0);

@@ -24,8 +24,8 @@ fn inert_failslow_is_event_for_event_oracle() {
         let base = SimConfig::small_demo(seed);
         let oracle = Simulation::run(&base).cluster_metrics;
         let mut modeled = Simulation::run(&base.clone().with_failslow(inert)).cluster_metrics;
-        // Allocator wall-clock measures the host machine, not the run.
-        modeled.allocator_wall_secs = oracle.allocator_wall_secs;
+        // Wall-clock and RSS measure the host machine, not the run.
+        modeled.adopt_host_measurements(&oracle);
         assert_eq!(oracle, modeled, "seed {seed}: inert fail-slow diverged");
         assert_eq!(modeled.failslow_onsets, 0);
         assert_eq!(modeled.task_faults_injected, 0);

@@ -223,6 +223,32 @@ fn failslow_identical_for_every_allocator() {
 }
 
 #[test]
+fn chaos_plus_failslow_identical() {
+    // Chaos and gray failures together churn the replica map, the
+    // executor pool, and the per-round idle set harder than either alone:
+    // node crashes and recoveries resize and re-populate the dense
+    // interner-backed round state and drive the namenode change journal
+    // through add/remove/reinstate cycles while fail-slow quarantines
+    // shuffle which executors are offered. The incremental engine's dense
+    // bookkeeping must still be invisible in every deterministic metric.
+    use custody_sim::FailSlowConfig;
+    let chaos = ChaosConfig::default()
+        .with_mean_time_between_faults(8.0)
+        .with_horizon(120.0);
+    let fs = FailSlowConfig::default()
+        .with_sick_fraction(0.3)
+        .with_transient_fault_prob(0.05);
+    for seed in [5, 29] {
+        run_pair(
+            SimConfig::small_demo(seed)
+                .with_chaos(chaos)
+                .with_failslow(fs),
+            &format!("chaos + failslow seed {seed}"),
+        );
+    }
+}
+
+#[test]
 fn chaos_with_speculation_identical() {
     use custody_scheduler::speculation::SpeculationConfig;
     let chaos = ChaosConfig::default()

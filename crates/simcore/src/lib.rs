@@ -24,6 +24,7 @@
 //!   of Fig. 7/8 and the latency curves of Fig. 9/10.
 //! * [`define_id!`] — typed-index newtypes used across the workspace.
 
+pub mod dense;
 pub mod dist;
 pub mod event;
 pub mod id;
@@ -32,6 +33,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use dense::{DenseSet, Interner};
 pub use event::{EventQueue, ScheduledEvent};
 pub use par::par_map;
 pub use rng::SimRng;
