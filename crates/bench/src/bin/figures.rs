@@ -8,13 +8,13 @@
 //! ```
 //!
 //! Targets: `fig7`, `fig7-fixed`, `fig8`, `fig9`, `fig10`, `ablations`,
-//! `chaos`, `detector`, `failslow`, `theory`, `all`.
+//! `chaos`, `detector`, `failslow`, `demotion`, `theory`, `all`.
 
 use custody_bench::{
     ablation_delay_table, ablation_inter_table, ablation_intra_table, ablation_placement_table,
-    ablation_speculation_table, allocator_cost_summary, chaos_table, detector_table,
-    failslow_table, fig10_table, fig7_fixed_quota_table, fig7_table, fig8_table, fig9_table,
-    run_sweep, theory_quality_table, FigureOptions,
+    ablation_speculation_table, allocator_cost_summary, chaos_table, demotion_table,
+    detector_table, failslow_table, fig10_table, fig7_fixed_quota_table, fig7_table, fig8_table,
+    fig9_table, run_sweep, theory_quality_table, FigureOptions,
 };
 
 fn main() {
@@ -86,6 +86,9 @@ fn main() {
     }
     if wants("failslow") {
         println!("{}", failslow_table(&opts));
+    }
+    if wants("demotion") {
+        println!("{}", demotion_table(&opts));
     }
     if wants("theory") {
         println!("{}", theory_quality_table(500, opts.seed));

@@ -11,7 +11,9 @@
 //! the process's peak RSS. A separate single-round microbench times the
 //! production Custody round against the scan-everything
 //! `reference_allocate` specification on an identical grant-heavy 10k
-//! view and asserts the required ≥5× speedup.
+//! view and asserts the required ≥5× speedup; the same view is also run
+//! with a sick-cluster health-cost table to bound the overhead of the
+//! soft-demotion multiplier path.
 //!
 //! Modes:
 //!
@@ -27,8 +29,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use custody_bench::{scale_config, synthetic_round_view};
-use custody_core::custody::reference_allocate;
-use custody_core::{CustodyAllocator, ExecutorAllocator};
+use custody_core::custody::{reference_allocate, reference_allocate_with_costs};
+use custody_core::{CustodyAllocator, ExecutorAllocator, HealthCost};
+use custody_dfs::NodeId;
 use custody_sim::{RunMetrics, Simulation};
 use custody_simcore::SimRng;
 
@@ -88,18 +91,43 @@ fn best_ns(iters: usize, mut f: impl FnMut()) -> u128 {
         .expect("at least one iteration")
 }
 
-/// Custody vs the reference specification on one grant-heavy view.
+/// Custody vs the reference specification on one grant-heavy view, plus
+/// the same production round with a sick-cluster health-cost table.
 struct MicroBench {
     nodes: usize,
     apps: usize,
     custody_ns: u128,
     reference_ns: u128,
+    costed_ns: u128,
 }
 
 impl MicroBench {
     fn speedup(&self) -> f64 {
         self.reference_ns as f64 / self.custody_ns as f64
     }
+
+    /// Wall-time ratio of the health-costed round over the costless one
+    /// (1.0 = the multiplier path is free).
+    fn cost_slowdown(&self) -> f64 {
+        self.costed_ns as f64 / self.custody_ns as f64
+    }
+}
+
+/// A sick-cluster cost table: 10% of nodes carry a non-neutral health
+/// cost spread across the credit buckets — the regime the soft-demotion
+/// path pays for (weighted keys, tiered filler, credit bookkeeping).
+fn sick_cost_table(nodes: usize) -> Vec<(NodeId, HealthCost)> {
+    let scale = 8;
+    (0..nodes)
+        .map(|n| {
+            let cost = if n % 10 == 3 {
+                HealthCost::from_ratio(1.5 + (n % 7) as f64 * 0.5, scale, 4.0)
+            } else {
+                HealthCost::neutral(scale)
+            };
+            (NodeId::new(n), cost)
+        })
+        .collect()
 }
 
 fn alloc_microbench(nodes: usize, apps: usize) -> MicroBench {
@@ -110,9 +138,25 @@ fn alloc_microbench(nodes: usize, apps: usize) -> MicroBench {
     let fast = custody.allocate(&view, &mut rng);
     assert_eq!(reference_allocate(&view), fast, "{nodes}x{apps}");
     assert!(!fast.is_empty(), "bench view must produce grants");
+    let costs = sick_cost_table(nodes);
+    let mut costed = CustodyAllocator::new();
+    costed.set_node_health_costs(&costs);
+    let costed_grants = costed.allocate(&view, &mut rng);
+    assert_eq!(
+        reference_allocate_with_costs(&view, &costs),
+        costed_grants,
+        "costed {nodes}x{apps}"
+    );
 
     let custody_ns = best_ns(7, || {
         let grants = custody.allocate(&view, &mut rng);
+        std::hint::black_box(grants);
+    });
+    // The costed timing includes re-feeding the cost vector: that is the
+    // real per-round path when the health layer is active.
+    let costed_ns = best_ns(7, || {
+        costed.set_node_health_costs(&costs);
+        let grants = costed.allocate(&view, &mut rng);
         std::hint::black_box(grants);
     });
     let reference_ns = best_ns(3, || {
@@ -124,13 +168,16 @@ fn alloc_microbench(nodes: usize, apps: usize) -> MicroBench {
         apps,
         custody_ns,
         reference_ns,
+        costed_ns,
     };
     println!(
         "alloc round {nodes} nodes x {apps} apps: custody {:.2} ms vs reference {:.2} ms \
-         ({:.1}x speedup)",
+         ({:.1}x speedup); health-costed {:.2} ms ({:.2}x costless)",
         custody_ns as f64 / 1e6,
         reference_ns as f64 / 1e6,
         b.speedup(),
+        costed_ns as f64 / 1e6,
+        b.cost_slowdown(),
     );
     b
 }
@@ -173,12 +220,15 @@ fn write_json(cells: &[Cell], micro: &MicroBench, mode: &str) {
     let _ = writeln!(
         out,
         "  \"alloc_round_10k\": {{ \"nodes\": {}, \"apps\": {}, \
-         \"custody_ns\": {}, \"reference_ns\": {}, \"speedup_custody_vs_reference\": {:.2} }}",
+         \"custody_ns\": {}, \"reference_ns\": {}, \"speedup_custody_vs_reference\": {:.2}, \
+         \"costed_ns\": {}, \"cost_round_slowdown\": {:.3} }}",
         micro.nodes,
         micro.apps,
         micro.custody_ns,
         micro.reference_ns,
-        micro.speedup()
+        micro.speedup(),
+        micro.costed_ns,
+        micro.cost_slowdown()
     );
     out.push_str("}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
@@ -246,6 +296,11 @@ fn check(micro: &MicroBench) {
         "min_speedup_custody_vs_reference (inverted: lower bound)",
         json_number(baseline, "min_speedup_custody_vs_reference") / micro.speedup(),
         1.0,
+    );
+    gate(
+        "cost_round_slowdown",
+        micro.cost_slowdown(),
+        json_number(baseline, "max_cost_round_slowdown"),
     );
     if failed {
         eprintln!("scale-smoke FAILED: a budget regressed by more than 5%");

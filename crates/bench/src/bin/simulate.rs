@@ -9,7 +9,8 @@
 //!     [--detector <drop-prob>[:<suspicion-secs>]] [--checkpoint <secs>] \
 //!     [--master-crash <prob>] [--speculation] \
 //!     [--failslow <sick-fraction>[:<fault-prob>]] [--no-quarantine] \
-//!     [--retry-budget <n>] [--trace out.tsv] [--analyze]
+//!     [--demotion soft|hard|off] [--retry-budget <n>] \
+//!     [--trace out.tsv] [--analyze]
 //! ```
 //!
 //! With `--baseline <allocator>` the same configuration is run twice and
@@ -89,6 +90,7 @@ fn main() {
     let mut speculation = false;
     let mut failslow: Option<custody_sim::FailSlowConfig> = None;
     let mut no_quarantine = false;
+    let mut demotion: Option<String> = None;
     let mut retry_budget: Option<usize> = None;
     let mut trace_path: Option<String> = None;
     let mut analyze = false;
@@ -159,6 +161,7 @@ fn main() {
                 });
             }
             "--no-quarantine" => no_quarantine = true,
+            "--demotion" => demotion = Some(val()),
             "--retry-budget" => {
                 retry_budget = Some(val().parse().expect("--retry-budget <n>"));
             }
@@ -199,10 +202,18 @@ fn main() {
     if let Some(cp) = control_plane {
         cfg = cfg.with_control_plane(cp);
     }
-    if no_quarantine || retry_budget.is_some() {
-        let mut fs = failslow.expect("--no-quarantine / --retry-budget modify --failslow");
+    if no_quarantine || demotion.is_some() || retry_budget.is_some() {
+        let mut fs =
+            failslow.expect("--no-quarantine / --demotion / --retry-budget modify --failslow");
         if no_quarantine {
             fs = fs.with_detection(false);
+        }
+        match demotion.as_deref() {
+            Some("soft") => fs = fs.with_demotion(true).with_soft_demotion(true),
+            Some("hard") => fs = fs.with_demotion(true).with_soft_demotion(false),
+            Some("off") => fs = fs.with_demotion(false),
+            Some(other) => panic!("unknown demotion mode {other:?} (soft|hard|off)"),
+            None => {}
         }
         if let Some(budget) = retry_budget {
             fs = fs.with_retry_budget(budget);

@@ -621,6 +621,54 @@ pub fn failslow_table(opts: &FigureOptions) -> String {
     )
 }
 
+/// Soft-vs-hard demotion sweep: busy Custody batches under lingering
+/// suspect-band gray failures (2–4x slowdowns that never look dead
+/// enough to quarantine), comparing cost-based soft demotion (suspect
+/// nodes get a worse rational key but stay offerable, graded by how
+/// sick they look) against binary hard demotion (every suspect equally
+/// last in the filler, locality and replica picks health-blind). The
+/// per-cell effect is small — a work-conserving cluster self-paces its
+/// slow executors — so every variant is averaged over 24 seeds; what
+/// remains is the steering gain: soft places local tasks on the healthy
+/// replica and prefers the mildly limping CPU over the badly limping
+/// disk, which a binary verdict cannot express.
+pub fn demotion_table(opts: &FigureOptions) -> String {
+    use custody_sim::experiment::demotion_sweep;
+    let nodes = 20;
+    let fractions = [0.0, 0.1, 0.2, 0.3];
+    let seeds: Vec<u64> = (0..24).map(|i| opts.seed + i).collect();
+    let cells = demotion_sweep(nodes, opts.jobs_per_app.max(8), &fractions, &seeds);
+    let mut rows = Vec::new();
+    for cell in &cells {
+        rows.push(vec![
+            format!("{:.0} %", cell.sick_fraction * 100.0),
+            format!("{:.2} s", cell.soft.jct.mean()),
+            format!("{:.2} s", cell.hard.jct.mean()),
+            format!("{:+.1} %", cell.soft_gain_pct()),
+            format!("{:+.2} pp", cell.soft_locality_gain_points()),
+            cell.soft.onsets.to_string(),
+            format!("{} / {}", cell.soft.task_retries, cell.hard.task_retries),
+        ]);
+    }
+    format!(
+        "Demotion sweep — soft (cost-based) vs hard (binary) demotion of suspect nodes,\n\
+         WordCount, {nodes} nodes, 24 seeds per cell, quarantine out of reach (gain =\n\
+         mean-JCT reduction from soft demotion, positive = pricing beat banishing)\n{}",
+        render_table(
+            &[
+                "sick",
+                "soft jct",
+                "hard jct",
+                "soft gain",
+                "locality Δ",
+                "onsets",
+                "retries s/h"
+            ],
+            &rows
+        )
+    )
+}
+
 /// Theory check: the greedy strategy of Algorithm 2 vs the exact optima
 /// on random intra-application instances.
 ///

@@ -183,6 +183,14 @@ pub trait ExecutorAllocator {
     /// non-trivial set when detection is enabled).
     fn set_demoted_nodes(&mut self, _nodes: &[NodeId]) {}
 
+    /// Installs per-node health costs before a round (soft demotion):
+    /// instead of excluding suspect nodes outright, locality bought on
+    /// them earns less credit and the filler visits them last, so their
+    /// capacity stays usable under saturation. An empty slice clears the
+    /// table. The default ignores the hint — correct for data-unaware
+    /// baselines, and a no-op when the health layer is off.
+    fn set_node_health_costs(&mut self, _costs: &[(NodeId, crate::cost::HealthCost)]) {}
+
     /// Deep-copies the allocator, internal state included (static
     /// partitions, offer cursors). Master checkpointing snapshots the
     /// allocator so a recovered master replays identical grants.

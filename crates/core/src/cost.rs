@@ -1,0 +1,142 @@
+//! Per-node health costs: the bridge between the gray-failure detector's
+//! peer-relative service ratios and the allocator's exact rational
+//! locality keys.
+//!
+//! A node whose mean task service time sits at `m×` the median of its
+//! peers effectively delivers `1/m` of a healthy node's throughput, so a
+//! "local" task placed there buys roughly `1/m` of a local task's
+//! benefit. [`HealthCost`] encodes that discount as an exact integer
+//! **credit weight** `w ∈ {1, …, S}` out of a configurable scale `S`:
+//! a healthy node carries `w = S` (full credit), a node measured at
+//! ratio `m` carries `w = round(S / m)`, floored at one so even the
+//! sickest schedulable node still counts for something.
+//!
+//! Bucketing to an integer grid is what keeps the allocator float-free:
+//! the projected locality fractions become
+//! `(history·S + Σ w) / (total·S)` — still exact `u64/u64` rationals
+//! compared by `u128` cross-multiplication, never through a double. The
+//! ratio→bucket conversion itself uses one deterministic rounding of
+//! IEEE doubles, after which ordering is pure integer arithmetic.
+
+/// The bucketed health cost of one node: a local-placement credit weight
+/// out of a scale.
+///
+/// `credit == scale` is the neutral (healthy) cost; lower credit means
+/// the node is believed slower and locality bought on it counts for
+/// proportionally less. Construct via [`HealthCost::neutral`] or
+/// [`HealthCost::from_ratio`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HealthCost {
+    /// Local-placement credit in `1..=scale`.
+    pub credit: u32,
+    /// The bucket scale `S` (all costs installed together share it).
+    pub scale: u32,
+}
+
+impl HealthCost {
+    /// Full credit: the cost of a node believed healthy.
+    pub fn neutral(scale: u32) -> Self {
+        let scale = scale.max(1);
+        HealthCost {
+            credit: scale,
+            scale,
+        }
+    }
+
+    /// Buckets a peer-relative service ratio (`node mean / peer median`,
+    /// `≥ 1` for nodes slower than their peers) onto the credit grid:
+    /// the ratio is clamped to `[1, cap_ratio]` and the credit is
+    /// `round(scale / ratio)`, floored at one. A ratio at or below one
+    /// yields the neutral cost.
+    pub fn from_ratio(ratio: f64, scale: u32, cap_ratio: f64) -> Self {
+        let scale = scale.max(1);
+        let m = ratio.clamp(1.0, cap_ratio.max(1.0));
+        let credit = (scale as f64 / m).round() as u32;
+        HealthCost {
+            credit: credit.clamp(1, scale),
+            scale,
+        }
+    }
+
+    /// Whether this is the neutral (full-credit) cost.
+    pub fn is_neutral(&self) -> bool {
+        self.credit >= self.scale
+    }
+
+    /// The placement penalty `scale - credit` (zero for healthy nodes);
+    /// the allocator prefers lower penalties when it has free choice.
+    pub fn penalty(&self) -> u32 {
+        self.scale.saturating_sub(self.credit)
+    }
+
+    /// The effective multiplier this bucket represents (diagnostics only
+    /// — allocation ordering never goes through floats).
+    pub fn multiplier(&self) -> f64 {
+        self.scale as f64 / self.credit.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_has_full_credit_and_zero_penalty() {
+        let c = HealthCost::neutral(8);
+        assert_eq!(c.credit, 8);
+        assert!(c.is_neutral());
+        assert_eq!(c.penalty(), 0);
+        assert_eq!(c.multiplier(), 1.0);
+    }
+
+    #[test]
+    fn ratio_at_or_below_one_is_neutral() {
+        assert!(HealthCost::from_ratio(1.0, 8, 4.0).is_neutral());
+        assert!(HealthCost::from_ratio(0.5, 8, 4.0).is_neutral());
+    }
+
+    #[test]
+    fn ratio_buckets_round_to_nearest() {
+        // S = 8: ratio 1.5 → 8/1.5 = 5.33 → credit 5; ratio 2 → 4;
+        // ratio 4 → 2.
+        assert_eq!(HealthCost::from_ratio(1.5, 8, 4.0).credit, 5);
+        assert_eq!(HealthCost::from_ratio(2.0, 8, 4.0).credit, 4);
+        assert_eq!(HealthCost::from_ratio(4.0, 8, 4.0).credit, 2);
+    }
+
+    #[test]
+    fn cap_bounds_the_penalty() {
+        // Ratio 100 clamps to the cap (4.0): same bucket as ratio 4.
+        assert_eq!(
+            HealthCost::from_ratio(100.0, 8, 4.0),
+            HealthCost::from_ratio(4.0, 8, 4.0)
+        );
+    }
+
+    #[test]
+    fn credit_never_hits_zero() {
+        // Even scale 1 with a huge ratio keeps one unit of credit: the
+        // node remains schedulable, just maximally deprioritized.
+        let c = HealthCost::from_ratio(1000.0, 1, 1000.0);
+        assert_eq!(c.credit, 1);
+        assert!(c.is_neutral(), "scale 1 cannot express a penalty");
+        let c = HealthCost::from_ratio(1000.0, 8, 1000.0);
+        assert_eq!(c.credit, 1);
+        assert_eq!(c.penalty(), 7);
+    }
+
+    #[test]
+    fn zero_scale_normalizes_to_one() {
+        assert_eq!(HealthCost::neutral(0).scale, 1);
+        assert_eq!(HealthCost::from_ratio(2.0, 0, 4.0).scale, 1);
+    }
+
+    #[test]
+    fn penalties_order_with_sickness() {
+        let healthy = HealthCost::from_ratio(1.0, 8, 4.0);
+        let mild = HealthCost::from_ratio(1.6, 8, 4.0);
+        let severe = HealthCost::from_ratio(3.0, 8, 4.0);
+        assert!(healthy.penalty() < mild.penalty());
+        assert!(mild.penalty() < severe.penalty());
+    }
+}

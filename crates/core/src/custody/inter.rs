@@ -29,13 +29,14 @@ struct Fraction {
 
 impl Fraction {
     fn new(num: usize, den: usize) -> Self {
+        Self::new_u64(num as u64, den as u64)
+    }
+
+    fn new_u64(num: u64, den: u64) -> Self {
         if den == 0 {
             Fraction { num: 1, den: 1 }
         } else {
-            Fraction {
-                num: num as u64,
-                den: den as u64,
-            }
+            Fraction { num, den }
         }
     }
 
@@ -58,11 +59,19 @@ pub struct LocalityKey {
 }
 
 impl LocalityKey {
-    /// Extracts the key from round state.
+    /// Extracts the key from round state. With a health-cost table
+    /// installed the projected fractions are credit-weighted (locality
+    /// bought on a slow node counts for less); without one this is the
+    /// plain count-based key, byte for byte.
     pub fn of(app: &RoundApp, index: usize) -> Self {
-        let (job_num, job_den) = app.projected_local_jobs();
-        let (task_num, task_den) = app.projected_local_tasks();
-        Self::from_fractions(job_num, job_den, task_num, task_den, index)
+        match app.health_weighted_fractions() {
+            Some((jn, jd, tn, td)) => Self::from_weighted(jn, jd, tn, td, index),
+            None => {
+                let (job_num, job_den) = app.projected_local_jobs();
+                let (task_num, task_den) = app.projected_local_tasks();
+                Self::from_fractions(job_num, job_den, task_num, task_den, index)
+            }
+        }
     }
 
     /// Builds a key from raw counts; a zero denominator means "no history"
@@ -77,6 +86,28 @@ impl LocalityKey {
         LocalityKey {
             job: Fraction::new(job_num, job_den),
             task: Fraction::new(task_num, task_den),
+            index,
+        }
+    }
+
+    /// Builds a key from health-weighted fractions in credit units: with
+    /// bucket scale `S`, numerators carry `history·S + Σ credit` and
+    /// denominators `total·S` (see [`crate::cost::HealthCost`]). The
+    /// fractions stay exact `u64/u64` rationals compared by `u128`
+    /// cross-multiplication; a zero denominator still normalizes to
+    /// `1/1`. When every credit is neutral (`S` per task) both numerator
+    /// and denominator pick up the same factor `S`, so the ordering is
+    /// identical to the unweighted key's.
+    pub fn from_weighted(
+        job_num: u64,
+        job_den: u64,
+        task_num: u64,
+        task_den: u64,
+        index: usize,
+    ) -> Self {
+        LocalityKey {
+            job: Fraction::new_u64(job_num, job_den),
+            task: Fraction::new_u64(task_num, task_den),
             index,
         }
     }
@@ -222,6 +253,38 @@ mod tests {
             app(1, 4, 2, 10), // 25% jobs, 20% tasks
         ];
         assert_eq!(min_locality(&apps, |_, _| true), Some(1));
+    }
+
+    #[test]
+    fn weighted_keys_with_neutral_credit_match_unweighted_ordering() {
+        // Scale 8, every credit neutral: (a·8)/(b·8) must compare exactly
+        // like a/b against any other app's fractions.
+        let s = 8u64;
+        let plain_a = key(1, 4, 3, 10, 0);
+        let plain_b = key(2, 4, 1, 10, 1);
+        let w_a = LocalityKey::from_weighted(s, 4 * s, 3 * s, 10 * s, 0);
+        let w_b = LocalityKey::from_weighted(2 * s, 4 * s, s, 10 * s, 1);
+        assert_eq!(plain_a.cmp(&plain_b), w_a.cmp(&w_b));
+        assert_eq!(plain_a, w_a, "same value, different representation");
+    }
+
+    #[test]
+    fn discounted_credit_lowers_the_projected_fraction() {
+        // Two apps each satisfied one of two tasks this round; app 0 did
+        // it on a healthy node (credit 8/8), app 1 on a sick node
+        // (credit 2/8). App 1's projected locality is lower, so it picks
+        // next despite identical task counts.
+        let healthy = LocalityKey::from_weighted(0, 8, 8, 16, 0);
+        let sick = LocalityKey::from_weighted(0, 8, 2, 16, 1);
+        assert!(sick < healthy);
+    }
+
+    #[test]
+    fn weighted_zero_history_normalizes_to_one() {
+        assert_eq!(
+            LocalityKey::from_weighted(0, 0, 0, 0, 1),
+            key(1, 1, 1, 1, 1)
+        );
     }
 
     #[test]

@@ -71,7 +71,7 @@ fn priority_allocate_in_order(round: &mut Round, i: usize, order: &[usize]) -> u
             let executor = round
                 .take_executor_on(node)
                 .expect("picked node has an idle executor");
-            let (job_id, task_index) = round.satisfy_task(i, j, t);
+            let (job_id, task_index) = round.satisfy_task(i, j, t, node);
             round.record_grant(i, executor, Some((job_id, task_index)));
             granted += 1;
             if !round.is_min_locality(i) {
@@ -108,7 +108,7 @@ fn fair_allocate(round: &mut Round, i: usize) -> usize {
             let executor = round
                 .take_executor_on(node)
                 .expect("picked node has an idle executor");
-            let (job_id, task_index) = round.satisfy_task(i, j, t);
+            let (job_id, task_index) = round.satisfy_task(i, j, t, node);
             round.record_grant(i, executor, Some((job_id, task_index)));
             granted += 1;
             progress = true;
@@ -123,12 +123,20 @@ fn fair_allocate(round: &mut Round, i: usize) -> usize {
 }
 
 /// Picks the best node for a task: among `preferred` nodes with an idle
-/// executor, the one with the least contention from other apps, tie-broken
-/// by node id. `None` if no preferred node has an idle executor.
+/// executor, the healthiest (lowest placement penalty) first, then the one
+/// with the least contention from other apps, tie-broken by node id. With
+/// no health-cost table every penalty is zero and this is the plain
+/// contention order. `None` if no preferred node has an idle executor.
 fn pick_node(round: &Round, i: usize, preferred: &[NodeId]) -> Option<NodeId> {
     preferred
         .iter()
         .copied()
         .filter(|&n| round.node_has_idle(n))
-        .min_by_key(|&n| (round.contention_excluding(n, i), n))
+        .min_by_key(|&n| {
+            (
+                round.placement_penalty(n),
+                round.contention_excluding(n, i),
+                n,
+            )
+        })
 }

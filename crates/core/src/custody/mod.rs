@@ -23,13 +23,14 @@ pub mod intra;
 pub mod reference;
 mod round;
 
-pub use reference::reference_allocate;
+pub use reference::{reference_allocate, reference_allocate_with_costs};
 pub use round::{Round, RoundScratch};
 
 use custody_dfs::NodeId;
 use custody_simcore::SimRng;
 
 use crate::allocator::{AllocationView, Assignment, ExecutorAllocator};
+use crate::cost::HealthCost;
 
 /// Intra-application strategy (the Fig. 4/5 ablation axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,6 +102,10 @@ pub struct CustodyAllocator {
     /// phase avoids them while alternatives exist. Empty (the default)
     /// leaves allocation byte-identical to a build without demotion.
     demoted: Vec<NodeId>,
+    /// Per-node health costs (soft demotion): suspect nodes cost more
+    /// instead of vanishing. Empty (the default) keeps the count-based
+    /// cost model.
+    health_costs: Vec<(NodeId, HealthCost)>,
     /// Buffers (selection heap, demand maps) recycled across rounds so the
     /// steady-state allocation path performs no repeated large allocations.
     scratch: RoundScratch,
@@ -141,7 +146,8 @@ impl ExecutorAllocator for CustodyAllocator {
         let scratch = std::mem::take(&mut self.scratch);
         let mut round = Round::recycled(view, scratch)
             .with_policies(self.inter, self.intra)
-            .with_demoted(&self.demoted);
+            .with_demoted(&self.demoted)
+            .with_health_costs(&self.health_costs);
         round.locality_phase();
         round.filler_phase();
         let (assignments, scratch) = round.finish();
@@ -152,6 +158,11 @@ impl ExecutorAllocator for CustodyAllocator {
     fn set_demoted_nodes(&mut self, nodes: &[NodeId]) {
         self.demoted.clear();
         self.demoted.extend_from_slice(nodes);
+    }
+
+    fn set_node_health_costs(&mut self, costs: &[(NodeId, HealthCost)]) {
+        self.health_costs.clear();
+        self.health_costs.extend_from_slice(costs);
     }
 
     fn clone_box(&self) -> Box<dyn ExecutorAllocator> {
@@ -532,6 +543,45 @@ mod tests {
             ExecutorId::new(1)
         );
         alloc.set_demoted_nodes(&[]);
+        assert_eq!(
+            alloc.allocate(&view, &mut rng)[0].executor,
+            ExecutorId::new(0)
+        );
+    }
+
+    /// The trait-level health-cost hint steers the filler to the cheapest
+    /// node, and clearing the table restores the original pick.
+    #[test]
+    fn health_cost_hint_steers_filler_and_clears() {
+        let execs = toy_executors(2);
+        let view = AllocationView {
+            idle: execs.clone(),
+            all_executors: execs,
+            // Preferred node 9 exists nowhere: pure filler traffic.
+            apps: vec![fresh_app(0, 1, vec![job(0, vec![task(0, &[9])])])],
+        };
+        let mut alloc = CustodyAllocator::new();
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(
+            alloc.allocate(&view, &mut rng)[0].executor,
+            ExecutorId::new(0)
+        );
+        alloc.set_node_health_costs(&[
+            (
+                NodeId::new(0),
+                crate::HealthCost {
+                    credit: 3,
+                    scale: 8,
+                },
+            ),
+            (NodeId::new(1), crate::HealthCost::neutral(8)),
+        ]);
+        assert_eq!(
+            alloc.allocate(&view, &mut rng)[0].executor,
+            ExecutorId::new(1),
+            "suspect node 0 is visited last"
+        );
+        alloc.set_node_health_costs(&[]);
         assert_eq!(
             alloc.allocate(&view, &mut rng)[0].executor,
             ExecutorId::new(0)

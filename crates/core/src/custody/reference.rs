@@ -27,6 +27,7 @@ use custody_dfs::NodeId;
 use custody_workload::{AppId, JobId};
 
 use crate::allocator::{AllocationView, Assignment, ExecutorInfo};
+use crate::cost::HealthCost;
 use crate::custody::inter::LocalityKey;
 
 /// One job's remaining demand (mirror of the round state, kept naive).
@@ -36,6 +37,9 @@ struct RefJob {
     tasks: Vec<(usize, Arc<[NodeId]>)>,
     satisfied: usize,
     total_inputs: usize,
+    /// Bottleneck health credit of this round's satisfactions
+    /// (`u32::MAX` until one happens).
+    min_credit: u32,
 }
 
 /// One application's state, updated by plain field writes.
@@ -51,15 +55,35 @@ struct RefApp {
     new_local_tasks: usize,
     demand_remaining: usize,
     jobs: Vec<RefJob>,
+    /// `Σ credit(node)` over this round's satisfied tasks.
+    new_task_credit: u64,
+    /// Bottleneck credit of each job made fully local this round.
+    new_job_credit: u64,
 }
 
 impl RefApp {
-    fn key(&self, index: usize) -> LocalityKey {
-        LocalityKey::from_fractions(
-            self.hist_local_jobs + self.new_local_jobs,
-            self.total_jobs,
-            self.hist_local_tasks + self.new_local_tasks,
-            self.total_tasks,
+    /// The MINLOCALITY key: count-based when `scale == 0`, credit-weighted
+    /// otherwise — the same two branches as the production round.
+    fn key(&self, index: usize, scale: u32) -> LocalityKey {
+        if scale == 0 {
+            return LocalityKey::from_fractions(
+                self.hist_local_jobs + self.new_local_jobs,
+                self.total_jobs,
+                self.hist_local_tasks + self.new_local_tasks,
+                self.total_tasks,
+                index,
+            );
+        }
+        let s = u64::from(scale);
+        LocalityKey::from_weighted(
+            (self.hist_local_jobs as u64)
+                .saturating_mul(s)
+                .saturating_add(self.new_job_credit),
+            (self.total_jobs as u64).saturating_mul(s),
+            (self.hist_local_tasks as u64)
+                .saturating_mul(s)
+                .saturating_add(self.new_task_credit),
+            (self.total_tasks as u64).saturating_mul(s),
             index,
         )
     }
@@ -74,11 +98,27 @@ struct RefRound {
     idle: Vec<ExecutorInfo>,
     apps: Vec<RefApp>,
     assignments: Vec<Assignment>,
+    /// Per-node health credit, dense by raw node id (unlisted → `scale`).
+    credit: Vec<u32>,
+    /// Health-cost bucket scale; `0` means no cost table is installed.
+    scale: u32,
 }
 
 impl RefRound {
-    fn new(view: &AllocationView) -> Self {
+    fn new(view: &AllocationView, costs: &[(NodeId, HealthCost)]) -> Self {
+        let scale = costs.first().map(|(_, c)| c.scale.max(1)).unwrap_or(0);
+        let mut credit = Vec::new();
+        for &(n, c) in costs {
+            debug_assert_eq!(c.scale.max(1), scale, "one cost table, one bucket scale");
+            let i = n.index();
+            if i >= credit.len() {
+                credit.resize(i + 1, scale);
+            }
+            credit[i] = c.credit.clamp(1, scale);
+        }
         RefRound {
+            credit,
+            scale,
             idle: view.idle.clone(),
             apps: view
                 .apps
@@ -106,11 +146,33 @@ impl RefRound {
                                 .collect(),
                             satisfied: j.satisfied_inputs,
                             total_inputs: j.total_inputs,
+                            min_credit: u32::MAX,
                         })
                         .collect(),
+                    new_task_credit: 0,
+                    new_job_credit: 0,
                 })
                 .collect(),
             assignments: Vec::new(),
+        }
+    }
+
+    /// The node's health credit (full credit for unlisted nodes or when
+    /// no table is installed).
+    fn credit_of(&self, node: NodeId) -> u32 {
+        if self.scale == 0 {
+            return 1;
+        }
+        self.credit.get(node.index()).copied().unwrap_or(self.scale)
+    }
+
+    /// The node's placement penalty (`scale - credit`, zero without a
+    /// cost table).
+    fn penalty(&self, node: NodeId) -> u32 {
+        if self.scale == 0 {
+            0
+        } else {
+            self.scale - self.credit_of(node)
         }
     }
 
@@ -130,13 +192,15 @@ impl RefRound {
         Some(self.idle.swap_remove(pos).id)
     }
 
-    /// Removes and returns the lowest-id idle executor anywhere.
+    /// Removes and returns the idle executor on the healthiest (lowest
+    /// placement penalty) node, lowest id first. Without a cost table
+    /// every penalty is zero: plain lowest-id.
     fn take_any_executor(&mut self) -> Option<ExecutorId> {
         let pos = self
             .idle
             .iter()
             .enumerate()
-            .min_by_key(|(_, e)| e.id)
+            .min_by_key(|(_, e)| (self.penalty(e.node), e.id))
             .map(|(p, _)| p)?;
         Some(self.idle.swap_remove(pos).id)
     }
@@ -176,7 +240,7 @@ impl RefRound {
             .iter()
             .enumerate()
             .filter(|&(i, _)| eligible(i))
-            .min_by_key(|(i, a)| a.key(*i))
+            .min_by_key(|(i, a)| a.key(*i, self.scale))
             .map(|(i, _)| i)
     }
 
@@ -187,13 +251,14 @@ impl RefRound {
     }
 
     /// Best node for a task: among preferred nodes with an idle executor,
-    /// the least contested one, tie-broken by node id.
+    /// the healthiest (lowest placement penalty) first, then the least
+    /// contested one, tie-broken by node id.
     fn pick_node(&self, i: usize, preferred: &[NodeId]) -> Option<NodeId> {
         preferred
             .iter()
             .copied()
             .filter(|&n| self.node_has_idle(n))
-            .min_by_key(|&n| (self.contention_excluding(n, i), n))
+            .min_by_key(|&n| (self.penalty(n), self.contention_excluding(n, i), n))
     }
 
     fn record_grant(&mut self, i: usize, executor: ExecutorId, for_task: Option<(JobId, usize)>) {
@@ -234,12 +299,21 @@ impl RefRound {
                     .take_executor_on(node)
                     .expect("picked node has an idle executor");
                 // Satisfy the task and refresh the projected locality.
+                let scale = self.scale;
+                let credit = if scale > 0 { self.credit_of(node) } else { 0 };
                 let app = &mut self.apps[i];
                 let (task_index, _) = app.jobs[j].tasks.remove(t);
                 app.jobs[j].satisfied += 1;
                 app.new_local_tasks += 1;
+                if scale > 0 {
+                    app.new_task_credit += u64::from(credit);
+                    app.jobs[j].min_credit = app.jobs[j].min_credit.min(credit);
+                }
                 if app.jobs[j].satisfied == app.jobs[j].total_inputs {
                     app.new_local_jobs += 1;
+                    if scale > 0 {
+                        app.new_job_credit += u64::from(app.jobs[j].min_credit.min(scale));
+                    }
                 }
                 let job_id = app.jobs[j].job;
                 self.record_grant(i, executor, Some((job_id, task_index)));
@@ -256,7 +330,23 @@ impl RefRound {
 /// bit-for-bit with [`CustodyAllocator`](crate::CustodyAllocator) under
 /// the same policies.
 pub fn reference_allocate(view: &AllocationView) -> Vec<Assignment> {
-    let mut round = RefRound::new(view);
+    reference_allocate_with_costs(view, &[])
+}
+
+/// [`reference_allocate`] with a per-node health-cost table (soft
+/// demotion): locality bought on a node with credit `w` counts `w/scale`
+/// of a healthy local task in the MINLOCALITY key, replica choice and the
+/// filler both prefer lower-penalty hosts. An empty table is exactly
+/// [`reference_allocate`]; an all-neutral table orders identically
+/// (neutral weights scale both sides of every exact-rational comparison
+/// by the same factor). Mirrors
+/// [`CustodyAllocator::set_node_health_costs`](crate::ExecutorAllocator::set_node_health_costs)
+/// bit-for-bit.
+pub fn reference_allocate_with_costs(
+    view: &AllocationView,
+    costs: &[(NodeId, HealthCost)],
+) -> Vec<Assignment> {
+    let mut round = RefRound::new(view, costs);
 
     // Phase 1 — locality: the least-localized app with quota headroom and
     // a local opportunity claims executors through Algorithm 2.

@@ -30,6 +30,7 @@ use custody_simcore::Interner;
 use custody_workload::{AppId, JobId};
 
 use crate::allocator::{AllocationView, Assignment};
+use crate::cost::HealthCost;
 use crate::custody::inter::{min_locality, LocalityKey};
 use crate::custody::intra;
 use crate::custody::{InterPolicy, IntraPolicy};
@@ -46,6 +47,11 @@ pub struct RoundJob {
     pub satisfied: usize,
     /// µ_ij.
     pub total_inputs: usize,
+    /// Smallest health credit among this round's satisfactions
+    /// (`u32::MAX` until one happens): a job is only as local as its
+    /// slowest newly-local task, so the job-level credit is the
+    /// bottleneck credit. Untouched unless a health-cost table is active.
+    min_credit: u32,
 }
 
 impl RoundJob {
@@ -79,6 +85,16 @@ pub struct RoundApp {
     /// Count of this app's unsatisfied tasks preferring each node,
     /// indexed by the round's interned node slot.
     node_demand: Vec<u32>,
+    /// Health credit (in `1/cost_scale` units) earned by tasks satisfied
+    /// this round — `Σ credit(node)` over satisfactions. Equals
+    /// `new_local_tasks · cost_scale` when every node is healthy.
+    new_task_credit: u64,
+    /// Health credit earned by jobs made fully local this round — the
+    /// bottleneck (minimum) credit of each such job's satisfactions.
+    new_job_credit: u64,
+    /// The round's health-cost bucket scale; `0` when no cost table is
+    /// installed, selecting the plain count-based locality key.
+    cost_scale: u32,
 }
 
 impl RoundApp {
@@ -113,6 +129,31 @@ impl RoundApp {
         } else {
             (self.hist_local_tasks + self.new_local_tasks) as f64 / self.total_tasks as f64
         }
+    }
+
+    /// Health-weighted projected fractions in credit units
+    /// (`job_num, job_den, task_num, task_den`), or `None` when no
+    /// health-cost table is active. With bucket scale `S`, history counts
+    /// at full credit (`·S` — it is already banked) and this round's
+    /// gains at the granting node's credit, so
+    /// `task = (hist·S + Σ credit) / (total·S)`. Saturating arithmetic
+    /// guards pathological `usize::MAX` histories; real views are bounded
+    /// by memory long before `u64 / S`.
+    pub fn health_weighted_fractions(&self) -> Option<(u64, u64, u64, u64)> {
+        if self.cost_scale == 0 {
+            return None;
+        }
+        let s = u64::from(self.cost_scale);
+        Some((
+            (self.hist_local_jobs as u64)
+                .saturating_mul(s)
+                .saturating_add(self.new_job_credit),
+            (self.total_jobs as u64).saturating_mul(s),
+            (self.hist_local_tasks as u64)
+                .saturating_mul(s)
+                .saturating_add(self.new_task_credit),
+            (self.total_tasks as u64).saturating_mul(s),
+        ))
     }
 
     /// This app's unsatisfied-task pressure on the interned node `slot`.
@@ -161,6 +202,9 @@ impl RoundApp {
             demand_remaining: quota,
             jobs: Vec::new(),
             node_demand: Vec::new(),
+            new_task_credit: 0,
+            new_job_credit: 0,
+            cost_scale: 0,
         }
     }
 }
@@ -198,6 +242,9 @@ pub struct RoundScratch {
     node_cursor: Vec<u32>,
     global_idle: Vec<IdleEntry>,
     demoted: Vec<bool>,
+    cost_credit: Vec<u32>,
+    filler_tiers: Vec<u32>,
+    tier_cursor: Vec<usize>,
 }
 
 /// The state machine of one allocation round.
@@ -235,6 +282,19 @@ pub struct Round {
     /// in the common case, in which every path is byte-identical to a
     /// round with no demotion support at all.
     demoted: Vec<bool>,
+    /// Per-node health credit (dense by raw node id, `1/cost_scale`
+    /// units); nodes beyond the table carry full credit. Meaningful only
+    /// while `cost_scale > 0`.
+    cost_credit: Vec<u32>,
+    /// Health-cost bucket scale; `0` means no cost table is installed and
+    /// every cost-aware path is byte-identical to a costless round.
+    cost_scale: u32,
+    /// Graded filler passes: the distinct placement penalties present in
+    /// the cost table (plus the implicit zero), ascending, with the
+    /// largest dropped — the unconditional fallback scan covers it.
+    filler_tiers: Vec<u32>,
+    /// One forward-only cursor over `global_idle` per filler tier.
+    tier_cursor: Vec<usize>,
     heap: BinaryHeap<HeapEntry>,
     versions: Vec<u32>,
     stash: Vec<HeapEntry>,
@@ -261,6 +321,9 @@ impl Round {
             mut node_cursor,
             mut global_idle,
             mut demoted,
+            mut cost_credit,
+            mut filler_tiers,
+            mut tier_cursor,
         } = scratch;
         heap.clear();
         stash.clear();
@@ -269,6 +332,9 @@ impl Round {
         versions.resize(view.apps.len(), 0);
         nodes.clear();
         demoted.clear();
+        cost_credit.clear();
+        filler_tiers.clear();
+        tier_cursor.clear();
 
         // Idle nodes are interned first, in order of appearance, so a new
         // slot is always minted at the end of the active prefix.
@@ -321,6 +387,7 @@ impl Round {
                             .collect(),
                         satisfied: j.satisfied_inputs,
                         total_inputs: j.total_inputs,
+                        min_credit: u32::MAX,
                     })
                     .collect();
                 let mut node_demand: Vec<u32> = demand_pool.pop().unwrap_or_default();
@@ -353,6 +420,9 @@ impl Round {
                     demand_remaining: a.pending_jobs.iter().map(|j| j.pending_tasks).sum(),
                     jobs,
                     node_demand,
+                    new_task_credit: 0,
+                    new_job_credit: 0,
+                    cost_scale: 0,
                 }
             })
             .collect();
@@ -371,6 +441,10 @@ impl Round {
             inter: InterPolicy::default(),
             intra: IntraPolicy::default(),
             demoted,
+            cost_credit,
+            cost_scale: 0,
+            filler_tiers,
+            tier_cursor,
             heap,
             versions,
             stash,
@@ -404,6 +478,79 @@ impl Round {
             self.demoted[i] = true;
         }
         self
+    }
+
+    /// Installs the per-node health-cost table (soft demotion). Suspect
+    /// nodes *cost more* instead of vanishing: locality bought on a node
+    /// with credit `w` counts `w/scale` of a healthy local task in the
+    /// MINLOCALITY key, replica choice prefers lower-penalty hosts, and
+    /// the filler hands out executors lowest-penalty tier first. An
+    /// empty table — or one where every entry is neutral — leaves every
+    /// pick byte-identical to a costless round (neutral weights scale
+    /// both sides of every exact-rational comparison by the same factor).
+    pub fn with_health_costs(mut self, costs: &[(NodeId, HealthCost)]) -> Self {
+        self.cost_credit.clear();
+        self.filler_tiers.clear();
+        self.tier_cursor.clear();
+        self.cost_scale = 0;
+        if costs.is_empty() {
+            return self;
+        }
+        let scale = costs[0].1.scale.max(1);
+        self.cost_scale = scale;
+        for &(n, c) in costs {
+            debug_assert_eq!(c.scale, scale, "one cost table, one bucket scale");
+            let i = n.index();
+            if i >= self.cost_credit.len() {
+                self.cost_credit.resize(i + 1, scale);
+            }
+            self.cost_credit[i] = c.credit.clamp(1, scale);
+        }
+        // Graded filler passes: every distinct penalty in the table plus
+        // the implicit zero of unlisted nodes, ascending, minus the
+        // largest (the unconditional fallback scan already covers it).
+        // All-neutral tables collapse to no tiers — the plain scan.
+        self.filler_tiers.push(0);
+        for &(_, c) in costs {
+            let p = scale - c.credit.clamp(1, scale);
+            if !self.filler_tiers.contains(&p) {
+                self.filler_tiers.push(p);
+            }
+        }
+        self.filler_tiers.sort_unstable();
+        self.filler_tiers.pop();
+        self.tier_cursor.resize(self.filler_tiers.len(), 0);
+        for app in &mut self.apps {
+            app.cost_scale = scale;
+        }
+        self.rebuild_heap();
+        self
+    }
+
+    /// The node's health credit in `1/cost_scale` units (full credit for
+    /// unlisted nodes or when no table is installed).
+    #[inline]
+    fn credit_of(&self, node: NodeId) -> u32 {
+        if self.cost_scale == 0 {
+            return 1;
+        }
+        self.cost_credit
+            .get(node.index())
+            .copied()
+            .unwrap_or(self.cost_scale)
+    }
+
+    /// The node's placement penalty (`scale - credit`; zero when healthy
+    /// or when no cost table is installed). Replica choice minimizes this
+    /// before contention, so a task with a healthy replica never lands on
+    /// a suspect one just because the suspect is less contested.
+    #[inline]
+    pub fn placement_penalty(&self, node: NodeId) -> u32 {
+        if self.cost_scale == 0 {
+            0
+        } else {
+            self.cost_scale - self.credit_of(node)
+        }
     }
 
     fn rebuild_heap(&mut self) {
@@ -561,7 +708,31 @@ impl Round {
     /// skipped as taken stays taken, and demotion is fixed for the round,
     /// so the scans are amortized O(idle) per round.
     fn take_any_executor(&mut self) -> Option<ExecutorId> {
-        if !self.demoted.is_empty() {
+        if self.cost_scale > 0 {
+            // Graded passes: consume the lowest-penalty tier completely
+            // before touching the next (lowest executor id within a
+            // tier, matching the reference's min-by (penalty, id)).
+            // Each tier's cursor only moves forward: a skipped entry is
+            // either taken (stays taken) or above the tier's penalty
+            // (penalties are fixed for the round), so the scans stay
+            // amortized O(tiers · idle) per round.
+            for ti in 0..self.filler_tiers.len() {
+                let pen = self.filler_tiers[ti];
+                while let Some(&e) = self.global_idle.get(self.tier_cursor[ti]) {
+                    if e.pos < self.node_cursor[e.slot as usize] {
+                        self.tier_cursor[ti] += 1;
+                        continue;
+                    }
+                    let raw = self.nodes.keys()[e.slot as usize] as usize;
+                    if self.placement_penalty(NodeId::new(raw)) > pen {
+                        self.tier_cursor[ti] += 1;
+                        continue;
+                    }
+                    debug_assert_eq!(e.pos, self.node_cursor[e.slot as usize]);
+                    return self.take_on_slot(e.slot as usize);
+                }
+            }
+        } else if !self.demoted.is_empty() {
             while let Some(&e) = self.global_idle.get(self.filler_cursor) {
                 if e.pos < self.node_cursor[e.slot as usize] {
                     self.filler_cursor += 1;
@@ -609,12 +780,20 @@ impl Round {
         self.touch(i);
     }
 
-    /// Marks task `t` of job `j` of app `i` satisfied: removes it from the
-    /// unsatisfied list and releases its pressure on the demand maps.
-    /// Returns `(job id, original task index)`. The caller must follow up
-    /// with [`Round::record_grant`] for the same app, which refreshes the
-    /// heap key.
-    pub fn satisfy_task(&mut self, i: usize, j: usize, t: usize) -> (JobId, usize) {
+    /// Marks task `t` of job `j` of app `i` satisfied on `node`: removes
+    /// it from the unsatisfied list and releases its pressure on the
+    /// demand maps. With a health-cost table active the satisfaction
+    /// earns the node's credit (not a flat unit) toward the app's
+    /// projected locality, and a job made fully local banks its
+    /// bottleneck credit. Returns `(job id, original task index)`. The
+    /// caller must follow up with [`Round::record_grant`] for the same
+    /// app, which refreshes the heap key.
+    pub fn satisfy_task(&mut self, i: usize, j: usize, t: usize, node: NodeId) -> (JobId, usize) {
+        let credit = if self.cost_scale > 0 {
+            self.credit_of(node)
+        } else {
+            0
+        };
         let (task_index, nodes_list) = self.apps[i].jobs[j].tasks.remove(t);
         for &n in nodes_list.iter() {
             let slot = self
@@ -626,11 +805,20 @@ impl Round {
                 *c -= 1;
             }
         }
+        let scale = self.cost_scale;
         let app = &mut self.apps[i];
         app.jobs[j].satisfied += 1;
         app.new_local_tasks += 1;
+        if scale > 0 {
+            app.new_task_credit += u64::from(credit);
+            let job = &mut app.jobs[j];
+            job.min_credit = job.min_credit.min(credit);
+        }
         if app.jobs[j].fully_local() {
             app.new_local_jobs += 1;
+            if scale > 0 {
+                app.new_job_credit += u64::from(app.jobs[j].min_credit.min(scale));
+            }
         }
         (app.jobs[j].job, task_index)
     }
@@ -730,6 +918,9 @@ impl Round {
             demoted,
             total_node_demand,
             assignments,
+            cost_credit,
+            filler_tiers,
+            tier_cursor,
             ..
         } = self;
         heap.clear();
@@ -752,6 +943,9 @@ impl Round {
                 node_cursor,
                 global_idle,
                 demoted,
+                cost_credit,
+                filler_tiers,
+                tier_cursor,
             },
         )
     }
@@ -956,6 +1150,172 @@ mod tests {
         let forced = grant_with(&[NodeId::new(0), NodeId::new(1)]);
         assert_eq!(forced.len(), 1, "all-demoted falls back, never starves");
         assert_eq!(forced[0].executor, ExecutorId::new(0));
+    }
+
+    /// Filler-only demand across three nodes with distinct health costs:
+    /// executors must be handed out lowest placement penalty first, by id
+    /// within a tier — matching the reference's min-by `(penalty, id)`.
+    #[test]
+    fn filler_visits_costed_nodes_lowest_penalty_first() {
+        let execs: Vec<ExecutorInfo> = (0..3)
+            .map(|i| ExecutorInfo {
+                id: ExecutorId::new(i),
+                node: NodeId::new(i),
+            })
+            .collect();
+        let view = AllocationView {
+            idle: execs.clone(),
+            all_executors: execs,
+            apps: vec![AppState {
+                app: AppId::new(0),
+                quota: 3,
+                held: 0,
+                local_jobs: 0,
+                total_jobs: 1,
+                local_tasks: 0,
+                total_tasks: 3,
+                pending_jobs: vec![JobDemand {
+                    job: JobId::new(0),
+                    unsatisfied_inputs: (0..3)
+                        .map(|t| TaskDemand {
+                            task_index: t,
+                            preferred_nodes: [NodeId::new(9)].into(), // no executor there
+                        })
+                        .collect(),
+                    pending_tasks: 3,
+                    total_inputs: 3,
+                    satisfied_inputs: 0,
+                }],
+            }],
+        };
+        let costs = [
+            (
+                NodeId::new(0),
+                HealthCost {
+                    credit: 2,
+                    scale: 8,
+                },
+            ), // penalty 6
+            (NodeId::new(1), HealthCost::neutral(8)), // penalty 0
+            (
+                NodeId::new(2),
+                HealthCost {
+                    credit: 5,
+                    scale: 8,
+                },
+            ), // penalty 3
+        ];
+        let mut round = Round::new(&view).with_health_costs(&costs);
+        round.locality_phase();
+        round.filler_phase();
+        let out = round.into_assignments();
+        let order: Vec<ExecutorId> = out.iter().map(|a| a.executor).collect();
+        assert_eq!(
+            order,
+            vec![ExecutorId::new(1), ExecutorId::new(2), ExecutorId::new(0)],
+            "healthy first, sickest last: {out:?}"
+        );
+    }
+
+    /// Replica choice: with a free pick between two equally contested
+    /// nodes, the health penalty overrides the node-id tie-break.
+    #[test]
+    fn pick_prefers_healthy_replica_over_lower_id() {
+        let execs: Vec<ExecutorInfo> = (0..2)
+            .map(|i| ExecutorInfo {
+                id: ExecutorId::new(i),
+                node: NodeId::new(i),
+            })
+            .collect();
+        let view = AllocationView {
+            idle: execs.clone(),
+            all_executors: execs,
+            apps: vec![AppState {
+                app: AppId::new(0),
+                quota: 1,
+                held: 0,
+                local_jobs: 0,
+                total_jobs: 1,
+                local_tasks: 0,
+                total_tasks: 1,
+                pending_jobs: vec![JobDemand {
+                    job: JobId::new(0),
+                    unsatisfied_inputs: vec![TaskDemand {
+                        task_index: 0,
+                        preferred_nodes: [NodeId::new(0), NodeId::new(1)].into(),
+                    }],
+                    pending_tasks: 1,
+                    total_inputs: 1,
+                    satisfied_inputs: 0,
+                }],
+            }],
+        };
+        let run = |costs: &[(NodeId, HealthCost)]| {
+            let mut round = Round::new(&view).with_health_costs(costs);
+            round.locality_phase();
+            round.filler_phase();
+            round.into_assignments()
+        };
+        assert_eq!(run(&[])[0].executor, ExecutorId::new(0), "id tie-break");
+        let sick0 = [
+            (
+                NodeId::new(0),
+                HealthCost {
+                    credit: 4,
+                    scale: 8,
+                },
+            ),
+            (NodeId::new(1), HealthCost::neutral(8)),
+        ];
+        let out = run(&sick0);
+        assert_eq!(
+            out[0].executor,
+            ExecutorId::new(1),
+            "healthy replica beats lower id: {out:?}"
+        );
+        assert!(out[0].for_task.is_some(), "still a locality grant");
+    }
+
+    /// An all-neutral cost table keeps the cost-aware paths active yet
+    /// must reproduce the costless round's assignments exactly.
+    #[test]
+    fn neutral_cost_table_is_bit_identical() {
+        let mut view = view_one_app();
+        view.apps.push(AppState {
+            app: AppId::new(1),
+            quota: 2,
+            held: 0,
+            local_jobs: 1,
+            total_jobs: 3,
+            local_tasks: 2,
+            total_tasks: 6,
+            pending_jobs: vec![JobDemand {
+                job: JobId::new(1),
+                unsatisfied_inputs: vec![
+                    TaskDemand {
+                        task_index: 0,
+                        preferred_nodes: [NodeId::new(0)].into(),
+                    },
+                    TaskDemand {
+                        task_index: 1,
+                        preferred_nodes: [NodeId::new(1)].into(),
+                    },
+                ],
+                pending_tasks: 2,
+                total_inputs: 2,
+                satisfied_inputs: 0,
+            }],
+        });
+        let run = |costs: &[(NodeId, HealthCost)]| {
+            let mut round = Round::new(&view).with_health_costs(costs);
+            round.locality_phase();
+            round.filler_phase();
+            round.into_assignments()
+        };
+        let neutral: Vec<(NodeId, HealthCost)> = (0..2)
+            .map(|n| (NodeId::new(n), HealthCost::neutral(8)))
+            .collect();
+        assert_eq!(run(&[]), run(&neutral));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub mod allocator;
 pub mod baselines;
+pub mod cost;
 pub mod custody;
 pub mod fairness;
 pub mod theory;
@@ -40,6 +41,7 @@ pub use allocator::{
     AllocationView, AppState, Assignment, ExecutorAllocator, ExecutorInfo, JobDemand, TaskDemand,
 };
 pub use baselines::{DynamicOfferAllocator, StaticRandomAllocator, StaticSpreadAllocator};
+pub use cost::HealthCost;
 pub use custody::{CustodyAllocator, InterPolicy, IntraPolicy};
 
 /// Which cluster manager to run; the axis every experiment compares.

@@ -10,10 +10,10 @@ use std::sync::Arc;
 
 use custody_cluster::ExecutorId;
 use custody_core::allocator::validate_assignments;
-use custody_core::custody::reference_allocate;
+use custody_core::custody::{reference_allocate, reference_allocate_with_costs};
 use custody_core::{
-    AllocationView, AppState, CustodyAllocator, ExecutorAllocator, ExecutorInfo, JobDemand,
-    TaskDemand,
+    AllocationView, AppState, CustodyAllocator, ExecutorAllocator, ExecutorInfo, HealthCost,
+    JobDemand, TaskDemand,
 };
 use custody_dfs::NodeId;
 use custody_simcore::SimRng;
@@ -166,6 +166,83 @@ fn production_round_matches_reference_at_2k_nodes() {
         assert_eq!(
             slow, fast,
             "case {case}: dense round diverged from the reference at 2k nodes"
+        );
+    }
+}
+
+/// A random health-cost table over a random subset of nodes (sometimes
+/// empty, sometimes covering dangling nodes, credits drawn across the
+/// whole bucket range including neutral).
+fn random_costs(rng: &mut SimRng, nodes: usize, scale: u32) -> Vec<(NodeId, HealthCost)> {
+    let mut costs = Vec::new();
+    for n in 0..nodes + 2 {
+        if rng.chance(0.4) {
+            costs.push((
+                NodeId::new(n),
+                HealthCost {
+                    credit: 1 + rng.below(scale as usize) as u32,
+                    scale,
+                },
+            ));
+        }
+    }
+    costs
+}
+
+/// Health-extended keys: random cost tables on random views — the
+/// cost-aware production round (weighted heap keys, penalty-first replica
+/// choice, tiered filler cursors) must agree grant-for-grant with the
+/// cost-aware reference rescan.
+#[test]
+fn production_round_matches_reference_with_health_costs() {
+    let mut rng = SimRng::seed_from_u64(0x50F7_C057);
+    let mut production = CustodyAllocator::new();
+    for case in 0..300 {
+        let nodes = *rng.pick(&[3, 6, 12, 30]);
+        let apps = 1 + rng.below(6);
+        let scale = *rng.pick(&[2u32, 8, 16]);
+        let view = random_view(&mut rng, nodes, apps);
+        let costs = random_costs(&mut rng, nodes, scale);
+        production.set_node_health_costs(&costs);
+        let mut alloc_rng = SimRng::seed_from_u64(case);
+        let fast = production.allocate(&view, &mut alloc_rng);
+        validate_assignments(&view, &fast);
+        let slow = reference_allocate_with_costs(&view, &costs);
+        assert_eq!(
+            slow, fast,
+            "case {case}: cost-aware round diverged from the reference on \
+             {nodes} nodes / {apps} apps / scale {scale}: {costs:?} {view:?}"
+        );
+    }
+}
+
+/// Oracle degeneration at 1k nodes: an all-healthy (neutral) cost vector
+/// must reproduce the costless allocation bit-identically — the weighted
+/// key scales both sides of every exact-rational comparison by the same
+/// factor, the tiered filler collapses to the plain scan, and replica
+/// penalties are uniformly zero.
+#[test]
+fn neutral_cost_vector_degenerates_to_costless_allocation_at_1k_nodes() {
+    let mut rng = SimRng::seed_from_u64(0xA11_4EA1);
+    let mut costless = CustodyAllocator::new();
+    let mut costed = CustodyAllocator::new();
+    for case in 0..6 {
+        let apps = 4 + rng.below(13);
+        let view = random_view(&mut rng, 1_000, apps);
+        let neutral: Vec<(NodeId, HealthCost)> = (0..1_000)
+            .map(|n| (NodeId::new(n), HealthCost::neutral(8)))
+            .collect();
+        costed.set_node_health_costs(&neutral);
+        let plain = costless.allocate(&view, &mut SimRng::seed_from_u64(case));
+        let weighted = costed.allocate(&view, &mut SimRng::seed_from_u64(case));
+        assert_eq!(
+            plain, weighted,
+            "case {case}: neutral multiplier vector changed an allocation"
+        );
+        assert_eq!(
+            reference_allocate_with_costs(&view, &neutral),
+            plain,
+            "case {case}: neutral reference diverged"
         );
     }
 }

@@ -64,6 +64,13 @@ impl SpeculationPolicy {
     }
 
     /// Median duration of completed tasks, if any completed.
+    ///
+    /// Convention: the *lower middle* on even counts (pinned by test) —
+    /// a duration threshold rounds toward speculating slightly earlier.
+    /// This deliberately differs from the health detector's
+    /// midpoint-of-the-two-middles median (`sim`'s `driver/health.rs`),
+    /// whose ratios feed a cost model and must not bias pessimistic on
+    /// even peer counts.
     pub fn median_duration(&mut self) -> Option<SimDuration> {
         if self.completed_durations.is_empty() {
             return None;
@@ -93,12 +100,42 @@ impl SpeculationPolicy {
     }
 }
 
+/// Picks which straggler to clone first: the candidate whose current
+/// node carries the highest peer-relative placement penalty — clone off
+/// the slowest node first, because that is where a restart buys the most
+/// — with ties (including the all-zero penalties of a run without health
+/// detection) resolved to the *earliest* candidate, exactly the order a
+/// penalty-blind scan would pick. Returns the index into `candidates`.
+pub fn pick_clone_source(penalties: &[u32]) -> Option<usize> {
+    let mut best: Option<(u32, usize)> = None;
+    for (i, &p) in penalties.iter().enumerate() {
+        if best.is_none_or(|(bp, _)| p > bp) {
+            best = Some((p, i));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn policy(total: usize) -> SpeculationPolicy {
         SpeculationPolicy::new(SpeculationConfig::default(), total)
+    }
+
+    #[test]
+    fn clone_source_prefers_highest_penalty() {
+        assert_eq!(pick_clone_source(&[0, 3, 6, 3]), Some(2));
+    }
+
+    #[test]
+    fn clone_source_ties_resolve_to_earliest() {
+        // All-zero penalties (health detection off) degenerate to the
+        // penalty-blind first-in-order pick.
+        assert_eq!(pick_clone_source(&[0, 0, 0]), Some(0));
+        assert_eq!(pick_clone_source(&[2, 5, 5]), Some(1));
+        assert_eq!(pick_clone_source(&[]), None);
     }
 
     #[test]

@@ -276,6 +276,19 @@ pub struct FailSlowConfig {
     /// Probe-task completions a probation node must serve before the
     /// detector re-judges it (back to healthy or back to quarantine).
     pub probation_probes: usize,
+    /// Soft demotion: feed suspect/probation nodes into the allocator as
+    /// bucketed health *costs* (locality on them earns less credit, the
+    /// filler visits them last) instead of the binary demoted-set
+    /// exclusion. Hard quarantine past
+    /// [`quarantine_ratio`](Self::quarantine_ratio) is retained either
+    /// way. Off restores the PR-5 binary demotion.
+    pub soft_demotion: bool,
+    /// Bucket scale `S` of the health-cost grid: a node at peer ratio `m`
+    /// earns credit `round(S/m)` of `S` per local task.
+    pub cost_scale: u32,
+    /// Peer ratios above this are clamped before bucketing, bounding how
+    /// cheaply a still-schedulable node can be priced.
+    pub cost_cap_ratio: f64,
 }
 
 impl Default for FailSlowConfig {
@@ -304,6 +317,9 @@ impl Default for FailSlowConfig {
             quarantine_ratio: 2.5,
             probation_delay_secs: 15.0,
             probation_probes: 3,
+            soft_demotion: true,
+            cost_scale: 8,
+            cost_cap_ratio: 4.0,
         }
     }
 }
@@ -337,6 +353,31 @@ impl FailSlowConfig {
     /// (`0` restores persistent slowdowns).
     pub fn with_episodes(mut self, mean_episode_secs: f64) -> Self {
         self.mean_episode_secs = mean_episode_secs;
+        self
+    }
+
+    /// Enables or disables demotion of suspect/probation nodes in the
+    /// allocator (quarantine exclusion stays on whenever detection is).
+    pub fn with_demotion(mut self, demotion: bool) -> Self {
+        self.demotion = demotion;
+        self
+    }
+
+    /// Chooses soft (cost-based) vs. hard (binary exclusion) demotion.
+    pub fn with_soft_demotion(mut self, soft: bool) -> Self {
+        self.soft_demotion = soft;
+        self
+    }
+
+    /// Sets the health-cost bucket scale.
+    pub fn with_cost_scale(mut self, scale: u32) -> Self {
+        self.cost_scale = scale;
+        self
+    }
+
+    /// Sets the peer-ratio clamp of the health-cost bucketing.
+    pub fn with_cost_cap_ratio(mut self, cap: f64) -> Self {
+        self.cost_cap_ratio = cap;
         self
     }
 
@@ -418,6 +459,16 @@ impl FailSlowConfig {
                 self.probation_probes > 0,
                 "probation needs at least one probe"
             );
+            if self.demotion && self.soft_demotion {
+                assert!(
+                    (1..=64).contains(&self.cost_scale),
+                    "cost scale must be in 1..=64"
+                );
+                assert!(
+                    self.cost_cap_ratio >= 1.0,
+                    "cost cap ratio cannot be below one"
+                );
+            }
         }
     }
 }

@@ -1375,11 +1375,21 @@ impl Driver {
         self.allocation_rounds += 1;
         if let Some(h) = &self.health {
             if h.cfg.detection && h.cfg.demotion {
-                // Suspect/probation nodes drop to the back of the filler
-                // pick order; allocators that ignore the hint (the
-                // data-unaware baselines) are free to.
-                let demoted = h.demoted_nodes();
-                self.allocator.set_demoted_nodes(&demoted);
+                if h.cfg.soft_demotion {
+                    // Soft demotion: suspect/probation nodes cost more —
+                    // locality on them earns less credit and the filler
+                    // visits them last — instead of vanishing. Allocators
+                    // that ignore the hint (the data-unaware baselines)
+                    // are free to.
+                    let costs = h.health_costs();
+                    self.allocator.set_node_health_costs(&costs);
+                } else {
+                    // Hard demotion (the PR-5 binary ablation): drop
+                    // suspect/probation nodes to the back of the filler
+                    // pick order outright.
+                    let demoted = h.demoted_nodes();
+                    self.allocator.set_demoted_nodes(&demoted);
+                }
             }
         }
         let assignments = self.allocator.allocate(&view, &mut self.alloc_rng);
@@ -1586,14 +1596,22 @@ impl Driver {
 
     /// Attempts to launch a speculative copy of a straggling task of app
     /// `i` on idle executor `e`. Returns whether a clone was launched.
+    ///
+    /// Among the stragglers that qualify, the clone source is the task
+    /// whose original attempt runs on the node with the highest
+    /// peer-relative health penalty — clone off the slowest node first,
+    /// the same bucketed model the allocator's soft demotion uses. With
+    /// detection off (or no measurable ratios) every penalty is zero and
+    /// the pick degenerates to the first straggler in deterministic
+    /// (job, stage, task) order, exactly the penalty-blind behaviour.
     fn try_speculate(&mut self, i: usize, e: ExecutorId, now: SimTime) -> bool {
         if self.speculation.is_none() {
             return false;
         }
-        // Find the first straggler without a clone, in deterministic
+        // Collect every straggler without a clone, in deterministic
         // (job, stage, task) order.
-        let mut candidate: Option<(usize, usize, usize)> = None;
-        'outer: for &j in &self.apps[i].jobs {
+        let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+        for &j in &self.apps[i].jobs {
             if self.jobs[j].is_finished() {
                 continue;
             }
@@ -1615,15 +1633,43 @@ impl Driver {
                     };
                     let started = task.launched_at.expect("running task");
                     if policy.should_speculate(started, now) {
-                        candidate = Some(key);
-                        break 'outer;
+                        candidates.push(key);
                     }
                 }
             }
         }
-        let Some((j, st, t)) = candidate else {
+        if candidates.is_empty() {
             return false;
-        };
+        }
+        // Price each candidate by its original attempt's host node.
+        let penalties: Vec<u32> = candidates
+            .iter()
+            .map(|&(j, st, t)| {
+                let node = self.exec_state.iter().enumerate().find_map(|(ei, es)| {
+                    es.running.as_ref().and_then(|r| {
+                        (r.job_idx == j && r.stage == st && r.task == t && !r.is_clone)
+                            .then(|| self.cluster.node_of(ExecutorId::new(ei)))
+                    })
+                });
+                match (&self.health, node) {
+                    (Some(h), Some(n)) if h.cfg.detection => h
+                        .peer_ratio(n.index(), h.cfg.min_samples)
+                        .map(|r| {
+                            custody_core::HealthCost::from_ratio(
+                                r,
+                                h.cfg.cost_scale,
+                                h.cfg.cost_cap_ratio,
+                            )
+                            .penalty()
+                        })
+                        .unwrap_or(0),
+                    _ => 0,
+                }
+            })
+            .collect();
+        let choice = custody_scheduler::speculation::pick_clone_source(&penalties)
+            .expect("candidates are non-empty");
+        let (j, st, t) = candidates[choice];
         let spec = self.speculation.as_mut().expect("checked above");
         spec.cloned.insert((j, st, t));
         spec.launches += 1;

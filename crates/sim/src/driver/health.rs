@@ -35,6 +35,7 @@
 use std::collections::VecDeque;
 
 use custody_cluster::HealthState;
+use custody_core::HealthCost;
 use custody_dfs::NodeId;
 use custody_scheduler::RetryPolicy;
 use custody_simcore::dist::{Distribution, Exponential};
@@ -84,6 +85,10 @@ pub(crate) struct NodeBelief {
     pub probes_done: usize,
     /// When the node was last quarantined.
     pub quarantined_at: SimTime,
+    /// The node's bucketed health cost (soft demotion): refreshed from
+    /// the peer ratio on every observation, fed to the allocator for
+    /// demoted states. Neutral while healthy or quarantined.
+    pub cost: HealthCost,
 }
 
 /// The whole gray-failure layer: configuration, per-node physical
@@ -148,6 +153,7 @@ impl HealthLayer {
                     probes_started: 0,
                     probes_done: 0,
                     quarantined_at: SimTime::ZERO,
+                    cost: HealthCost::neutral(cfg.cost_scale),
                 };
                 num_nodes
             ],
@@ -225,23 +231,68 @@ impl HealthLayer {
     }
 
     /// The node's service-time ratio against its peers: node mean divided
-    /// by the cluster median of per-node means (nodes with enough samples
-    /// only). `None` until the node and at least one peer are measurable.
-    fn peer_ratio(&self, node: usize, node_min: usize) -> Option<f64> {
+    /// by the median of its *peers'* means. The node itself is excluded
+    /// from the peer pool — in a small cluster a single slow node would
+    /// otherwise drag the median toward itself and suppress its own ratio
+    /// — and every peer is gated on the one `cfg.min_samples` threshold
+    /// (`node_min` gates only the node's own mean, so probation can judge
+    /// on its short probe window). `None` until the node and at least one
+    /// peer are measurable.
+    pub(super) fn peer_ratio(&self, node: usize, node_min: usize) -> Option<f64> {
         let mine = self.node_mean(node, node_min)?;
         let mut means: Vec<f64> = (0..self.belief.len())
+            .filter(|&n| n != node)
             .filter_map(|n| self.node_mean(n, self.cfg.min_samples))
             .collect();
-        if means.len() < 2 {
+        if means.is_empty() {
             return None; // no peers to be relative to yet
         }
         means.sort_by(|a, b| a.partial_cmp(b).expect("service times are finite"));
-        let median = means[(means.len() - 1) / 2];
+        let median = median_of_sorted(&means);
         if median <= 0.0 {
             return None;
         }
         Some(mine / median)
     }
+
+    /// The per-node cost vector for the allocator (soft demotion): every
+    /// demoted-state node with its current bucketed cost. Quarantined
+    /// nodes are excluded from placement outright and healthy ones carry
+    /// full credit implicitly, so neither appears.
+    pub(crate) fn health_costs(&self) -> Vec<(NodeId, HealthCost)> {
+        self.belief
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.state.is_demoted())
+            .map(|(n, b)| (NodeId::new(n), b.cost))
+            .collect()
+    }
+}
+
+/// Median of an ascending-sorted slice, midpoint-of-the-two-middles on
+/// even counts. The health detector uses this convention because its
+/// ratios feed the cost model, where a lower-middle median would bias
+/// every even-sized peer pool pessimistic;
+/// `custody_scheduler::SpeculationPolicy` deliberately keeps its own
+/// pinned lower-middle convention for duration thresholds (see that
+/// module's tests).
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n.is_multiple_of(2) {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    } else {
+        sorted[n / 2]
+    }
+}
+
+/// The quarantine capacity guard: may a node be quarantined when
+/// `schedulable` of `alive` live nodes currently accept placements?
+/// Requires strictly more than half the live cluster to remain
+/// schedulable *after* the quarantine — `2·(schedulable − 1) > alive` —
+/// with checked arithmetic so `schedulable == 0` refuses instead of
+/// underflowing.
+fn quarantine_capacity_allows(schedulable: usize, alive: usize) -> bool {
+    2 * schedulable.saturating_sub(1) > alive
 }
 
 impl Driver {
@@ -318,6 +369,7 @@ impl Driver {
         // what got the node quarantined and must not retry the verdict.
         b.samples.clear();
         self.cache.mark_pool_changed();
+        self.refresh_health_cost(node);
     }
 
     /// Feeds one completed attempt's service time into the detector and
@@ -373,6 +425,41 @@ impl Driver {
                 }
             }
         }
+        self.refresh_health_cost(node);
+    }
+
+    /// Re-buckets the node's health cost from its current belief state
+    /// and peer ratio (soft demotion only). Suspects are priced at their
+    /// measured ratio, probationers at the suspect threshold (weak
+    /// evidence: the old window was discarded), healthy and quarantined
+    /// nodes at neutral. A bucket change dirties the cached idle view —
+    /// costs reorder placements, so a skipped round must not replay them.
+    fn refresh_health_cost(&mut self, node: NodeId) {
+        let Some(h) = self.health.as_ref() else {
+            return;
+        };
+        let cfg = h.cfg;
+        if !(cfg.detection && cfg.demotion && cfg.soft_demotion) {
+            return;
+        }
+        let next = match h.belief[node.index()].state {
+            HealthState::Suspect => {
+                let ratio = h
+                    .peer_ratio(node.index(), cfg.min_samples)
+                    .unwrap_or(cfg.suspect_ratio);
+                HealthCost::from_ratio(ratio, cfg.cost_scale, cfg.cost_cap_ratio)
+            }
+            HealthState::Probation => {
+                HealthCost::from_ratio(cfg.suspect_ratio, cfg.cost_scale, cfg.cost_cap_ratio)
+            }
+            HealthState::Healthy | HealthState::Quarantined => HealthCost::neutral(cfg.cost_scale),
+        };
+        let h = self.health.as_mut().expect("checked above");
+        let b = &mut h.belief[node.index()];
+        if b.cost != next {
+            b.cost = next;
+            self.cache.mark_pool_changed();
+        }
     }
 
     /// Takes one legal belief transition and dirties the allocation view.
@@ -395,9 +482,16 @@ impl Driver {
     /// verdict against physical truth and arms the probation timer.
     fn try_quarantine(&mut self, node: NodeId, now: SimTime) {
         let h = self.health.as_ref().expect("quarantine without layer");
-        let schedulable = h.belief.iter().filter(|b| b.state.is_schedulable()).count();
-        let alive = h.belief.len() - self.node_down.len();
-        if (schedulable - 1) * 2 <= alive {
+        // Count live (not crashed) nodes and how many of them currently
+        // accept placements; a crashed node must not pad either side.
+        let alive = self.node_down.iter().filter(|d| d.is_none()).count();
+        let schedulable = h
+            .belief
+            .iter()
+            .enumerate()
+            .filter(|(n, b)| b.state.is_schedulable() && self.node_down[*n].is_none())
+            .count();
+        if !quarantine_capacity_allows(schedulable, alive) {
             return; // capacity guard: keep over half the live cluster
         }
         let truly_slow = h.slow_active(node);
@@ -466,5 +560,105 @@ impl Driver {
                 self.cache.mark_pool_changed();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(nodes: usize, cfg: FailSlowConfig) -> HealthLayer {
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut queue = custody_simcore::EventQueue::new();
+        HealthLayer::new(cfg.with_sick_fraction(0.0), nodes, &mut rng, &mut queue)
+    }
+
+    fn feed(h: &mut HealthLayer, node: usize, samples: &[f64]) {
+        h.belief[node].samples.extend(samples.iter().copied());
+    }
+
+    /// Small-cluster regression: with the node's own mean in the peer
+    /// pool, two limping nodes among three would each see a median
+    /// dragged up to their own mean and score a suppressed ratio of 1.0.
+    /// Excluding self, node 0's peers are {10, 1} → median 5.5 →
+    /// ratio ≈ 1.82, enough to cross a 1.5 suspect threshold.
+    #[test]
+    fn slow_node_does_not_suppress_its_own_ratio() {
+        let mut h = layer(3, FailSlowConfig::default());
+        feed(&mut h, 0, &[10.0; 4]);
+        feed(&mut h, 1, &[10.0; 4]);
+        feed(&mut h, 2, &[1.0; 4]);
+        let ratio = h.peer_ratio(0, h.cfg.min_samples).expect("measurable");
+        assert!(
+            (ratio - 10.0 / 5.5).abs() < 1e-9,
+            "self-exclusive midpoint median: got {ratio}"
+        );
+        assert!(ratio >= h.cfg.suspect_ratio);
+    }
+
+    /// Peers are gated on the one `min_samples` threshold; `node_min`
+    /// gates only the node's own mean (probation judges on a short probe
+    /// window). A short-windowed peer is not a peer yet.
+    #[test]
+    fn peer_pool_uses_one_threshold_and_needs_a_peer() {
+        let mut h = layer(2, FailSlowConfig::default());
+        feed(&mut h, 0, &[10.0; 4]);
+        feed(&mut h, 1, &[1.0; 2]); // below min_samples = 4
+        assert_eq!(h.peer_ratio(0, 1), None, "no measurable peer");
+        feed(&mut h, 1, &[1.0; 2]); // now at min_samples
+        let ratio = h.peer_ratio(0, 1).expect("peer measurable");
+        assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    /// The health median is the midpoint of the two middles on even
+    /// counts (the speculation policy pins its own lower-middle
+    /// convention separately).
+    #[test]
+    fn health_median_is_midpoint_on_even_counts() {
+        assert_eq!(median_of_sorted(&[1.0, 2.0]), 1.5);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0, 10.0]), 2.5);
+        assert_eq!(median_of_sorted(&[7.0]), 7.0);
+    }
+
+    /// Guard boundaries at alive ∈ {1, 2, 3}: quarantining must leave
+    /// strictly more than half the live cluster schedulable, and
+    /// `schedulable == 0` refuses instead of underflowing.
+    #[test]
+    fn capacity_guard_boundaries() {
+        assert!(!quarantine_capacity_allows(0, 1), "underflow case refuses");
+        assert!(!quarantine_capacity_allows(1, 1));
+        assert!(!quarantine_capacity_allows(1, 2));
+        assert!(
+            !quarantine_capacity_allows(2, 2),
+            "would leave exactly half"
+        );
+        assert!(!quarantine_capacity_allows(2, 3));
+        assert!(quarantine_capacity_allows(3, 3), "leaves 2 of 3: over half");
+        assert!(
+            !quarantine_capacity_allows(3, 4),
+            "would leave exactly half"
+        );
+        assert!(quarantine_capacity_allows(4, 4));
+    }
+
+    /// The cost vector covers exactly the demoted states, at the node's
+    /// current bucket.
+    #[test]
+    fn health_costs_cover_demoted_states_only() {
+        let mut h = layer(4, FailSlowConfig::default());
+        h.belief[1].state = HealthState::Suspect;
+        h.belief[1].cost = HealthCost::from_ratio(2.0, 8, 4.0);
+        h.belief[2].state = HealthState::Quarantined;
+        h.belief[3].state = HealthState::Probation;
+        h.belief[3].cost = HealthCost::from_ratio(1.5, 8, 4.0);
+        let costs = h.health_costs();
+        assert_eq!(
+            costs,
+            vec![
+                (NodeId::new(1), HealthCost::from_ratio(2.0, 8, 4.0)),
+                (NodeId::new(3), HealthCost::from_ratio(1.5, 8, 4.0)),
+            ]
+        );
     }
 }

@@ -409,6 +409,109 @@ pub fn failslow_sweep(
     cells
 }
 
+/// One cell of the soft-vs-hard demotion sweep: one sick fraction, two
+/// Custody variants riding identical physical sickness schedules — soft
+/// demotion (suspect nodes cost more in the allocator's rational key)
+/// vs. hard demotion (the PR-5 binary exclusion). Detection is on in
+/// both; only what the allocator does with the belief differs.
+#[derive(Debug, Clone)]
+pub struct DemotionCell {
+    /// Fraction of nodes that develop a slowdown in this cell.
+    pub sick_fraction: f64,
+    /// Cost-based soft demotion.
+    pub soft: FailSlowVariant,
+    /// Binary hard demotion.
+    pub hard: FailSlowVariant,
+}
+
+impl DemotionCell {
+    /// Mean-JCT gain of soft over hard demotion, in percent; positive
+    /// means pricing sick capacity beats excluding it.
+    pub fn soft_gain_pct(&self) -> f64 {
+        let (s, h) = (self.soft.jct.mean(), self.hard.jct.mean());
+        if h == 0.0 {
+            0.0
+        } else {
+            (h - s) / h * 100.0
+        }
+    }
+
+    /// Mean-locality gain of soft over hard demotion, in points.
+    pub fn soft_locality_gain_points(&self) -> f64 {
+        (self.soft.locality.mean() - self.hard.locality.mean()) * 100.0
+    }
+}
+
+/// Gray failures tuned to the suspect band: slow enough for the
+/// detector to demote (peer ratios 2–4x vs the 1.4 suspect threshold)
+/// but with the quarantine threshold pushed out of reach, so a sick
+/// node stays *demoted-but-usable* for the whole run — the classic
+/// lingering gray failure that never looks dead enough to banish — and
+/// the sweep isolates what the allocator does with that belief. The
+/// severe profile's 20x factors plus its 2.4 quarantine ratio would
+/// rocket every sick node straight into quarantine, which soft and hard
+/// demotion treat identically. The three fault kinds get *different*
+/// factors: a heterogeneously sick cluster is exactly where a graded
+/// cost model can beat a binary verdict — a binary demoted set cannot
+/// prefer the mildly limping CPU over the badly limping disk.
+fn lingering_failslow(sick_fraction: f64) -> crate::config::FailSlowConfig {
+    let mut fs = severe_failslow(sick_fraction, true);
+    fs.disk_factor = 4.0;
+    fs.nic_factor = 3.0;
+    fs.cpu_factor = 2.0;
+    fs.quarantine_ratio = 8.0;
+    fs
+}
+
+/// The demotion sweep: saturated Custody batches with lingering
+/// suspect-band gray failures at increasing sick fractions, soft vs.
+/// hard demotion per cell. Saturation is the regime where the
+/// distinction matters — a busy batch cannot afford to starve 10–30% of
+/// its capacity, so pricing sick nodes into the cost model (graded
+/// filler order, health-weighted locality credit, healthiest-replica
+/// pick) should beat the binary exclusion. Cells run in parallel and
+/// are ordered by increasing sick fraction.
+pub fn demotion_sweep(
+    num_nodes: usize,
+    jobs_per_app: usize,
+    sick_fractions: &[f64],
+    seeds: &[u64],
+) -> Vec<DemotionCell> {
+    let grid: Vec<(f64, bool)> = sick_fractions
+        .iter()
+        .flat_map(|&f| [(f, true), (f, false)])
+        .collect();
+    let seeds = seeds.to_vec();
+    let variants = custody_simcore::par_map(&grid, move |&(fraction, soft)| {
+        let runs: Vec<RunMetrics> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut cfg = SimConfig::paper(
+                    WorkloadKind::WordCount,
+                    num_nodes,
+                    AllocatorKind::Custody,
+                    seed,
+                )
+                .with_failslow(lingering_failslow(fraction).with_soft_demotion(soft));
+                cfg.campaign = cfg.campaign.with_jobs_per_app(jobs_per_app);
+                Simulation::run(&cfg).cluster_metrics
+            })
+            .collect();
+        FailSlowVariant::accumulate(&runs)
+    });
+    let mut cells: Vec<DemotionCell> = sick_fractions
+        .iter()
+        .zip(variants.chunks_exact(2))
+        .map(|(&fraction, chunk)| DemotionCell {
+            sick_fraction: fraction,
+            soft: chunk[0].clone(),
+            hard: chunk[1].clone(),
+        })
+        .collect();
+    cells.sort_by(|a, b| a.sick_fraction.total_cmp(&b.sick_fraction));
+    cells
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +566,26 @@ mod tests {
         assert_eq!(sick.baseline_off.quarantines, 0);
         let (c, b) = sick.detection_jct_gain_pct();
         assert!(c.is_finite() && b.is_finite());
+    }
+
+    #[test]
+    fn demotion_sweep_runs_and_orders_cells() {
+        let cells = demotion_sweep(6, 2, &[0.3, 0.0], &[21, 22]);
+        assert_eq!(cells.len(), 2);
+        // Ordered healthy → sick (increasing fraction).
+        assert!(cells[0].sick_fraction < cells[1].sick_fraction);
+        // No sick nodes: soft and hard demotion see identical clusters
+        // and the detector never fires, so the gap is exactly zero.
+        assert_eq!(cells[0].soft.onsets, 0);
+        assert_eq!(cells[0].soft.jct.mean(), cells[0].hard.jct.mean());
+        assert!(cells[0].soft_gain_pct().abs() < 1e-9);
+        // Sick cell: slowdowns set in on both variants, comparisons stay
+        // finite.
+        let sick = &cells[1];
+        assert!(sick.soft.onsets > 0, "no slowdown drawn");
+        assert!(sick.hard.onsets > 0, "no slowdown drawn");
+        assert!(sick.soft_gain_pct().is_finite());
+        assert!(sick.soft_locality_gain_points().is_finite());
     }
 
     #[test]

@@ -223,6 +223,32 @@ fn failslow_identical_for_every_allocator() {
 }
 
 #[test]
+fn failslow_identical_across_health_cost_knobs() {
+    // Every health-cost configuration axis — soft vs. hard demotion, the
+    // bucket scale, and the peer-ratio cap — must leave the incremental
+    // engine invisible: the soft path feeds per-node cost vectors into
+    // the allocator each round, and a skipped round must never replay a
+    // stale cost table.
+    use custody_sim::FailSlowConfig;
+    let base = FailSlowConfig::default()
+        .with_sick_fraction(0.3)
+        .with_transient_fault_prob(0.05);
+    for (fs, label) in [
+        (base.with_soft_demotion(true), "soft demotion"),
+        (base.with_soft_demotion(false), "hard demotion"),
+        (base.with_cost_scale(2), "coarse cost scale"),
+        (base.with_cost_scale(32), "fine cost scale"),
+        (base.with_cost_cap_ratio(1.5), "tight cost cap"),
+        (base.with_cost_cap_ratio(16.0), "loose cost cap"),
+    ] {
+        run_pair(
+            SimConfig::small_demo(23).with_failslow(fs),
+            &format!("health-cost knob: {label}"),
+        );
+    }
+}
+
+#[test]
 fn chaos_plus_failslow_identical() {
     // Chaos and gray failures together churn the replica map, the
     // executor pool, and the per-round idle set harder than either alone:
