@@ -206,10 +206,10 @@ impl Clone for Box<dyn ExecutorAllocator> {
 /// Checks the allocator contract; panics with a diagnostic on violation.
 /// Used by the simulation driver in debug builds and by property tests.
 pub fn validate_assignments(view: &AllocationView, assignments: &[Assignment]) {
-    use std::collections::HashMap;
-    let idle: std::collections::HashSet<ExecutorId> = view.idle.iter().map(|e| e.id).collect();
-    let mut seen = std::collections::HashSet::new();
-    let mut per_app: HashMap<AppId, usize> = HashMap::new();
+    use std::collections::BTreeMap;
+    let idle: std::collections::BTreeSet<ExecutorId> = view.idle.iter().map(|e| e.id).collect();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut per_app: BTreeMap<AppId, usize> = BTreeMap::new();
     for a in assignments {
         assert!(idle.contains(&a.executor), "{} was not idle", a.executor);
         assert!(seen.insert(a.executor), "{} granted twice", a.executor);

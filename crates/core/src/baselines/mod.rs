@@ -18,7 +18,7 @@
 //! subset of executors throughout its lifetime" without special-casing the
 //! simulation driver.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use custody_cluster::ExecutorId;
 use custody_simcore::SimRng;
@@ -62,12 +62,12 @@ impl Budget {
 /// within one executor while each application's set spreads over as many
 /// distinct nodes as possible, which is what Spark standalone's
 /// `spreadOut` achieves by registering applications one at a time.
-fn spread_partition(view: &AllocationView) -> HashMap<ExecutorId, AppId> {
+fn spread_partition(view: &AllocationView) -> BTreeMap<ExecutorId, AppId> {
     let num_apps = view.apps.len().max(1);
-    let mut owner = HashMap::with_capacity(view.all_executors.len());
+    let mut owner = BTreeMap::new();
     // Group executors by node, preserving order.
     let mut by_node: Vec<Vec<ExecutorId>> = Vec::new();
-    let mut node_index: HashMap<custody_dfs::NodeId, usize> = HashMap::new();
+    let mut node_index: BTreeMap<custody_dfs::NodeId, usize> = BTreeMap::new();
     for e in &view.all_executors {
         let idx = *node_index.entry(e.node).or_insert_with(|| {
             by_node.push(Vec::new());
@@ -83,7 +83,7 @@ fn spread_partition(view: &AllocationView) -> HashMap<ExecutorId, AppId> {
             if let Some(&exec) = node.get(layer) {
                 let app = (0..num_apps)
                     .min_by_key(|&a| (total[a], on_node[n][a], a))
-                    .expect("at least one app");
+                    .expect("at least one app"); // lint: allow(panic) — min over 0..num_apps, clamped to at least one app
                 total[app] += 1;
                 on_node[n][app] += 1;
                 owner.insert(exec, AppId::new(app));
@@ -94,7 +94,7 @@ fn spread_partition(view: &AllocationView) -> HashMap<ExecutorId, AppId> {
 }
 
 /// Uniform-random static partition for [`StaticRandomAllocator`].
-fn random_partition(view: &AllocationView, rng: &mut SimRng) -> HashMap<ExecutorId, AppId> {
+fn random_partition(view: &AllocationView, rng: &mut SimRng) -> BTreeMap<ExecutorId, AppId> {
     let num_apps = view.apps.len().max(1);
     let mut ids: Vec<ExecutorId> = view.all_executors.iter().map(|e| e.id).collect();
     rng.shuffle(&mut ids);
@@ -110,7 +110,7 @@ fn random_partition(view: &AllocationView, rng: &mut SimRng) -> HashMap<Executor
 /// — it parks on its whole partition whether or not it has runnable work.
 fn allocate_by_ownership(
     view: &AllocationView,
-    owner: &HashMap<ExecutorId, AppId>,
+    owner: &BTreeMap<ExecutorId, AppId>,
 ) -> Vec<Assignment> {
     let mut headroom: Vec<usize> = view
         .apps
@@ -138,7 +138,7 @@ fn allocate_by_ownership(
 /// partition.
 #[derive(Debug, Default, Clone)]
 pub struct StaticSpreadAllocator {
-    owner: Option<HashMap<ExecutorId, AppId>>,
+    owner: Option<BTreeMap<ExecutorId, AppId>>,
 }
 
 impl StaticSpreadAllocator {
@@ -166,7 +166,7 @@ impl ExecutorAllocator for StaticSpreadAllocator {
 /// Spark standalone without spreading: static uniform-random partition.
 #[derive(Debug, Default, Clone)]
 pub struct StaticRandomAllocator {
-    owner: Option<HashMap<ExecutorId, AppId>>,
+    owner: Option<BTreeMap<ExecutorId, AppId>>,
 }
 
 impl StaticRandomAllocator {

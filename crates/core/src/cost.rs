@@ -18,6 +18,25 @@
 //! ratio→bucket conversion itself uses one deterministic rounding of
 //! IEEE doubles, after which ordering is pure integer arithmetic.
 
+/// Compares `a_num/a_den` against `b_num/b_den` exactly: `u128`
+/// cross-multiplication, no division, no floats. Denominators must be
+/// positive. This is the one comparison primitive every decision path
+/// (locality keys, theory feasibility) funnels through.
+pub fn cmp_ratio(a_num: u64, a_den: u64, b_num: u64, b_den: u64) -> core::cmp::Ordering {
+    assert!(
+        a_den > 0 && b_den > 0,
+        "ratio denominators must be positive"
+    );
+    let lhs = u128::from(a_num) * u128::from(b_den);
+    let rhs = u128::from(b_num) * u128::from(a_den);
+    lhs.cmp(&rhs)
+}
+
+/// Exact `a_num/a_den >= b_num/b_den` (see [`cmp_ratio`]).
+pub fn ratio_ge(a_num: u64, a_den: u64, b_num: u64, b_den: u64) -> bool {
+    cmp_ratio(a_num, a_den, b_num, b_den).is_ge()
+}
+
 /// The bucketed health cost of one node: a local-placement credit weight
 /// out of a scale.
 ///

@@ -42,9 +42,7 @@ impl Fraction {
 
     fn cmp_exact(&self, other: &Fraction) -> Ordering {
         // a/b vs c/d  ⇔  a·d vs c·b (denominators are positive).
-        let lhs = u128::from(self.num) * u128::from(other.den);
-        let rhs = u128::from(other.num) * u128::from(self.den);
-        lhs.cmp(&rhs)
+        crate::cost::cmp_ratio(self.num, self.den, other.num, other.den)
     }
 }
 

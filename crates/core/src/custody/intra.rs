@@ -70,7 +70,7 @@ fn priority_allocate_in_order(round: &mut Round, i: usize, order: &[usize]) -> u
             };
             let executor = round
                 .take_executor_on(node)
-                .expect("picked node has an idle executor");
+                .expect("picked node has an idle executor"); // lint: allow(panic) — the node index only lists nodes with an idle executor
             let (job_id, task_index) = round.satisfy_task(i, j, t, node);
             round.record_grant(i, executor, Some((job_id, task_index)));
             granted += 1;
@@ -107,7 +107,7 @@ fn fair_allocate(round: &mut Round, i: usize) -> usize {
             let Some((t, node)) = chosen else { continue };
             let executor = round
                 .take_executor_on(node)
-                .expect("picked node has an idle executor");
+                .expect("picked node has an idle executor"); // lint: allow(panic) — the node index only lists nodes with an idle executor
             let (job_id, task_index) = round.satisfy_task(i, j, t, node);
             round.record_grant(i, executor, Some((job_id, task_index)));
             granted += 1;

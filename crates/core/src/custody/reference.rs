@@ -297,6 +297,7 @@ impl RefRound {
                 };
                 let executor = self
                     .take_executor_on(node)
+                    // lint: allow(panic) — the node index only lists nodes with an idle executor
                     .expect("picked node has an idle executor");
                 // Satisfy the task and refresh the projected locality.
                 let scale = self.scale;
@@ -362,7 +363,7 @@ pub fn reference_allocate_with_costs(
     while !round.idle.is_empty() {
         let candidate = round.min_locality(|i| round.apps[i].wants());
         let Some(i) = candidate else { break };
-        let executor = round.take_any_executor().expect("idle executor exists");
+        let executor = round.take_any_executor().expect("idle executor exists"); // lint: allow(panic) — caller loops while idle executors remain
         round.record_grant(i, executor, None);
     }
 

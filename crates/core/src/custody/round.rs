@@ -606,7 +606,7 @@ impl Round {
                 continue;
             }
             if !self.has_local_opportunity(&self.apps[i]) {
-                let entry = self.heap.pop().expect("peeked entry exists");
+                let entry = self.heap.pop().expect("peeked entry exists"); // lint: allow(panic) — pop follows the successful peek just above
                 self.stash.push(entry);
                 continue;
             }
@@ -799,7 +799,7 @@ impl Round {
             let slot = self
                 .nodes
                 .get(n.index())
-                .expect("demanded node was interned at round build");
+                .expect("demanded node was interned at round build"); // lint: allow(panic) — demand nodes are interned when the round is built
             self.apps[i].sub_node_demand_at(slot);
             if let Some(c) = self.total_node_demand.get_mut(slot) {
                 *c -= 1;
@@ -892,7 +892,7 @@ impl Round {
             let Some(i) = candidate else {
                 break;
             };
-            let executor = self.take_any_executor().expect("idle executor exists");
+            let executor = self.take_any_executor().expect("idle executor exists"); // lint: allow(panic) — caller loops while idle executors remain
             self.record_grant(i, executor, None);
         }
     }

@@ -33,8 +33,8 @@ pub fn maxmin_dominates(a: &[f64], b: &[f64]) -> bool {
     assert_eq!(a.len(), b.len(), "share vectors must align");
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
-    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite shares"));
-    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite shares"));
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite shares")); // lint: allow(panic) — shares are finite ratios of counts; NaN means corrupted input
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite shares")); // lint: allow(panic) — shares are finite ratios of counts; NaN means corrupted input
     for (x, y) in sa.iter().zip(&sb) {
         if x > y {
             return true;

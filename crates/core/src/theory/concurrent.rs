@@ -13,30 +13,48 @@
 use crate::allocator::AllocationView;
 use crate::theory::flow::FlowNetwork;
 
-/// Binary-search precision on λ.
-const TOLERANCE: f64 = 1e-6;
+/// Dyadic search resolution: λ* is resolved to a multiple of
+/// `2^-RATE_DENOM_BITS` (≈ 1e-6, matching the historical float-search
+/// tolerance) — but every feasibility probe along the way is **exact**.
+const RATE_DENOM_BITS: u32 = 20;
 
-/// Computes the fractional maximum concurrent-flow rate λ* ∈ [0, 1] for
-/// the allocatable instance in `view`. Returns `1.0` when there is no
+/// Computes λ* as an exact dyadic rational `(num, den)` with
+/// `den = 2^20`: the largest `num/den` at which every application can
+/// simultaneously route `num/den · τ_i` units. Each probe scales the
+/// network integrally ([`FlowNetwork::feasible_at_rational_rate`]), so
+/// the search involves no float comparison anywhere and is bit-stable
+/// across platforms. Returns `(den, den)` (rate 1) when there is no
 /// demand.
-pub fn max_concurrent_rate(view: &AllocationView) -> f64 {
+pub fn max_concurrent_rate_exact(view: &AllocationView) -> (u64, u64) {
+    let den = 1u64 << RATE_DENOM_BITS;
     let mut net = FlowNetwork::from_view(view);
-    if net.total_demand() == 0 {
-        return 1.0;
+    if net.total_demand() == 0 || net.feasible_at_rational_rate(den, den) {
+        return (den, den);
     }
-    if net.feasible_at_rate(1.0) {
-        return 1.0;
-    }
-    let (mut lo, mut hi) = (0.0_f64, 1.0_f64); // lo feasible, hi infeasible
-    while hi - lo > TOLERANCE {
-        let mid = (lo + hi) / 2.0;
-        if net.feasible_at_rate(mid) {
+    // Invariant: feasible at lo/den, infeasible at hi/den.
+    let (mut lo, mut hi) = (0u64, den);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if net.feasible_at_rational_rate(mid, den) {
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    lo
+    (lo, den)
+}
+
+/// Computes the fractional maximum concurrent-flow rate λ* ∈ [0, 1] for
+/// the allocatable instance in `view`. Returns `1.0` when there is no
+/// demand.
+///
+/// A float *view* of [`max_concurrent_rate_exact`]: the decision work is
+/// exact; only this reported value is a double (dyadic rationals at
+/// `2^-20` granularity convert exactly, so no rounding occurs here
+/// either).
+pub fn max_concurrent_rate(view: &AllocationView) -> f64 {
+    let (num, den) = max_concurrent_rate_exact(view);
+    num as f64 / den as f64
 }
 
 #[cfg(test)]
@@ -137,6 +155,86 @@ mod tests {
             apps: vec![a],
         };
         assert_eq!(max_concurrent_rate(&view), 1.0);
+    }
+
+    /// The historical float binary search (epsilon-guarded
+    /// `feasible_at_rate`, tolerance 1e-6), kept verbatim as the
+    /// regression reference for the exact dyadic search that replaced it.
+    fn float_search_reference(view: &AllocationView) -> f64 {
+        let mut net = FlowNetwork::from_view(view);
+        if net.total_demand() == 0 {
+            return 1.0;
+        }
+        if net.feasible_at_rate(1.0) {
+            return 1.0;
+        }
+        let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+        while hi - lo > 1e-6 {
+            let mid = (lo + hi) / 2.0;
+            if net.feasible_at_rate(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    #[test]
+    fn exact_search_matches_float_reference() {
+        // Instances spanning: no demand handled above, full feasibility,
+        // 2-way and 3-way contention, partial routability.
+        let contended = |napps: usize| {
+            let execs = vec![exec(0, 0)];
+            AllocationView {
+                idle: execs.clone(),
+                all_executors: execs,
+                apps: (0..napps).map(|i| one_task_app(i, &[0])).collect(),
+            }
+        };
+        let mixed = {
+            let execs = vec![exec(0, 0), exec(1, 1)];
+            AllocationView {
+                idle: execs.clone(),
+                all_executors: execs,
+                apps: vec![
+                    one_task_app(0, &[0]),
+                    one_task_app(1, &[0, 1]),
+                    one_task_app(2, &[9]),
+                ],
+            }
+        };
+        for view in [
+            contended(1),
+            contended(2),
+            contended(3),
+            contended(5),
+            mixed,
+        ] {
+            let float = float_search_reference(&view);
+            let (num, den) = max_concurrent_rate_exact(&view);
+            let exact = num as f64 / den as f64;
+            // The float path's epsilon slack admits rates up to 1e-6
+            // beyond the true λ*; the dyadic grid adds 2^-20 ≈ 9.5e-7.
+            assert!(
+                (float - exact).abs() <= 2e-6,
+                "float {float} vs exact {num}/{den} = {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_rate_is_a_clean_dyadic_for_simple_contention() {
+        // Two apps on one executor: λ* = 1/2 exactly, and 1/2 is on the
+        // 2^-20 grid, so the exact search must land on it precisely.
+        let execs = vec![exec(0, 0)];
+        let view = AllocationView {
+            idle: execs.clone(),
+            all_executors: execs,
+            apps: vec![one_task_app(0, &[0]), one_task_app(1, &[0])],
+        };
+        let (num, den) = max_concurrent_rate_exact(&view);
+        assert_eq!((num * 2, den), (den, 1 << 20), "λ* must be exactly 1/2");
     }
 
     #[test]

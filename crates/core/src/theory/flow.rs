@@ -12,7 +12,7 @@
 //! turns concurrent-flow feasibility at rate λ into a single max-flow
 //! query (all commodities share the one sink, so they are interchangeable).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use custody_cluster::ExecutorId;
 
@@ -28,6 +28,9 @@ pub struct FlowNetwork {
     sink: usize,
     /// Edge ids of super-source → app-source edges, per app.
     app_edges: Vec<usize>,
+    /// Edge ids of every unit-capacity edge (task and executor edges),
+    /// so the exact rational path can scale the whole network integrally.
+    unit_edges: Vec<usize>,
     /// τ_i: each app's demand (its number of pending input tasks).
     demands: Vec<usize>,
     /// task-node count (diagnostics).
@@ -45,14 +48,15 @@ impl FlowNetwork {
         let sink = net.add_node();
 
         // Executor nodes + executor→sink edges.
-        let mut exec_node: HashMap<ExecutorId, usize> = HashMap::new();
+        let mut unit_edges = Vec::new();
+        let mut exec_node: BTreeMap<ExecutorId, usize> = BTreeMap::new();
         for e in &view.idle {
             let n = net.add_node();
             exec_node.insert(e.id, n);
-            net.add_edge(n, sink, 1.0);
+            unit_edges.push(net.add_edge(n, sink, 1.0));
         }
         // Executors grouped by host node for task-edge construction.
-        let mut execs_on_node: HashMap<custody_dfs::NodeId, Vec<ExecutorId>> = HashMap::new();
+        let mut execs_on_node: BTreeMap<custody_dfs::NodeId, Vec<ExecutorId>> = BTreeMap::new();
         for e in &view.idle {
             execs_on_node.entry(e.node).or_default().push(e.id);
         }
@@ -75,10 +79,10 @@ impl FlowNetwork {
                 for task in &job.unsatisfied_inputs {
                     let t_node = net.add_node();
                     num_task_nodes += 1;
-                    net.add_edge(app_source, t_node, 1.0);
+                    unit_edges.push(net.add_edge(app_source, t_node, 1.0));
                     for node in task.preferred_nodes.iter() {
                         for exec in execs_on_node.get(node).into_iter().flatten() {
-                            net.add_edge(t_node, exec_node[exec], 1.0);
+                            unit_edges.push(net.add_edge(t_node, exec_node[exec], 1.0));
                         }
                     }
                 }
@@ -90,6 +94,7 @@ impl FlowNetwork {
             source,
             sink,
             app_edges,
+            unit_edges,
             demands,
             num_task_nodes,
             num_executor_nodes: exec_node.len(),
@@ -128,10 +133,47 @@ impl FlowNetwork {
     }
 
     /// Whether every application can route `λ·τ_i` flow simultaneously.
+    /// Float path with an epsilon guard; the exact path is
+    /// [`feasible_at_rational_rate`](Self::feasible_at_rational_rate).
     pub fn feasible_at_rate(&mut self, lambda: f64) -> bool {
         let want: f64 = lambda * self.total_demand() as f64;
         let got = self.solve_at_rate(lambda);
         got >= want - 1e-6
+    }
+
+    /// Exact feasibility at the rational rate `num/den ≤ 1`: every
+    /// capacity is scaled by `den`, making the network integral — the
+    /// app edge carries `num·τ_i`, every unit edge carries `den` — so
+    /// Dinic's augmenting paths only ever move integer amounts and the
+    /// resulting flow value is an integer represented exactly in `f64`
+    /// (all quantities stay far below `2^53`). Feasibility is then the
+    /// exact rational comparison `got/den ≥ (num·Στ_i)/den` with **no
+    /// epsilon**, via [`cost::ratio_ge`](crate::cost::ratio_ge).
+    pub fn feasible_at_rational_rate(&mut self, num: u64, den: u64) -> bool {
+        assert!(den > 0 && num <= den, "rate out of range");
+        let total = self.total_demand() as u64;
+        assert!(
+            u128::from(num) * u128::from(total) < (1u128 << 53)
+                && u128::from(den) * u128::from(self.unit_edges.len().max(1) as u64)
+                    < (1u128 << 53),
+            "scaled network too large for exact f64 integers"
+        );
+        for &e in &self.unit_edges {
+            self.net.set_capacity(e, den as f64);
+        }
+        for (i, &edge) in self.app_edges.iter().enumerate() {
+            self.net
+                .set_capacity(edge, (num * self.demands[i] as u64) as f64);
+        }
+        self.net.reset_flows();
+        let got = self.net.max_flow(self.source, self.sink);
+        // Restore unit capacities so the float-path solvers see the
+        // unscaled network afterwards.
+        for &e in &self.unit_edges {
+            self.net.set_capacity(e, 1.0);
+        }
+        let got = got as u64; // exactly integral by construction
+        crate::cost::ratio_ge(got, den, num * total, den)
     }
 
     /// Re-caps app `i`'s source edge at `rates[i]·τ_i` and solves.

@@ -112,7 +112,7 @@ pub fn max_min_locality_vector(view: &AllocationView) -> Vec<f64> {
     filler
         .frozen
         .into_iter()
-        .map(|f| f.expect("all frozen"))
+        .map(|f| f.expect("all frozen")) // lint: allow(panic) — the filling loop ends only once every rate is frozen
         .collect()
 }
 

@@ -189,7 +189,7 @@ impl NameNode {
         }
         let locs = &mut self.replicas[block.index()];
         match locs.binary_search(&node) {
-            Ok(_) => unreachable!("datanode accepted a duplicate replica"),
+            Ok(_) => unreachable!("datanode accepted a duplicate replica"), // lint: allow(panic) — replica-set membership was checked just above
             Err(pos) => locs.insert(pos, node),
         }
         self.changed.push(block);

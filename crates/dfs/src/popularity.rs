@@ -7,14 +7,14 @@
 //! NameNode can re-replicate the hottest blocks (see
 //! [`NameNode::replicate_hot_blocks`](crate::NameNode::replicate_hot_blocks)).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::block::BlockId;
 
 /// Records how often each block has been read.
 #[derive(Debug, Clone, Default)]
 pub struct AccessTracker {
-    counts: HashMap<BlockId, u64>,
+    counts: BTreeMap<BlockId, u64>,
     total: u64,
 }
 

@@ -1,0 +1,128 @@
+//! `custody-lint` CLI.
+//!
+//! ```text
+//! custody-lint --check [--root PATH]   # CI mode: JSON diagnostics on
+//!                                      # stdout, exit 1 on violations
+//! custody-lint --list  [--root PATH]   # dump effective allowlists
+//! custody-lint         [--root PATH]   # human-readable diagnostics
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut list = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--list" => list = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "custody-lint: workspace invariant linter\n\
+                     \n\
+                     USAGE: custody-lint [--check | --list] [--root PATH]\n\
+                     \n\
+                     --check   CI mode: machine-readable JSON diagnostics on stdout,\n\
+                     \u{20}         exit 1 when any violation is found\n\
+                     --list    dump the effective per-lint scopes and allowlists\n\
+                     --root    workspace root (default: walk up from the current dir)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot determine current dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match root.or_else(|| custody_lint::find_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!("no workspace root found (no lint.toml or workspace Cargo.toml upward)");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match custody_lint::load_config(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if list {
+        print_allowlists(&cfg);
+        return ExitCode::SUCCESS;
+    }
+
+    let diags = match custody_lint::check_workspace(&root, &cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("workspace walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if check {
+        println!("{}", custody_lint::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{}:{}: [{}] {}", d.file, d.line, d.lint, d.message);
+        }
+        if diags.is_empty() {
+            println!("custody-lint: workspace clean");
+        } else {
+            println!("custody-lint: {} violation(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `--list`: the effective configuration, one lint per section.
+fn print_allowlists(cfg: &custody_lint::Config) {
+    println!("workspace skip prefixes: {:?}", cfg.skip);
+    for name in custody_lint::config::LINT_NAMES {
+        let scope = cfg.scope(name);
+        println!("\n[{name}]");
+        if !scope.crates.is_empty() {
+            println!("  crates: {:?}", scope.crates);
+        }
+        if !scope.files.is_empty() {
+            println!("  files:  {:?}", scope.files);
+        }
+        for (key, values) in &scope.extra {
+            println!("  {key}: {values:?}");
+        }
+        if scope.allows.is_empty() {
+            println!("  (no allowlist entries)");
+        }
+        for a in &scope.allows {
+            match &a.item {
+                Some(item) => println!("  allow {} :: {item}\n        — {}", a.path, a.reason),
+                None => println!("  allow {}\n        — {}", a.path, a.reason),
+            }
+        }
+    }
+}

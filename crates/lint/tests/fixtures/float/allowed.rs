@@ -1,0 +1,16 @@
+//! Fixture: a float is fine inside an allowlisted reporting function.
+pub struct Share {
+    num: u64,
+    den: u64,
+}
+
+impl Share {
+    pub fn report_only(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    pub fn decide(&self, other: &Share) -> bool {
+        u128::from(self.num) * u128::from(other.den)
+            >= u128::from(other.num) * u128::from(self.den)
+    }
+}

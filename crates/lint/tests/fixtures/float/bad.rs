@@ -1,0 +1,6 @@
+//! Fixture: float comparison inside a decision module.
+pub fn prefer_first(a: (u64, u64), b: (u64, u64)) -> bool {
+    let x = a.0 as f64 / a.1 as f64;
+    let y = b.0 as f64 / b.1 as f64;
+    x >= y - 1e-6
+}

@@ -1,0 +1,8 @@
+//! Fixture: exact rational comparison via u128 cross-multiplication.
+use core::cmp::Ordering;
+
+pub fn prefer_first(a: (u64, u64), b: (u64, u64)) -> bool {
+    let lhs = u128::from(a.0) * u128::from(b.1);
+    let rhs = u128::from(b.0) * u128::from(a.1);
+    lhs.cmp(&rhs) != Ordering::Less
+}

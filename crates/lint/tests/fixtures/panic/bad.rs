@@ -1,0 +1,12 @@
+//! Fixture: unjustified panics in library code.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn pick(flag: bool) -> u32 {
+    if flag {
+        1
+    } else {
+        unreachable!("caller promised flag")
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: justified panics carry an inline annotation; asserts are
+//! exempt; tests may panic freely.
+pub fn head(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty(), "caller must pass a non-empty slice");
+    // lint: allow(panic) — emptiness asserted on the line above
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = [1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: ambient entropy and a raw-seeded RNG in library code.
+pub fn ambient() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn raw(seed: u64) -> SimRng {
+    SimRng::seed_from_u64(seed)
+}

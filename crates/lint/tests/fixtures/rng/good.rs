@@ -1,0 +1,14 @@
+//! Fixture: named seeded streams are the sanctioned constructors.
+pub fn streams(master_seed: u64) -> (SimRng, SimRng) {
+    let mut placement = SimRng::for_stream(master_seed, "placement");
+    let chaos = placement.split("chaos");
+    (placement, chaos)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_seed_is_fine_in_tests() {
+        let _rng = SimRng::seed_from_u64(0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: ordered containers keep iteration deterministic.
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u64]) -> BTreeMap<u64, u64> {
+    let mut counts = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    // Hashed containers are fine in test code.
+    use std::collections::HashSet;
+
+    #[test]
+    fn dedup() {
+        let s: HashSet<u32> = [1, 1, 2].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

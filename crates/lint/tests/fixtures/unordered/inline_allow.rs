@@ -1,0 +1,8 @@
+//! Fixture: an inline annotation with a written reason suppresses the lint.
+// lint: allow(unordered-iteration) — lookup-only cache, iteration is never observed
+use std::collections::HashMap;
+
+pub struct Cache {
+    // lint: allow(unordered-iteration) — lookup-only cache, iteration is never observed
+    map: HashMap<u64, u64>,
+}

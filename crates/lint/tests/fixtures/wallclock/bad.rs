@@ -1,0 +1,8 @@
+//! Fixture: a stray host wall-clock reading outside the allowlisted sites.
+use std::time::Instant;
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}

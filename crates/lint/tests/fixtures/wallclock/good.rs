@@ -1,0 +1,4 @@
+//! Fixture: simulated time is the only clock library code may read.
+pub fn deadline(now: SimTime, timeout: SimDuration) -> SimTime {
+    now + timeout
+}

@@ -1,0 +1,38 @@
+//! The workspace must be lint-clean: `cargo test -p custody-lint` fails
+//! the moment someone introduces a violation without a written
+//! justification, even before CI runs the `--check` binary.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has two ancestors")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let cfg = custody_lint::load_config(root).expect("lint.toml parses");
+    let diags = custody_lint::check_workspace(root, &cfg).expect("workspace walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "the workspace must pass custody-lint; violations:\n{}",
+        custody_lint::to_json(&diags)
+    );
+}
+
+#[test]
+fn checked_in_config_defines_every_lint() {
+    let root = workspace_root();
+    let cfg = custody_lint::load_config(root).expect("lint.toml parses");
+    for name in custody_lint::config::LINT_NAMES {
+        let scope = cfg.scope(name);
+        assert!(
+            !scope.crates.is_empty() || !scope.files.is_empty(),
+            "lint `{name}` has an empty scope in lint.toml"
+        );
+    }
+}

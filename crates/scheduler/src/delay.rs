@@ -21,7 +21,7 @@
 //!    still within its wait, the offer is declined with the time until the
 //!    earliest expiry.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use custody_dfs::NodeId;
 use custody_simcore::{SimDuration, SimTime};
@@ -62,7 +62,7 @@ struct SetState {
 #[derive(Debug, Clone)]
 pub struct DelayScheduler {
     wait_threshold: SimDuration,
-    sets: HashMap<(JobId, usize), SetState>,
+    sets: BTreeMap<(JobId, usize), SetState>,
 }
 
 impl DelayScheduler {
@@ -71,7 +71,7 @@ impl DelayScheduler {
     pub fn new(wait_threshold: SimDuration) -> Self {
         DelayScheduler {
             wait_threshold,
-            sets: HashMap::new(),
+            sets: BTreeMap::new(),
         }
     }
 
@@ -100,7 +100,7 @@ fn launch(task: &RunnableTask, local: bool) -> Placement {
 /// Task sets in FIFO order: keyed by the earliest `runnable_since` in the
 /// set, then job id, then stage.
 fn sets_in_order(runnable: &[RunnableTask]) -> Vec<((JobId, usize), SimTime)> {
-    let mut earliest: HashMap<(JobId, usize), SimTime> = HashMap::new();
+    let mut earliest: BTreeMap<(JobId, usize), SimTime> = BTreeMap::new();
     for t in runnable {
         let e = earliest.entry((t.job, t.stage)).or_insert(t.runnable_since);
         *e = (*e).min(t.runnable_since);
@@ -167,11 +167,11 @@ impl TaskScheduler for DelayScheduler {
                 .iter()
                 .filter(|t| (t.job, t.stage) == key)
                 .min_by_key(|t| (t.runnable_since, t.task_index))
-                .expect("set has at least one task");
+                .expect("set has at least one task"); // lint: allow(panic) — set keys are derived from runnable, so each has a task
             return launch(task, false);
         }
         Placement::Decline {
-            retry_after: earliest_expiry.expect("some set must be waiting"),
+            retry_after: earliest_expiry.expect("some set must be waiting"), // lint: allow(panic) — reached only after a waiting set recorded its expiry
         }
     }
 

@@ -208,7 +208,7 @@ impl DemandCache {
             .map(|&j| {
                 self.demand[j]
                     .clone()
-                    .expect("active job has cached demand")
+                    .expect("active job has cached demand") // lint: allow(panic) — the cache entry is created when the job activates
             })
             .collect()
     }

@@ -203,8 +203,8 @@ struct RunningTask {
 #[derive(Debug, Clone, Default, PartialEq)]
 struct SpecState {
     config: SpeculationConfig,
-    policies: std::collections::HashMap<(usize, usize), SpeculationPolicy>,
-    cloned: std::collections::HashSet<(usize, usize, usize)>,
+    policies: std::collections::BTreeMap<(usize, usize), SpeculationPolicy>,
+    cloned: std::collections::BTreeSet<(usize, usize, usize)>,
     launches: usize,
 }
 
@@ -568,8 +568,8 @@ impl Driver {
             pending_wakes: 0,
             speculation: config.speculation.map(|sc| SpecState {
                 config: sc,
-                policies: std::collections::HashMap::new(),
-                cloned: std::collections::HashSet::new(),
+                policies: std::collections::BTreeMap::new(),
+                cloned: std::collections::BTreeSet::new(),
                 launches: 0,
             }),
             chaos: config.chaos,
@@ -718,7 +718,7 @@ impl Driver {
     fn on_checkpoint_tick(&mut self, now: SimTime) {
         let cp = self
             .control_plane
-            .expect("checkpoint event without a control plane");
+            .expect("checkpoint event without a control plane"); // lint: allow(panic) — checkpoint events are only scheduled with a control plane configured
         if !self.queue.is_empty() {
             self.queue.schedule(
                 now + SimDuration::from_secs_f64(cp.checkpoint_interval_secs),
@@ -740,12 +740,12 @@ impl Driver {
             stage: running.stage,
             task: running.task,
             node: self.cluster.node_of(executor).index(),
-            runnable_at: t.runnable_since.expect("was runnable"),
-            launched_at: t.launched_at.expect("was launched"),
+            runnable_at: t.runnable_since.expect("was runnable"), // lint: allow(panic) — runnable_since is stamped when the task becomes runnable
+            launched_at: t.launched_at.expect("was launched"), // lint: allow(panic) — launched_at is stamped at launch
             finished_at: now,
             local: t.local == Some(true),
         };
-        self.trace.as_mut().expect("checked").push(record);
+        self.trace.as_mut().expect("checked").push(record); // lint: allow(panic) — trace presence was checked at the top of the function
     }
 
     fn on_submit(&mut self, app: AppId, seq: usize, now: SimTime) {
@@ -766,7 +766,7 @@ impl Driver {
         a.jobs.push(self.jobs.len());
         self.jobs.push(job);
         self.cache
-            .note_job_added(self.jobs.last().expect("just pushed"));
+            .note_job_added(self.jobs.last().expect("just pushed")); // lint: allow(panic) — a job was pushed on the line above
     }
 
     fn on_finish(&mut self, executor: ExecutorId, epoch: u64, now: SimTime) {
@@ -784,14 +784,14 @@ impl Driver {
                 self.unfenced_stale_finishes += 1;
                 return;
             }
-            panic!("finish on idle executor");
+            panic!("finish on idle executor"); // lint: allow(panic) — driver invariant: Finish events target executors with a running task
         };
         state.idle_since = now;
         if running.remote_input {
             self.remote_reads_in_flight = self
                 .remote_reads_in_flight
                 .checked_sub(1)
-                .expect("remote-read counter underflow");
+                .expect("remote-read counter underflow"); // lint: allow(panic) — the counter was incremented when the remote read started
         }
         if self.health.is_some() {
             let node = self.cluster.node_of(executor);
@@ -801,7 +801,7 @@ impl Driver {
             let p = self
                 .health
                 .as_ref()
-                .expect("checked above")
+                .expect("checked above") // lint: allow(panic) — guarded by the enclosing branch
                 .fault_probability(node);
             if self.taskfault_rng.chance(p) {
                 self.on_task_fault(running, now);
@@ -848,7 +848,7 @@ impl Driver {
             let app = &mut self.apps[job.app.index()];
             let locality = job
                 .input_locality()
-                .expect("finished job has launched all inputs");
+                .expect("finished job has launched all inputs"); // lint: allow(panic) — a job only finishes after launching all of its inputs
             app.metrics.jobs_completed += 1;
             if locality == 1.0 {
                 app.metrics.local_jobs += 1;
@@ -856,11 +856,11 @@ impl Driver {
             app.metrics.input_locality.push(locality);
             app.metrics
                 .job_completion_secs
-                .push(job.completion_time().expect("finished").as_secs_f64());
+                .push(job.completion_time().expect("finished").as_secs_f64()); // lint: allow(panic) — completion time is set when the job finishes
             app.metrics.input_stage_secs.push(
                 job.input_stage()
                     .duration()
-                    .expect("input stage complete")
+                    .expect("input stage complete") // lint: allow(panic) — stage completeness was checked above
                     .as_secs_f64(),
             );
         }
@@ -962,7 +962,7 @@ impl Driver {
             let t = &mut self.jobs[key.0].stages[0].tasks[key.2];
             let fresh = self
                 .namenode
-                .locations(t.block.expect("input task has a block"));
+                .locations(t.block.expect("input task has a block")); // lint: allow(panic) — input tasks always carry a block id
             if t.preferred[..] != fresh[..] {
                 t.preferred = fresh.into();
             }
@@ -1000,7 +1000,7 @@ impl Driver {
             return; // a twin survives (or the race was already lost)
         }
         let j = running.job_idx;
-        let policy = self.health.as_ref().expect("fault without layer").retry;
+        let policy = self.health.as_ref().expect("fault without layer").retry; // lint: allow(panic) — fault events are only scheduled when the health layer is configured
         if policy.exhausted(self.jobs[j].retries) {
             self.fail_job(j, now);
             return;
@@ -1034,7 +1034,7 @@ impl Driver {
                 self.remote_reads_in_flight = self
                     .remote_reads_in_flight
                     .checked_sub(1)
-                    .expect("remote-read counter underflow");
+                    .expect("remote-read counter underflow"); // lint: allow(panic) — the counter was incremented when the remote read started
             }
             // Roll the attempt back exactly; a failed job's task records
             // must hold no launch credit (the auditor re-derives them).
@@ -1063,7 +1063,7 @@ impl Driver {
                 self.remote_reads_in_flight = self
                     .remote_reads_in_flight
                     .checked_sub(1)
-                    .expect("remote-read counter underflow");
+                    .expect("remote-read counter underflow"); // lint: allow(panic) — the counter was incremented when the remote read started
             }
             if self.on_attempt_killed(&running, now) {
                 displaced.insert((running.job_idx, running.stage, running.task));
@@ -1193,7 +1193,7 @@ impl Driver {
         }
         let kind = self.node_down[node.index()]
             .take()
-            .expect("recovering a node that is up");
+            .expect("recovering a node that is up"); // lint: allow(panic) — recover events are only scheduled for down nodes
         if self.detector.is_some() {
             self.phys_recover(node, kind, now);
             self.nodes_recovered += 1;
@@ -1219,7 +1219,7 @@ impl Driver {
     /// exceed the concurrent-down cap (or leave fewer than two machines
     /// up) fizzle, keeping the simulation live.
     fn on_chaos_fault(&mut self, now: SimTime) {
-        let chaos = self.chaos.expect("chaos event without chaos config");
+        let chaos = self.chaos.expect("chaos event without chaos config"); // lint: allow(panic) — chaos events are only scheduled when chaos is configured
         let gap =
             Exponential::with_mean(chaos.mean_time_between_faults_secs).sample(&mut self.chaos_rng);
         let next = now + SimDuration::from_secs_f64(gap);
@@ -1586,7 +1586,7 @@ impl Driver {
                             } else {
                                 [].into()
                             },
-                            runnable_since: task.runnable_since.expect("runnable task"),
+                            runnable_since: task.runnable_since.expect("runnable task"), // lint: allow(panic) — the task was drawn from the runnable set
                         });
                     }
                 }
@@ -1624,14 +1624,14 @@ impl Driver {
                         continue;
                     }
                     let key = (j, st, t);
-                    let spec = self.speculation.as_mut().expect("checked above");
+                    let spec = self.speculation.as_mut().expect("checked above"); // lint: allow(panic) — guarded by the enclosing branch
                     if spec.cloned.contains(&key) {
                         continue;
                     }
                     let Some(policy) = spec.policies.get_mut(&(j, st)) else {
                         continue;
                     };
-                    let started = task.launched_at.expect("running task");
+                    let started = task.launched_at.expect("running task"); // lint: allow(panic) — running tasks have a launch timestamp
                     if policy.should_speculate(started, now) {
                         candidates.push(key);
                     }
@@ -1668,9 +1668,9 @@ impl Driver {
             })
             .collect();
         let choice = custody_scheduler::speculation::pick_clone_source(&penalties)
-            .expect("candidates are non-empty");
+            .expect("candidates are non-empty"); // lint: allow(panic) — candidates were checked non-empty above
         let (j, st, t) = candidates[choice];
-        let spec = self.speculation.as_mut().expect("checked above");
+        let spec = self.speculation.as_mut().expect("checked above"); // lint: allow(panic) — guarded by the enclosing branch
         spec.cloned.insert((j, st, t));
         spec.launches += 1;
         // Launch the clone on `e` without touching the task record: the
@@ -1681,7 +1681,7 @@ impl Driver {
         let is_input = st == 0;
         let local = is_input && stage_ref.tasks[t].preferred.contains(&node);
         let (io_time, remote_input) = if is_input {
-            let block = stage_ref.tasks[t].block.expect("input task has block");
+            let block = stage_ref.tasks[t].block.expect("input task has block"); // lint: allow(panic) — input tasks always carry a block id
             let bytes = self.namenode.block(block).size_bytes;
             let locality = self.classify_locality(node, &stage_ref.tasks[t].preferred);
             (
@@ -1739,7 +1739,7 @@ impl Driver {
         if remote && now < self.degraded_until {
             let factor = self
                 .chaos
-                .expect("degradation window without chaos config")
+                .expect("degradation window without chaos config") // lint: allow(panic) — degradation windows are only scheduled when chaos is configured
                 .degraded_remote_factor;
             SimDuration::from_secs_f64(io_time.as_secs_f64() * factor)
         } else {
@@ -1783,7 +1783,7 @@ impl Driver {
         let idle_since = self.exec_state[executor.index()].idle_since;
         let runnable_since = self.jobs[job_idx].stages[stage].tasks[task]
             .runnable_since
-            .expect("launching a runnable task");
+            .expect("launching a runnable task"); // lint: allow(panic) — the task was drawn from the runnable set
         let queueing =
             self.jobs[job_idx].mark_launched(stage, task, now, is_input.then_some(actual_local));
         // Delay-scheduling wait: overlap of [runnable, launch] with the
@@ -1810,7 +1810,7 @@ impl Driver {
         let network = self.cluster.network().clone();
         let stage_ref = &self.jobs[job_idx].stages[stage];
         let (io_time, remote_input) = if is_input {
-            let block = stage_ref.tasks[task].block.expect("input task has block");
+            let block = stage_ref.tasks[task].block.expect("input task has block"); // lint: allow(panic) — input tasks always carry a block id
             let bytes = self.namenode.block(block).size_bytes;
             let locality = self.classify_locality(node, &stage_ref.tasks[task].preferred);
             (

@@ -84,7 +84,7 @@ impl Driver {
     /// Invariant 11: gray-failure discipline — retry budgets, failed-job
     /// hygiene, backoff gates, and quarantine exclusion.
     fn audit_health(&self) {
-        let h = self.health.as_ref().expect("health audit without layer");
+        let h = self.health.as_ref().expect("health audit without layer"); // lint: allow(panic) — the health audit only runs when the layer is configured
         for (j, job) in self.jobs.iter().enumerate() {
             assert!(
                 job.retries <= h.retry.budget,
@@ -122,6 +122,7 @@ impl Driver {
                 && st.owner.is_some()
                 && st.running.is_none()
             {
+                // lint: allow(panic) — audit failure: stopping loudly on a broken invariant is the point
                 panic!("idle executor {e} on quarantined node {node} is still held");
             }
         }
@@ -148,7 +149,7 @@ impl Driver {
                 if !matches!(task.state, TaskState::Blocked | TaskState::Runnable) {
                     continue;
                 }
-                let block = task.block.expect("input task has a block");
+                let block = task.block.expect("input task has a block"); // lint: allow(panic) — input tasks always carry a block id
                 assert_eq!(
                     &task.preferred[..],
                     self.namenode.locations(block),
@@ -374,7 +375,7 @@ impl Driver {
     /// timer covers the earliest expiry, and no stale completion ever
     /// slipped past epoch fencing.
     fn audit_detector(&self) {
-        let d = self.detector.as_ref().expect("detector audit without one");
+        let d = self.detector.as_ref().expect("detector audit without one"); // lint: allow(panic) — the detector audit only runs in detector mode
         for (e, st) in self.exec_state.iter().enumerate() {
             let node = self.cluster.node_of(custody_cluster::ExecutorId::new(e));
             let believed_dead = d.exec_suspected[node.index()] || d.revoked[e];
@@ -410,7 +411,7 @@ impl Driver {
         if let Some(next) = d.leases.next_expiry() {
             let armed_at = d
                 .lease_deadline_at
-                .expect("live leases without a pending expiry timer");
+                .expect("live leases without a pending expiry timer"); // lint: allow(panic) — audit invariant: live leases imply a pending expiry timer
             assert!(
                 armed_at <= next,
                 "lease timer armed after the earliest lease expiry"

@@ -47,7 +47,7 @@ impl Driver {
         let mut ghost: Box<Driver> = Box::new(
             self.checkpoint
                 .as_ref()
-                .expect("master crash without a checkpoint")
+                .expect("master crash without a checkpoint") // lint: allow(panic) — master-crash events are only scheduled with checkpointing on
                 .as_ref()
                 .clone(),
         );
@@ -55,7 +55,7 @@ impl Driver {
         // checkpoint replays this same prefix again.
         let wal = std::mem::take(&mut self.wal);
         for &(time, seq, event) in &wal {
-            let popped = ghost.queue.pop().expect("WAL longer than ghost schedule");
+            let popped = ghost.queue.pop().expect("WAL longer than ghost schedule"); // lint: allow(panic) — ghost replay length was validated against the WAL
             assert_eq!(
                 (popped.time, popped.seq, popped.event),
                 (time, seq, event),
@@ -64,7 +64,7 @@ impl Driver {
             ghost.handle_event(event, time);
         }
         // The ghost's next event must be exactly the interrupted one.
-        let popped = ghost.queue.pop().expect("ghost queue drained early");
+        let popped = ghost.queue.pop().expect("ghost queue drained early"); // lint: allow(panic) — ghost replay length was validated against the WAL
         assert_eq!(
             (popped.time, popped.seq, popped.event),
             (ev.time, ev.seq, ev.event),

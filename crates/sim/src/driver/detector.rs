@@ -174,7 +174,7 @@ impl Driver {
         let machine_down = self.node_down[node.index()] == Some(FaultKind::Machine);
         let exec_up = self.node_down[node.index()].is_none();
         let Some(d) = &mut self.detector else {
-            unreachable!("heartbeat tick without a detector")
+            unreachable!("heartbeat tick without a detector") // lint: allow(panic) — heartbeat ticks exist only in detector mode
         };
         if idle || machine_down {
             // A down machine emits nothing; recovery restarts the tick.
@@ -227,7 +227,7 @@ impl Driver {
     /// leases, reinstate belief-dead executors, and reap ghost attempts
     /// left over from incarnations that died while the master looked away.
     fn on_exec_heartbeat(&mut self, node: NodeId, phys_epoch: u64, now: SimTime) {
-        let d = self.detector.as_mut().expect("heartbeat without detector");
+        let d = self.detector.as_mut().expect("heartbeat without detector"); // lint: allow(panic) — heartbeat events exist only in detector mode
         if phys_epoch != d.phys_epoch_exec[node.index()] {
             return; // emitted by an incarnation that has since died
         }
@@ -290,7 +290,7 @@ impl Driver {
                 self.remote_reads_in_flight = self
                     .remote_reads_in_flight
                     .checked_sub(1)
-                    .expect("remote-read counter underflow");
+                    .expect("remote-read counter underflow"); // lint: allow(panic) — the counter was incremented when the remote read started
             }
             if self.on_attempt_killed(&r, now) {
                 displaced.insert((r.job_idx, r.stage, r.task));
@@ -306,7 +306,7 @@ impl Driver {
     /// disk actually survived, empty if the suspicion was right and the
     /// node came back wiped.
     fn on_dfs_heartbeat(&mut self, node: NodeId, phys_epoch: u64, now: SimTime) {
-        let d = self.detector.as_mut().expect("heartbeat without detector");
+        let d = self.detector.as_mut().expect("heartbeat without detector"); // lint: allow(panic) — heartbeat events exist only in detector mode
         if phys_epoch != d.phys_epoch_dfs[node.index()] {
             return;
         }
@@ -341,7 +341,7 @@ impl Driver {
     /// earliest instant the timeout could still trip.
     pub(super) fn on_detector_deadline(&mut self, node: NodeId, kind: DeadlineKind, now: SimTime) {
         let idle = self.control_plane_idle();
-        let d = self.detector.as_mut().expect("deadline without detector");
+        let d = self.detector.as_mut().expect("deadline without detector"); // lint: allow(panic) — deadline events exist only in detector mode
         let timeout = d.timeout();
         let armed = match kind {
             DeadlineKind::ExecSuspect => &mut d.exec_deadline_armed[node.index()],
@@ -377,7 +377,7 @@ impl Driver {
     /// re-queueing their work. Scored as detection latency if the node is
     /// really down, as a false suspicion if it is not.
     fn suspect_executors(&mut self, node: NodeId, now: SimTime) {
-        let d = self.detector.as_mut().expect("suspect without detector");
+        let d = self.detector.as_mut().expect("suspect without detector"); // lint: allow(panic) — suspect events exist only in detector mode
         debug_assert!(!d.exec_suspected[node.index()]);
         d.exec_suspected[node.index()] = true;
         if self.node_down[node.index()].is_some() {
@@ -397,7 +397,7 @@ impl Driver {
     /// whose last replica lived there are only *actually* lost if the
     /// disk is physically gone.
     fn suspect_datanode(&mut self, node: NodeId, now: SimTime) {
-        let d = self.detector.as_mut().expect("suspect without detector");
+        let d = self.detector.as_mut().expect("suspect without detector"); // lint: allow(panic) — suspect events exist only in detector mode
         debug_assert!(!d.dfs_suspected[node.index()]);
         d.dfs_suspected[node.index()] = true;
         let lost = d.data_lost[node.index()];
@@ -423,7 +423,7 @@ impl Driver {
         let d = self
             .detector
             .as_mut()
-            .expect("lease expiry without detector");
+            .expect("lease expiry without detector"); // lint: allow(panic) — lease expiries exist only in detector mode
         debug_assert_eq!(d.lease_deadline_at, Some(now), "stale lease timer");
         d.lease_deadline_at = None;
         let expired = d.leases.expired(now);
@@ -443,7 +443,7 @@ impl Driver {
             self.cache.invalidate_executors();
             self.cache.mark_pool_changed();
         }
-        let d = self.detector.as_mut().expect("checked above");
+        let d = self.detector.as_mut().expect("checked above"); // lint: allow(panic) — guarded by the enclosing branch
         if let Some(next) = d.leases.next_expiry() {
             d.lease_deadline_at = Some(next);
             self.queue.schedule(next, Event::LeaseExpiry);
@@ -455,7 +455,7 @@ impl Driver {
     /// incarnation are fenced — and change *nothing* about the master's
     /// belief. Only heartbeat silence does that.
     pub(super) fn phys_fail(&mut self, node: NodeId, now: SimTime, kind: FaultKind) {
-        let d = self.detector.as_mut().expect("phys_fail in oracle mode");
+        let d = self.detector.as_mut().expect("phys_fail in oracle mode"); // lint: allow(panic) — oracle-mode events exist only in detector mode
         d.phys_down_at[node.index()] = now;
         d.phys_epoch_exec[node.index()] += 1;
         if kind == FaultKind::Machine {
@@ -475,7 +475,7 @@ impl Driver {
     /// was a machine fault it never noticed, the disk came back intact:
     /// nothing was re-replicated, nothing is lost).
     pub(super) fn phys_recover(&mut self, node: NodeId, kind: FaultKind, now: SimTime) {
-        let d = self.detector.as_mut().expect("phys_recover in oracle mode");
+        let d = self.detector.as_mut().expect("phys_recover in oracle mode"); // lint: allow(panic) — oracle-mode events exist only in detector mode
         if kind == FaultKind::Machine && !d.dfs_suspected[node.index()] {
             d.data_lost[node.index()] = false;
         }

@@ -247,7 +247,7 @@ impl HealthLayer {
         if means.is_empty() {
             return None; // no peers to be relative to yet
         }
-        means.sort_by(|a, b| a.partial_cmp(b).expect("service times are finite"));
+        means.sort_by(|a, b| a.partial_cmp(b).expect("service times are finite")); // lint: allow(panic) — service times are finite by construction; NaN means corrupted metrics
         let median = median_of_sorted(&means);
         if median <= 0.0 {
             return None;
@@ -310,12 +310,12 @@ impl Driver {
         if self.failslow_idle() {
             return; // the run has drained; a late onset changes nothing
         }
-        let h = self.health.as_mut().expect("fail-slow onset without layer");
+        let h = self.health.as_mut().expect("fail-slow onset without layer"); // lint: allow(panic) — fail-slow events are only scheduled when the layer is configured
         let episodic = h.cfg.mean_episode_secs > 0.0;
         let mean_episode = h.cfg.mean_episode_secs;
         let s = h.sickness[node.index()]
             .as_mut()
-            .expect("onset on a node that never sickens");
+            .expect("onset on a node that never sickens"); // lint: allow(panic) — the fail-slow schedule only fires for profiled nodes
         debug_assert!(!s.active, "overlapping fail-slow episodes");
         s.active = true;
         s.since = now;
@@ -332,12 +332,12 @@ impl Driver {
     /// An episodic slowdown remits; the node may relapse after a healthy
     /// gap (drawn now, scheduled only within the horizon).
     pub(super) fn on_failslow_remit(&mut self, node: NodeId, now: SimTime) {
-        let h = self.health.as_mut().expect("fail-slow remit without layer");
+        let h = self.health.as_mut().expect("fail-slow remit without layer"); // lint: allow(panic) — fail-slow events are only scheduled when the layer is configured
         let horizon = h.cfg.horizon_secs;
         let mean_remission = h.cfg.mean_remission_secs;
         let s = h.sickness[node.index()]
             .as_mut()
-            .expect("remit on a node that never sickens");
+            .expect("remit on a node that never sickens"); // lint: allow(panic) — the fail-slow schedule only fires for profiled nodes
         debug_assert!(s.active, "remission of an inactive episode");
         s.active = false;
         if self.failslow_idle() {
@@ -354,7 +354,7 @@ impl Driver {
     /// in the (demoted) pick order, earning re-admission through probe
     /// completions.
     pub(super) fn on_probation_start(&mut self, node: NodeId, _now: SimTime) {
-        let h = self.health.as_mut().expect("probation without layer");
+        let h = self.health.as_mut().expect("probation without layer"); // lint: allow(panic) — probation events are only scheduled when the layer is configured
         let b = &mut h.belief[node.index()];
         debug_assert_eq!(
             b.state,
@@ -392,7 +392,7 @@ impl Driver {
         }
         let state = b.state;
         let probes_done = b.probes_done;
-        let h = self.health.as_ref().expect("checked above");
+        let h = self.health.as_ref().expect("checked above"); // lint: allow(panic) — guarded by the enclosing branch
         match state {
             HealthState::Healthy => {
                 if let Some(ratio) = h.peer_ratio(node.index(), cfg.min_samples) {
@@ -454,7 +454,7 @@ impl Driver {
             }
             HealthState::Healthy | HealthState::Quarantined => HealthCost::neutral(cfg.cost_scale),
         };
-        let h = self.health.as_mut().expect("checked above");
+        let h = self.health.as_mut().expect("checked above"); // lint: allow(panic) — guarded by the enclosing branch
         let b = &mut h.belief[node.index()];
         if b.cost != next {
             b.cost = next;
@@ -464,7 +464,7 @@ impl Driver {
 
     /// Takes one legal belief transition and dirties the allocation view.
     fn transition(&mut self, node: NodeId, next: HealthState, _now: SimTime) {
-        let h = self.health.as_mut().expect("transition without layer");
+        let h = self.health.as_mut().expect("transition without layer"); // lint: allow(panic) — transitions are only scheduled when the layer is configured
         let b = &mut h.belief[node.index()];
         debug_assert!(
             b.state.can_transition_to(next),
@@ -481,9 +481,9 @@ impl Driver {
     /// with, so a skewed median can never starve the run. Scores the
     /// verdict against physical truth and arms the probation timer.
     fn try_quarantine(&mut self, node: NodeId, now: SimTime) {
-        let h = self.health.as_ref().expect("quarantine without layer");
-        // Count live (not crashed) nodes and how many of them currently
-        // accept placements; a crashed node must not pad either side.
+        let h = self.health.as_ref().expect("quarantine without layer"); // lint: allow(panic) — quarantine events are only scheduled when the layer is configured
+                                                                         // Count live (not crashed) nodes and how many of them currently
+                                                                         // accept placements; a crashed node must not pad either side.
         let alive = self.node_down.iter().filter(|d| d.is_none()).count();
         let schedulable = h
             .belief
@@ -498,15 +498,15 @@ impl Driver {
         let onset = h.sickness[node.index()].map(|s| s.since);
         let last_quarantine = h.belief[node.index()].quarantined_at;
         self.transition(node, HealthState::Quarantined, now);
-        let h = self.health.as_mut().expect("checked above");
+        let h = self.health.as_mut().expect("checked above"); // lint: allow(panic) — guarded by the enclosing branch
         h.belief[node.index()].quarantined_at = now;
         let delay = SimDuration::from_secs_f64(h.cfg.probation_delay_secs);
         self.nodes_quarantined += 1;
         if truly_slow {
-            let since = onset.expect("active sickness has an onset");
-            // Detection latency is scored once per episode: a flapping
-            // re-quarantine of an already-caught slowdown says nothing
-            // about how fast the detector notices.
+            let since = onset.expect("active sickness has an onset"); // lint: allow(panic) — an onset is recorded when the sickness begins
+                                                                      // Detection latency is scored once per episode: a flapping
+                                                                      // re-quarantine of an already-caught slowdown says nothing
+                                                                      // about how fast the detector notices.
             if last_quarantine < since || last_quarantine == SimTime::ZERO {
                 self.quarantine_latency
                     .push(now.saturating_since(since).as_secs_f64());

@@ -281,7 +281,7 @@ impl RuntimeJob {
         t.state = TaskState::Running;
         t.launched_at = Some(now);
         t.local = local;
-        let since = t.runnable_since.expect("runnable task has timestamp");
+        let since = t.runnable_since.expect("runnable task has timestamp"); // lint: allow(panic) — runnable tasks have a timestamp
         self.stages[stage].launched += 1;
         now.saturating_since(since)
     }
@@ -343,7 +343,7 @@ impl RuntimeJob {
         let mut changed = false;
         for t in &mut self.stages[0].tasks {
             if matches!(t.state, TaskState::Blocked | TaskState::Runnable) {
-                let block = t.block.expect("input task has a block");
+                let block = t.block.expect("input task has a block"); // lint: allow(panic) — input tasks always carry a block id
                 let fresh = namenode.locations(block);
                 if t.preferred[..] != fresh[..] {
                     t.preferred = fresh.into();

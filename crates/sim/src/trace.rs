@@ -145,8 +145,8 @@ impl TaskTrace {
     /// record per (job, stage, task) attempt... one record per completed
     /// attempt is guaranteed by the driver; duplicates indicate a bug.
     pub fn check_invariants(&self) {
-        use std::collections::HashSet;
-        let mut seen = HashSet::new();
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
         for r in &self.records {
             assert!(
                 r.runnable_at <= r.launched_at,

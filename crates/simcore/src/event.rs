@@ -199,7 +199,7 @@ impl<E> EventQueue<E> {
         };
         let mut out = Vec::new();
         while self.peek_time() == Some(t) {
-            out.push(self.pop().expect("peeked event must pop"));
+            out.push(self.pop().expect("peeked event must pop")); // lint: allow(panic) — pop follows the successful peek above
         }
         out
     }

@@ -117,6 +117,7 @@ impl<I: Copy + Into<usize> + std::fmt::Debug, V> IdVec<I, V> {
         let i: usize = id.into();
         self.items
             .get(i)
+            // lint: allow(panic) — an id minted for another arena must stop loudly, not read garbage
             .unwrap_or_else(|| panic!("id {id:?} out of range (len {})", self.items.len()))
     }
 
@@ -126,7 +127,7 @@ impl<I: Copy + Into<usize> + std::fmt::Debug, V> IdVec<I, V> {
         let i: usize = id.into();
         self.items
             .get_mut(i)
-            .unwrap_or_else(|| panic!("id {id:?} out of range (len {len})"))
+            .unwrap_or_else(|| panic!("id {id:?} out of range (len {len})")) // lint: allow(panic) — an id minted for another arena must stop loudly, not read garbage
     }
 
     /// Number of entries.

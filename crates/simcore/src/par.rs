@@ -61,7 +61,7 @@ where
         }
     });
     out.into_iter()
-        .map(|v| v.expect("par_map missed a slot"))
+        .map(|v| v.expect("par_map missed a slot")) // lint: allow(panic) — scoped workers fill every slot before the join
         .collect()
 }
 

@@ -151,7 +151,7 @@ impl Summary {
         }
         if !self.sorted {
             self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples")); // lint: allow(panic) — samples are finite by construction; NaN means corrupted metrics
             self.sorted = true;
         }
         let n = self.samples.len();

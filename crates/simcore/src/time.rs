@@ -126,7 +126,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow")) // lint: allow(panic) — clock overflow is a config bug; wrapping would corrupt event order
     }
 }
 
@@ -142,7 +142,7 @@ impl Sub<SimTime> for SimTime {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
-                .expect("SimTime subtraction underflow"),
+                .expect("SimTime subtraction underflow"), // lint: allow(panic) — underflow means subtracting ahead of the clock; stop loudly
         )
     }
 }
@@ -150,7 +150,7 @@ impl Sub<SimTime> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow")) // lint: allow(panic) — duration overflow is a config bug; wrapping would corrupt timing
     }
 }
 
@@ -166,7 +166,7 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
-                .expect("SimDuration subtraction underflow"),
+                .expect("SimDuration subtraction underflow"), // lint: allow(panic) — underflow means subtracting a longer duration; stop loudly
         )
     }
 }
@@ -180,7 +180,7 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow")) // lint: allow(panic) — duration overflow is a config bug; wrapping would corrupt timing
     }
 }
 
