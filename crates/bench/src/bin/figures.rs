@@ -8,13 +8,14 @@
 //! ```
 //!
 //! Targets: `fig7`, `fig7-fixed`, `fig8`, `fig9`, `fig10`, `ablations`,
-//! `chaos`, `detector`, `failslow`, `demotion`, `theory`, `all`.
+//! `chaos`, `partition`, `detector`, `failslow`, `demotion`, `theory`,
+//! `all`.
 
 use custody_bench::{
     ablation_delay_table, ablation_inter_table, ablation_intra_table, ablation_placement_table,
     ablation_speculation_table, allocator_cost_summary, chaos_table, demotion_table,
     detector_table, failslow_table, fig10_table, fig7_fixed_quota_table, fig7_table, fig8_table,
-    fig9_table, run_sweep, theory_quality_table, FigureOptions,
+    fig9_table, partition_table, run_sweep, theory_quality_table, FigureOptions,
 };
 
 fn main() {
@@ -80,6 +81,9 @@ fn main() {
     }
     if wants("chaos") {
         println!("{}", chaos_table(&opts));
+    }
+    if wants("partition") {
+        println!("{}", partition_table(&opts));
     }
     if wants("detector") {
         println!("{}", detector_table(&opts));

@@ -9,6 +9,7 @@
 //!     [--detector <drop-prob>[:<suspicion-secs>]] [--checkpoint <secs>] \
 //!     [--master-crash <prob>] [--speculation] \
 //!     [--failslow <sick-fraction>[:<fault-prob>]] [--no-quarantine] \
+//!     [--partition <split-fraction>[:<mean-heal-secs>]] \
 //!     [--demotion soft|hard|off] [--retry-budget <n>] \
 //!     [--trace out.tsv] [--analyze]
 //! ```
@@ -89,6 +90,7 @@ fn main() {
     let mut audit = false;
     let mut speculation = false;
     let mut failslow: Option<custody_sim::FailSlowConfig> = None;
+    let mut partition: Option<custody_sim::PartitionConfig> = None;
     let mut no_quarantine = false;
     let mut demotion: Option<String> = None;
     let mut retry_budget: Option<usize> = None;
@@ -160,6 +162,22 @@ fn main() {
                     None => fs.with_sick_fraction(v.parse().expect("--failslow <sick-fraction>")),
                 });
             }
+            "--partition" => {
+                let v = val();
+                let pc = custody_sim::PartitionConfig::default();
+                partition = Some(match v.split_once(':') {
+                    Some((split, heal)) => pc
+                        .with_split_fraction(
+                            split
+                                .parse()
+                                .expect("--partition <split-fraction>[:<mean-heal-secs>]"),
+                        )
+                        .with_mean_heal(heal.parse().expect("mean heal seconds")),
+                    None => {
+                        pc.with_split_fraction(v.parse().expect("--partition <split-fraction>"))
+                    }
+                });
+            }
             "--no-quarantine" => no_quarantine = true,
             "--demotion" => demotion = Some(val()),
             "--retry-budget" => {
@@ -222,6 +240,9 @@ fn main() {
     }
     if let Some(fs) = failslow {
         cfg = cfg.with_failslow(fs);
+    }
+    if let Some(pc) = partition {
+        cfg = cfg.with_partition(pc);
     }
 
     println!("{}\n", cfg.label());
@@ -294,6 +315,18 @@ fn main() {
             m.quarantine_latency_secs.mean(),
             m.quarantine_latency_secs.count(),
             m.probes_launched,
+        );
+    }
+    if partition.is_some() {
+        println!(
+            "partitions: {} episodes  {} minority finishes deferred ({} fenced stale)  \
+             {} minority attempts discarded at reconnect  reconverge {:.1} s mean ({})",
+            m.partition_episodes,
+            m.partition_finishes_deferred,
+            m.partition_finishes_fenced,
+            m.partition_work_discarded,
+            m.partition_reconverge_secs.mean(),
+            m.partition_reconverge_secs.count(),
         );
     }
     println!(

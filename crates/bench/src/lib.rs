@@ -493,6 +493,76 @@ pub fn chaos_table(opts: &FigureOptions) -> String {
     )
 }
 
+/// Partition sweep: Custody vs the Spark baseline under seeded network
+/// partitions — clean splits, asymmetric cuts, and flapping links over a
+/// grid of (split fraction × mean heal time). Reports JCT stretch
+/// relative to a partition-free run on the same control plane, the
+/// split-brain fencing counters (deferred and fenced minority Finish
+/// reports, minority work discarded at reconnect), and the mean
+/// heal-to-reconverge time — the rejoin-reconciliation story.
+pub fn partition_table(opts: &FigureOptions) -> String {
+    use custody_sim::experiment::partition_sweep;
+    // The congested regime again: on the smallest paper cluster a cut
+    // actually strands running work behind the split.
+    let nodes = opts.sizes.iter().copied().min().unwrap_or(25).min(25);
+    let splits = [0.2, 0.4];
+    let heals = [5.0, 15.0];
+    let (custody_calm, baseline_calm, cells) =
+        partition_sweep(nodes, opts.jobs_per_app, &splits, &heals, opts.seed);
+    let mut rows = vec![vec![
+        "calm".to_string(),
+        "-".to_string(),
+        format!(
+            "{:.2} / {:.2} s",
+            custody_calm.job_completion_secs().mean(),
+            baseline_calm.job_completion_secs().mean()
+        ),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]];
+    for cell in &cells {
+        let (sc, sb) = cell.jct_stretch_pct(&custody_calm, &baseline_calm);
+        let (rc, rb) = cell.reconverge_secs();
+        let (fc, fb) = cell.fenced_finishes();
+        let m = &cell.custody;
+        rows.push(vec![
+            format!("{:.0} %", cell.split_fraction * 100.0),
+            format!("{:.0} s", cell.mean_heal_secs),
+            format!(
+                "{:.2} / {:.2} s",
+                m.job_completion_secs().mean(),
+                cell.baseline.job_completion_secs().mean()
+            ),
+            format!("{sc:+.1} / {sb:+.1} %"),
+            format!(
+                "{} ep, {} def",
+                m.partition_episodes, m.partition_finishes_deferred
+            ),
+            format!("{fc} / {fb} fenced, {} disc", m.partition_work_discarded),
+            format!("{rc:.1} / {rb:.1} s"),
+        ]);
+    }
+    format!(
+        "Partition sweep — network cuts by split fraction and heal time, WordCount, {nodes} nodes\n\
+         (stretch = mean-JCT inflation vs the partition-free run; fenced = split-brain Finish\n\
+         reports the epoch fence rejected; reconverge = heal-to-settled belief time)\n{}",
+        render_table(
+            &[
+                "split",
+                "heal",
+                "jct c/s",
+                "stretch c/s",
+                "episodes (custody)",
+                "fencing c/s",
+                "reconverge c/s"
+            ],
+            &rows
+        )
+    )
+}
+
 /// Detector sweep: the modeled control plane (lossy heartbeats,
 /// suspicion timeouts, leases, epoch fencing, master checkpoint/WAL
 /// recovery) vs oracle failure knowledge, on the same chaos schedule.

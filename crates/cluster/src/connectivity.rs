@@ -1,0 +1,257 @@
+//! Pairwise connectivity: who can currently deliver a message to whom.
+//!
+//! Crash-stop faults (chaos) and gray failures (fail-slow) both assume a
+//! fully connected cluster: a machine is either dead or reachable. Real
+//! clusters also see *partitions* — machines that are alive yet cut off
+//! from the master, sometimes in one direction only. [`Connectivity`]
+//! models the cluster's current reachability relation as a two-sided
+//! split: a **minority** group is cut away from the majority side (which
+//! always includes the master), and a [`CutMode`] says which direction(s)
+//! of crossing traffic the cut drops.
+//!
+//! The model is deliberately passive state, like
+//! [`LeaseTable`](crate::LeaseTable): the *driver* decides when splits
+//! open, flap, and heal (from its seeded `"partition"` RNG stream), and
+//! every query here is a pure function of the stored state — so the model
+//! is deterministic, cloneable for master checkpoints, and trivially
+//! auditable.
+
+use custody_dfs::NodeId;
+
+/// Which direction(s) of traffic crossing the cut are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutMode {
+    /// Clean split: nothing crosses in either direction.
+    Both,
+    /// Asymmetric: messages *from* the minority are dropped (heartbeats
+    /// and Finish reports vanish) but messages *to* it still arrive —
+    /// the minority keeps receiving and running work it cannot report.
+    MinorityOutbound,
+    /// Asymmetric: messages *to* the minority are dropped (dispatch is
+    /// lost) but messages *from* it still arrive — the master keeps
+    /// hearing healthy heartbeats from nodes it cannot actually reach.
+    MinorityInbound,
+}
+
+/// The cluster's current pairwise-reachability relation.
+///
+/// At most one split is active at a time; flapping temporarily suspends
+/// its cuts without forgetting the minority membership.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connectivity {
+    /// `true` for nodes on the cut-away side of the active split.
+    minority: Vec<bool>,
+    /// Direction(s) the active split drops; meaningless when healed.
+    mode: CutMode,
+    /// Whether a split is currently configured (healed ⇒ `false`).
+    split_active: bool,
+    /// Flap state: a suspended split keeps its membership but drops
+    /// nothing (the links briefly came back).
+    suspended: bool,
+}
+
+impl Connectivity {
+    /// A fully connected cluster of `num_nodes` machines.
+    pub fn fully_connected(num_nodes: usize) -> Self {
+        Connectivity {
+            minority: vec![false; num_nodes],
+            mode: CutMode::Both,
+            split_active: false,
+            suspended: false,
+        }
+    }
+
+    /// Opens a split cutting `minority` away from the majority (and the
+    /// master) in the direction(s) given by `mode`. Replaces any
+    /// previous split.
+    pub fn split(&mut self, minority: &[NodeId], mode: CutMode) {
+        self.minority.iter_mut().for_each(|m| *m = false);
+        for &n in minority {
+            self.minority[n.index()] = true;
+        }
+        self.mode = mode;
+        self.split_active = true;
+        self.suspended = false;
+    }
+
+    /// Heals the split: full connectivity, membership forgotten.
+    pub fn heal(&mut self) {
+        self.minority.iter_mut().for_each(|m| *m = false);
+        self.split_active = false;
+        self.suspended = false;
+    }
+
+    /// Flap: temporarily suspends (`true`) or re-applies (`false`) the
+    /// active split's cuts without changing membership. No-op when no
+    /// split is active.
+    pub fn set_suspended(&mut self, suspended: bool) {
+        if self.split_active {
+            self.suspended = suspended;
+        }
+    }
+
+    /// Whether a split is configured (its cuts may be flap-suspended).
+    pub fn split_active(&self) -> bool {
+        self.split_active
+    }
+
+    /// Whether any link is currently dropping traffic.
+    pub fn cutting(&self) -> bool {
+        self.split_active && !self.suspended
+    }
+
+    /// The active split's direction mode.
+    pub fn mode(&self) -> CutMode {
+        self.mode
+    }
+
+    /// Whether `node` is on the cut-away side of the active split.
+    /// Always `false` when healed.
+    pub fn in_minority(&self, node: NodeId) -> bool {
+        self.split_active && self.minority[node.index()]
+    }
+
+    /// Nodes currently on the minority side, in index order.
+    pub fn minority_nodes(&self) -> Vec<NodeId> {
+        if !self.split_active {
+            return Vec::new();
+        }
+        self.minority
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+
+    /// Whether a message sent by `node` reaches the master (which lives
+    /// on the majority side).
+    pub fn node_reaches_master(&self, node: NodeId) -> bool {
+        if !self.cutting() || !self.minority[node.index()] {
+            return true;
+        }
+        self.mode == CutMode::MinorityInbound
+    }
+
+    /// Whether a message sent by the master reaches `node`.
+    pub fn master_reaches_node(&self, node: NodeId) -> bool {
+        if !self.cutting() || !self.minority[node.index()] {
+            return true;
+        }
+        self.mode == CutMode::MinorityOutbound
+    }
+
+    /// Whether a message sent by `from` reaches `to`: same-side traffic
+    /// always flows; crossing traffic flows only in the direction(s) the
+    /// mode leaves open.
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if !self.cutting() {
+            return true;
+        }
+        let (a, b) = (self.minority[from.index()], self.minority[to.index()]);
+        if a == b {
+            return true; // same side
+        }
+        match self.mode {
+            CutMode::Both => false,
+            // Only minority→out traffic is dropped.
+            CutMode::MinorityOutbound => !a,
+            // Only →minority traffic is dropped.
+            CutMode::MinorityInbound => !b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn fully_connected_reaches_everything() {
+        let c = Connectivity::fully_connected(4);
+        assert!(!c.split_active());
+        assert!(!c.cutting());
+        for i in 0..4 {
+            assert!(c.node_reaches_master(n(i)));
+            assert!(c.master_reaches_node(n(i)));
+            for j in 0..4 {
+                assert!(c.reachable(n(i), n(j)));
+            }
+        }
+        assert!(c.minority_nodes().is_empty());
+    }
+
+    #[test]
+    fn clean_split_cuts_both_directions() {
+        let mut c = Connectivity::fully_connected(4);
+        c.split(&[n(1), n(3)], CutMode::Both);
+        assert!(c.cutting());
+        assert_eq!(c.minority_nodes(), vec![n(1), n(3)]);
+        assert!(!c.node_reaches_master(n(1)));
+        assert!(!c.master_reaches_node(n(3)));
+        assert!(c.node_reaches_master(n(0)));
+        // Same-side traffic still flows on both sides.
+        assert!(c.reachable(n(1), n(3)));
+        assert!(c.reachable(n(0), n(2)));
+        assert!(!c.reachable(n(0), n(1)));
+        assert!(!c.reachable(n(1), n(0)));
+    }
+
+    #[test]
+    fn outbound_cut_is_one_way() {
+        let mut c = Connectivity::fully_connected(3);
+        c.split(&[n(2)], CutMode::MinorityOutbound);
+        // The minority cannot report up, but still hears the master.
+        assert!(!c.node_reaches_master(n(2)));
+        assert!(c.master_reaches_node(n(2)));
+        assert!(!c.reachable(n(2), n(0)));
+        assert!(c.reachable(n(0), n(2)));
+    }
+
+    #[test]
+    fn inbound_cut_is_the_mirror() {
+        let mut c = Connectivity::fully_connected(3);
+        c.split(&[n(2)], CutMode::MinorityInbound);
+        assert!(c.node_reaches_master(n(2)));
+        assert!(!c.master_reaches_node(n(2)));
+        assert!(c.reachable(n(2), n(0)));
+        assert!(!c.reachable(n(0), n(2)));
+    }
+
+    #[test]
+    fn flap_suspends_without_forgetting() {
+        let mut c = Connectivity::fully_connected(3);
+        c.split(&[n(1)], CutMode::Both);
+        c.set_suspended(true);
+        assert!(c.split_active() && !c.cutting());
+        assert!(c.node_reaches_master(n(1)));
+        assert!(c.in_minority(n(1)), "membership survives the flap");
+        c.set_suspended(false);
+        assert!(!c.node_reaches_master(n(1)));
+    }
+
+    #[test]
+    fn heal_restores_everything() {
+        let mut c = Connectivity::fully_connected(3);
+        c.split(&[n(0)], CutMode::Both);
+        c.heal();
+        assert_eq!(c, Connectivity::fully_connected(3));
+        // Suspending a healed model is a no-op.
+        c.set_suspended(true);
+        assert!(!c.split_active());
+    }
+
+    #[test]
+    fn new_split_replaces_old() {
+        let mut c = Connectivity::fully_connected(4);
+        c.split(&[n(0)], CutMode::Both);
+        c.split(&[n(2)], CutMode::MinorityOutbound);
+        assert!(!c.in_minority(n(0)));
+        assert!(c.in_minority(n(2)));
+        assert_eq!(c.mode(), CutMode::MinorityOutbound);
+    }
+}

@@ -74,6 +74,18 @@ impl LeaseTable {
             .collect()
     }
 
+    /// Removes and returns every lease with expiry `<= now`, in
+    /// executor-id order — the revocation sweep as one atomic step, so a
+    /// caller (lease expiry, partition fencing) can never observe a
+    /// half-dropped table.
+    pub fn take_expired(&mut self, now: SimTime) -> Vec<ExecutorId> {
+        let expired = self.expired(now);
+        for &e in &expired {
+            self.expiry.remove(&e);
+        }
+        expired
+    }
+
     /// The earliest expiry among live leases; `None` when no leases exist.
     pub fn next_expiry(&self) -> Option<SimTime> {
         self.expiry.values().copied().min()
@@ -130,6 +142,21 @@ mod tests {
         l.renew(ExecutorId::new(3), t(4));
         assert!(l.is_empty());
         assert!(!l.holds(ExecutorId::new(3)));
+    }
+
+    #[test]
+    fn take_expired_drops_and_returns_sorted() {
+        let mut l = LeaseTable::new();
+        l.grant(ExecutorId::new(4), t(2));
+        l.grant(ExecutorId::new(1), t(1));
+        l.grant(ExecutorId::new(7), t(9));
+        assert_eq!(
+            l.take_expired(t(3)),
+            vec![ExecutorId::new(1), ExecutorId::new(4)]
+        );
+        assert_eq!(l.len(), 1);
+        assert!(l.holds(ExecutorId::new(7)));
+        assert!(l.take_expired(t(3)).is_empty());
     }
 
     #[test]

@@ -20,12 +20,14 @@
 //!   network; the sole mechanism by which (lack of) data locality costs
 //!   time.
 
+pub mod connectivity;
 pub mod executor;
 pub mod lease;
 pub mod network;
 pub mod node;
 pub mod topology;
 
+pub use connectivity::{Connectivity, CutMode};
 pub use executor::{Executor, ExecutorId};
 pub use lease::LeaseTable;
 pub use network::{DataLocality, NetworkModel};

@@ -397,6 +397,38 @@ impl NameNode {
         created
     }
 
+    /// Paced variant of [`restore_replication`](Self::restore_replication):
+    /// creates at most `max_new` replicas per call, in block order, so a
+    /// caller can drain HDFS's under-replicated-block queue in batches
+    /// instead of one instant storm. Returns the number created; a
+    /// return smaller than `max_new` means the queue is (currently) dry.
+    pub fn restore_replication_batch(&mut self, rng: &mut SimRng, max_new: usize) -> usize {
+        let mut created = 0;
+        for b in 0..self.blocks.len() {
+            let block = BlockId::new(b);
+            while created < max_new && self.replicas[b].len() < self.replication {
+                let size = self.blocks[b].size_bytes;
+                let mut candidates: Vec<(u64, u64, NodeId)> = self
+                    .datanodes
+                    .iter()
+                    .filter(|dn| dn.fits(size) && !dn.stores(block))
+                    .map(|dn| (dn.used_bytes(), rng.draw_u64(), dn.node))
+                    .collect();
+                candidates.sort_unstable();
+                let Some(&(_, _, node)) = candidates.first() else {
+                    break; // no machine can take another replica
+                };
+                let added = self.add_replica(block, node);
+                debug_assert!(added);
+                created += 1;
+            }
+            if created >= max_new {
+                break;
+            }
+        }
+        created
+    }
+
     /// Sanity check used by tests and property tests: every replica list is
     /// sorted, within bounds, duplicate-free and consistent with the
     /// DataNode states.
@@ -547,6 +579,47 @@ mod tests {
         let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
         for &b in &nn.dataset(ds).blocks.clone() {
             assert_eq!(nn.locations(b).len(), 2);
+        }
+    }
+
+    #[test]
+    fn batched_restore_drains_the_same_debt_as_instant() {
+        let mut a = namenode();
+        let mut b = namenode();
+        let mut rng_a = SimRng::seed_from_u64(7);
+        let mut rng_b = SimRng::seed_from_u64(7);
+        a.create_dataset(
+            "d",
+            GB,
+            DEFAULT_BLOCK_SIZE,
+            &mut RandomPlacement,
+            &mut rng_a,
+        );
+        b.create_dataset(
+            "d",
+            GB,
+            DEFAULT_BLOCK_SIZE,
+            &mut RandomPlacement,
+            &mut rng_b,
+        );
+        a.fail_node(NodeId::new(3));
+        b.fail_node(NodeId::new(3));
+        let instant = a.restore_replication(&mut rng_a);
+        assert!(instant > 0, "failing a node must leave debt");
+        let mut paced = 0;
+        loop {
+            let created = b.restore_replication_batch(&mut rng_b, 2);
+            assert!(created <= 2, "batch cap exceeded");
+            paced += created;
+            b.check_invariants();
+            if created < 2 {
+                break; // queue dry
+            }
+        }
+        assert_eq!(paced, instant, "pacing must drain the exact same debt");
+        assert_eq!(b.restore_replication_batch(&mut rng_b, 2), 0);
+        for i in 0..b.replicas.len() {
+            assert_eq!(b.replicas[i].len(), b.replication);
         }
     }
 

@@ -604,6 +604,186 @@ impl ControlPlaneConfig {
     }
 }
 
+/// Network-partition injection: episodes of lost connectivity between a
+/// minority group of machines and the (master-side) majority.
+///
+/// Chaos kills machines and fail-slow degrades them; a partition does
+/// neither — the minority stays alive and keeps running whatever it was
+/// doing, it just cannot exchange (some) messages with the master. Three
+/// episode shapes, all drawn from the dedicated `"partition"` stream:
+///
+/// * **clean split** — nothing crosses the cut in either direction:
+///   minority heartbeats go silent (the detector eventually suspects and
+///   fences them) while their in-flight work keeps running unreported;
+/// * **asymmetric links** — with probability
+///   [`asymmetric_prob`](Self::asymmetric_prob) only one direction is
+///   cut: either the minority's *outbound* messages vanish (the master
+///   keeps dispatching work the minority can never report) or its
+///   *inbound* ones do (the master hears healthy heartbeats from nodes
+///   its dispatches never reach);
+/// * **flapping** — with probability [`flap_prob`](Self::flap_prob) an
+///   episode's cut toggles on and off with mean period
+///   [`mean_flap_secs`](Self::mean_flap_secs), the regime that stresses
+///   suspicion hysteresis hardest.
+///
+/// On heal the driver reconciles: resumed heartbeats reinstate the
+/// minority's executors, ghost dispatches are fenced and re-queued,
+/// deferred minority Finish reports are delivered into the epoch fence
+/// (rejected-and-counted, never double-completed), and any
+/// re-replication debt is paid in paced batches instead of one storm.
+///
+/// Requires a modeled control plane ([`ControlPlaneConfig`], not
+/// perfect): partitions are precisely the faults only a belief-based
+/// detector can mis-see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionConfig {
+    /// Mean seconds between partition episodes (exponential
+    /// inter-arrival, measured heal → next split).
+    pub mean_time_between_partitions_secs: f64,
+    /// Mean seconds an episode lasts before healing (exponential).
+    pub mean_heal_secs: f64,
+    /// Fraction of the cluster cut away per episode (at least one node,
+    /// never the whole cluster); `0` makes the layer inert.
+    pub split_fraction: f64,
+    /// Probability an episode cuts only one direction instead of both.
+    pub asymmetric_prob: f64,
+    /// Given an asymmetric episode, probability the *inbound* direction
+    /// (master → minority) is the one cut; otherwise outbound is.
+    pub inbound_cut_prob: f64,
+    /// Probability an episode flaps (its cut toggles on/off) instead of
+    /// holding steady until heal.
+    pub flap_prob: f64,
+    /// Mean seconds between flap toggles within a flapping episode.
+    pub mean_flap_secs: f64,
+    /// No new episodes begin after this simulated time (open episodes
+    /// still heal), bounding the run.
+    pub horizon_secs: f64,
+    /// At most this many episodes per run (a second bound for short
+    /// campaigns).
+    pub max_episodes: usize,
+    /// Seconds between redelivery attempts of a Finish report whose
+    /// executor cannot currently reach the master (the worker's RPC
+    /// retry loop).
+    pub redelivery_secs: f64,
+    /// Blocks restored per paced re-replication batch after a DataNode
+    /// suspicion or heal (replaces the instant full
+    /// `restore_replication` storm while this layer is active).
+    pub restore_batch: usize,
+    /// Seconds between paced re-replication batches.
+    pub restore_interval_secs: f64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            mean_time_between_partitions_secs: 45.0,
+            mean_heal_secs: 15.0,
+            split_fraction: 0.3,
+            asymmetric_prob: 0.25,
+            inbound_cut_prob: 0.5,
+            flap_prob: 0.2,
+            mean_flap_secs: 2.0,
+            horizon_secs: 600.0,
+            max_episodes: 4,
+            redelivery_secs: 1.0,
+            restore_batch: 4,
+            restore_interval_secs: 0.5,
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// Sets the cut-away fraction (the sweep axis; `0` disables).
+    pub fn with_split_fraction(mut self, fraction: f64) -> Self {
+        self.split_fraction = fraction;
+        self
+    }
+
+    /// Sets the mean episode duration (the other sweep axis).
+    pub fn with_mean_heal(mut self, secs: f64) -> Self {
+        self.mean_heal_secs = secs;
+        self
+    }
+
+    /// Sets the mean inter-episode gap.
+    pub fn with_mean_time_between_partitions(mut self, secs: f64) -> Self {
+        self.mean_time_between_partitions_secs = secs;
+        self
+    }
+
+    /// Sets the probability an episode is asymmetric (one-way).
+    pub fn with_asymmetric_prob(mut self, p: f64) -> Self {
+        self.asymmetric_prob = p;
+        self
+    }
+
+    /// Sets the probability an episode flaps.
+    pub fn with_flap_prob(mut self, p: f64) -> Self {
+        self.flap_prob = p;
+        self
+    }
+
+    /// Sets the episode cap.
+    pub fn with_max_episodes(mut self, n: usize) -> Self {
+        self.max_episodes = n;
+        self
+    }
+
+    /// A configuration that never cuts anything degenerates to the
+    /// oracle: the driver keeps the whole layer inert (no events, no
+    /// `"partition"` draws), so such a run is event-for-event identical
+    /// to one with no partition configuration at all — the connectivity
+    /// analogue of [`FailSlowConfig::is_inert`].
+    pub fn is_inert(&self) -> bool {
+        self.split_fraction == 0.0
+    }
+
+    /// Panics unless every field is physically sensible.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.split_fraction),
+            "split fraction must be in [0, 1) — someone must stay with the master"
+        );
+        if self.is_inert() {
+            return; // oracle degeneration: nothing else applies
+        }
+        assert!(
+            self.mean_time_between_partitions_secs > 0.0,
+            "mean time between partitions must be positive"
+        );
+        assert!(self.mean_heal_secs > 0.0, "mean heal must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.asymmetric_prob),
+            "asymmetric probability must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.inbound_cut_prob),
+            "inbound-cut probability must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.flap_prob),
+            "flap probability must be a probability"
+        );
+        if self.flap_prob > 0.0 {
+            assert!(
+                self.mean_flap_secs > 0.0,
+                "flapping episodes need a positive mean flap period"
+            );
+        }
+        assert!(self.horizon_secs >= 0.0, "horizon must be non-negative");
+        assert!(self.max_episodes > 0, "need at least one episode");
+        assert!(
+            self.redelivery_secs > 0.0,
+            "redelivery interval must be positive"
+        );
+        assert!(self.restore_batch > 0, "restore batch must be positive");
+        assert!(
+            self.restore_interval_secs > 0.0,
+            "restore interval must be positive"
+        );
+    }
+}
+
 /// Everything that determines a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -629,6 +809,10 @@ pub struct SimConfig {
     /// Gray-failure layer: fail-slow nodes, transient task faults and the
     /// peer-relative health detector; `None` disables all three.
     pub failslow: Option<FailSlowConfig>,
+    /// Network-partition layer: connectivity splits, asymmetric links and
+    /// flapping; `None` keeps the cluster fully connected. Requires a
+    /// non-perfect [`control_plane`](Self::control_plane).
+    pub partition: Option<PartitionConfig>,
     /// Run the invariant auditor after every event even in release
     /// builds. Debug builds (and therefore the test suite) always audit.
     pub audit: bool,
@@ -666,6 +850,7 @@ impl SimConfig {
             chaos: None,
             control_plane: None,
             failslow: None,
+            partition: None,
             audit: false,
             speculation: None,
             seed,
@@ -687,6 +872,7 @@ impl SimConfig {
             chaos: None,
             control_plane: None,
             failslow: None,
+            partition: None,
             audit: false,
             speculation: None,
             seed,
@@ -741,6 +927,17 @@ impl SimConfig {
     /// faults, peer-relative health detection).
     pub fn with_failslow(mut self, failslow: FailSlowConfig) -> Self {
         self.failslow = Some(failslow);
+        self
+    }
+
+    /// Enables the network-partition layer. A non-perfect control plane
+    /// is required (and installed by default if none is configured):
+    /// only a belief-based detector can mis-see a partition.
+    pub fn with_partition(mut self, partition: PartitionConfig) -> Self {
+        if !partition.is_inert() && self.control_plane.is_none() {
+            self.control_plane = Some(ControlPlaneConfig::default());
+        }
+        self.partition = Some(partition);
         self
     }
 
@@ -910,6 +1107,70 @@ mod tests {
         FailSlowConfig {
             disk_factor: 0.5,
             ..FailSlowConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn partition_builders_and_validation() {
+        let c = SimConfig::small_demo(1).with_partition(
+            PartitionConfig::default()
+                .with_split_fraction(0.4)
+                .with_mean_heal(8.0)
+                .with_mean_time_between_partitions(30.0)
+                .with_asymmetric_prob(1.0)
+                .with_flap_prob(0.5)
+                .with_max_episodes(2),
+        );
+        let p = c.partition.expect("partition set");
+        assert_eq!(p.split_fraction, 0.4);
+        assert_eq!(p.mean_heal_secs, 8.0);
+        assert_eq!(p.mean_time_between_partitions_secs, 30.0);
+        assert_eq!(p.asymmetric_prob, 1.0);
+        assert_eq!(p.flap_prob, 0.5);
+        assert_eq!(p.max_episodes, 2);
+        p.validate();
+        PartitionConfig::default().validate();
+        // An active partition config auto-installs a modeled control
+        // plane when none was configured.
+        assert!(c.control_plane.is_some());
+    }
+
+    #[test]
+    fn inert_partition_degenerates() {
+        let inert = PartitionConfig {
+            split_fraction: 0.0,
+            // Nonsense timing fields are tolerated exactly because the
+            // config is inert — mirrors the inert-failslow early return.
+            mean_heal_secs: 0.0,
+            redelivery_secs: 0.0,
+            ..PartitionConfig::default()
+        };
+        assert!(inert.is_inert());
+        inert.validate();
+        assert!(!PartitionConfig::default().is_inert());
+        // Inert partitions don't force a control plane into the config.
+        let c = SimConfig::small_demo(1).with_partition(inert);
+        assert!(c.control_plane.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "stay with the master")]
+    fn partition_validation_rejects_full_split() {
+        PartitionConfig {
+            split_fraction: 1.0,
+            ..PartitionConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mean flap period")]
+    fn partition_validation_rejects_flap_without_period() {
+        PartitionConfig {
+            flap_prob: 0.5,
+            mean_flap_secs: 0.0,
+            ..PartitionConfig::default()
         }
         .validate();
     }

@@ -26,6 +26,12 @@
 //! slowdown begins or remits) and `ProbationStart` (a quarantined node's
 //! cool-off elapsed). The health submodule holds that logic.
 //!
+//! With a [`PartitionConfig`](crate::PartitionConfig) the connectivity
+//! layer adds four more: `PartitionStart`/`PartitionHeal` (a minority
+//! group is cut away from the master side and later rejoins),
+//! `PartitionFlap` (a flapping episode's cut toggles) and `RestoreTick`
+//! (paced re-replication). The partition submodule holds that logic.
+//!
 //! After every event the driver runs its dispatch loop, which iterates to
 //! a fixed point over three steps:
 //!
@@ -61,9 +67,11 @@ pub mod audit;
 mod checkpoint;
 mod detector;
 mod health;
+mod partition;
 
 use detector::{DeadlineKind, DetectorState, HbChannel};
 use health::HealthLayer;
+use partition::PartitionLayer;
 
 /// Entry point: runs a configuration to completion.
 pub struct Simulation;
@@ -144,6 +152,19 @@ enum Event {
     ProbationStart {
         node: custody_dfs::NodeId,
     },
+    /// A partition episode opens: a minority group is cut away from the
+    /// master side (the shape is drawn when the event is handled).
+    PartitionStart,
+    /// The active partition episode heals and reconciliation begins.
+    PartitionHeal,
+    /// A flapping episode's cut toggles on/off. `episode` fences flap
+    /// events that outlive the episode that scheduled them.
+    PartitionFlap {
+        episode: u64,
+    },
+    /// One paced batch of re-replication debt is paid (partition-layer
+    /// runs replace the instant restore storm with these).
+    RestoreTick,
 }
 
 /// Identifies one task: (global job index, stage index, task index).
@@ -294,6 +315,13 @@ struct Driver {
     failslow_rng: SimRng,
     /// Transient-fault coins and retry-backoff jitter.
     taskfault_rng: SimRng,
+    /// The connectivity layer, if configured and non-inert: the current
+    /// reachability relation plus split-brain reconciliation state.
+    partition: Option<PartitionLayer>,
+    /// Partition episode draws (minority, mode, flap, heal, arrivals).
+    /// A dedicated stream so a split-fraction sweep perturbs nothing
+    /// else.
+    partition_rng: SimRng,
     /// Tasks re-queued by a transient fault may not relaunch before their
     /// backoff gate; entries are dropped at launch.
     retry_gates: std::collections::BTreeMap<TaskKey, SimTime>,
@@ -351,6 +379,20 @@ struct Driver {
     quarantine_latency: Summary,
     /// Probe tasks launched on probation nodes.
     probes_launched: usize,
+    /// Partition episodes that opened.
+    partition_episodes: usize,
+    /// Finish reports deferred because their node could not reach the
+    /// master (each bouncing report counted once).
+    partition_finishes_deferred: usize,
+    /// Deferred Finish reports ultimately rejected by the epoch fence on
+    /// delivery — minority work the master had already re-run elsewhere.
+    partition_finishes_fenced: usize,
+    /// Live minority attempts discarded because of the partition: ghost
+    /// dispatches rolled back at reconnect plus running work fenced by
+    /// belief-driven kills of reachable-no-more nodes.
+    partition_work_discarded: usize,
+    /// Seconds from heal to settled beliefs, per reconverged episode.
+    partition_reconverge: Summary,
     /// Open fault disruptions: (fault time, tasks it displaced that have
     /// not relaunched yet). Drained sets record their drain time into
     /// `requeue_drain` — the recovery-time-to-stable-locality metric.
@@ -546,6 +588,36 @@ impl Driver {
             None => None,
         };
 
+        // Connectivity layer: validate, and seed the first episode's
+        // arrival. An inert config (split fraction 0) keeps the layer
+        // off entirely — no events, no `"partition"` draws — so it
+        // degenerates to the oracle event-for-event.
+        let mut partition_rng = SimRng::for_stream(config.seed, "partition");
+        let partition = match &config.partition {
+            Some(pc) => {
+                pc.validate();
+                if pc.is_inert() {
+                    None
+                } else {
+                    assert!(
+                        detector.is_some(),
+                        "partitions require a modeled (non-perfect) control plane: \
+                         they are precisely the faults only a belief-based detector can mis-see"
+                    );
+                    let gap = Exponential::with_mean(pc.mean_time_between_partitions_secs)
+                        .sample(&mut partition_rng);
+                    if gap <= pc.horizon_secs {
+                        queue.schedule(
+                            SimTime::ZERO + SimDuration::from_secs_f64(gap),
+                            Event::PartitionStart,
+                        );
+                    }
+                    Some(PartitionLayer::new(*pc, cluster.num_nodes()))
+                }
+            }
+            None => None,
+        };
+
         let num_nodes = cluster.num_nodes();
         // Dataset creation placed initial replicas directly; the change
         // journal tracks mutations *after* this point (jobs resolve their
@@ -581,6 +653,8 @@ impl Driver {
             health,
             failslow_rng,
             taskfault_rng: SimRng::for_stream(config.seed, "task-faults"),
+            partition,
+            partition_rng,
             retry_gates: std::collections::BTreeMap::new(),
             checkpoint: None,
             wal: Vec::new(),
@@ -612,6 +686,11 @@ impl Driver {
             false_quarantines: 0,
             quarantine_latency: Summary::new(),
             probes_launched: 0,
+            partition_episodes: 0,
+            partition_finishes_deferred: 0,
+            partition_finishes_fenced: 0,
+            partition_work_discarded: 0,
+            partition_reconverge: Summary::new(),
             open_disruptions: Vec::new(),
             requeue_drain: Summary::new(),
             peak_queue_len: 0,
@@ -686,8 +765,17 @@ impl Driver {
             Event::FailSlowOnset { node } => self.on_failslow_onset(node, now),
             Event::FailSlowRemit { node } => self.on_failslow_remit(node, now),
             Event::ProbationStart { node } => self.on_probation_start(node, now),
+            Event::PartitionStart => self.on_partition_start(now),
+            Event::PartitionHeal => self.on_partition_heal(now),
+            Event::PartitionFlap { episode } => self.on_partition_flap(episode, now),
+            Event::RestoreTick => self.on_restore_tick(now),
         }
         self.dispatch(now);
+        if self.partition.is_some() {
+            // Heal reconciliation: record the heal → settled-beliefs
+            // interval the first time the rejoined minority looks clean.
+            self.check_partition_reconverge(now);
+        }
         self.peak_queue_len = self.peak_queue_len.max(self.queue.len());
     }
 
@@ -770,6 +858,33 @@ impl Driver {
     }
 
     fn on_finish(&mut self, executor: ExecutorId, epoch: u64, now: SimTime) {
+        let stale = {
+            let state = &self.exec_state[executor.index()];
+            state.dead || state.epoch != epoch
+        };
+        if let Some(p) = &mut self.partition {
+            let node = self.cluster.node_of(executor);
+            if !stale && !p.connectivity.node_reaches_master(node) {
+                // The report cannot cross the cut: the worker's RPC
+                // retry loop bounces it until a delivery succeeds
+                // (a heal is always pending, so it always drains).
+                if p.deferred.insert((executor.index(), epoch)) {
+                    self.partition_finishes_deferred += 1;
+                }
+                self.queue.schedule(
+                    now + SimDuration::from_secs_f64(p.cfg.redelivery_secs),
+                    Event::Finish { executor, epoch },
+                );
+                return;
+            }
+            if p.deferred.remove(&(executor.index(), epoch)) && stale {
+                // A deferred minority report finally crossed, but its
+                // epoch went stale while it bounced: the master already
+                // re-ran the work elsewhere — rejected and counted,
+                // never double-completed.
+                self.partition_finishes_fenced += 1;
+            }
+        }
         let state = &mut self.exec_state[executor.index()];
         if state.dead || state.epoch != epoch {
             // Stale completion for a task killed by a failure (or, in
@@ -1039,6 +1154,7 @@ impl Driver {
             // Roll the attempt back exactly; a failed job's task records
             // must hold no launch credit (the auditor re-derives them).
             self.on_attempt_killed(&r, now);
+            self.partition_forget_ghost(custody_cluster::ExecutorId::new(e));
         }
         self.retry_gates.retain(|&(job, _, _), _| job != j);
         self.jobs[j].mark_failed(now);
@@ -1076,6 +1192,8 @@ impl Driver {
         if let Some(d) = &mut self.detector {
             d.leases.drop_lease(e);
         }
+        // A ghost dispatch on this executor was just rolled back here.
+        self.partition_forget_ghost(e);
     }
 
     /// Kills every live executor on `node`. Displaced tasks are tracked
@@ -1720,8 +1838,10 @@ impl Driver {
         });
         // A doomed launch — onto a believed-alive but physically down
         // executor — never completes; lease expiry or a post-recovery
-        // heartbeat's ghost check cleans it up.
-        if self.node_down[node.index()].is_none() {
+        // heartbeat's ghost check cleans it up. A dispatch lost crossing
+        // a partition cut never ran at all: reconnect reconciliation
+        // rolls it back.
+        if self.node_down[node.index()].is_none() && self.partition_dispatch_arrives(e, node) {
             self.queue.schedule(
                 now + io_time + compute,
                 Event::Finish {
@@ -1848,8 +1968,10 @@ impl Driver {
             launch_epoch: self.exec_state[executor.index()].epoch,
         });
         // Doomed launches (detector mode: executor believed alive but
-        // physically down) never complete — see `try_speculate`.
-        if self.node_down[node.index()].is_none() {
+        // physically down) never complete — see `try_speculate` — and a
+        // dispatch lost crossing a partition cut never ran at all.
+        if self.node_down[node.index()].is_none() && self.partition_dispatch_arrives(executor, node)
+        {
             self.queue.schedule(
                 now + io_time + compute,
                 Event::Finish {
@@ -1915,6 +2037,23 @@ impl Driver {
             self.open_disruptions.is_empty(),
             "displaced tasks never relaunched"
         );
+        if let Some(p) = &self.partition {
+            // Heals are scheduled at episode open, so no run can end
+            // mid-split; reconnect reconciliation and the redelivery
+            // loop must have drained every ghost and bounced report.
+            assert!(
+                !p.connectivity.split_active(),
+                "a partition episode never healed"
+            );
+            assert!(
+                p.lost_dispatches.is_empty(),
+                "ghost dispatches never reconciled after heal"
+            );
+            assert!(
+                p.deferred.is_empty(),
+                "deferred Finish reports never delivered after heal"
+            );
+        }
         let nodes_failed = self.nodes_failed;
         let tasks_requeued = self.tasks_requeued;
         let tasks_speculated = self.speculation.as_ref().map_or(0, |s| s.launches);
@@ -1937,6 +2076,38 @@ impl Driver {
             nodes_failed,
             self.executor_faults,
         );
+        // Partition accounting closes over the whole run: every fenced
+        // minority Finish was first deferred and then hit the epoch
+        // fence, reconvergence is measured at most once per episode, and
+        // a run without the layer has nothing on any partition counter.
+        assert!(
+            self.partition_finishes_fenced <= self.partition_finishes_deferred,
+            "{} partition-fenced Finishes exceed {} ever deferred",
+            self.partition_finishes_fenced,
+            self.partition_finishes_deferred,
+        );
+        assert!(
+            self.partition_finishes_fenced <= self.stale_finishes_fenced,
+            "a partition-fenced Finish bypassed the epoch fence",
+        );
+        assert!(
+            self.partition_reconverge.count() <= self.partition_episodes,
+            "{} reconvergences measured for {} episodes",
+            self.partition_reconverge.count(),
+            self.partition_episodes,
+        );
+        if let Some(p) = &self.partition {
+            assert!(
+                self.partition_episodes <= p.cfg.max_episodes,
+                "{} episodes exceed the configured cap {}",
+                self.partition_episodes,
+                p.cfg.max_episodes,
+            );
+        } else {
+            assert_eq!(self.partition_episodes, 0, "episodes without a layer");
+            assert_eq!(self.partition_finishes_deferred, 0);
+            assert_eq!(self.partition_work_discarded, 0);
+        }
         let jobs_completed = self.apps.iter().map(|a| a.metrics.jobs_completed).sum();
         let trace = self.trace.take().unwrap_or_default();
         let outcome = SimOutcome {
@@ -1977,6 +2148,11 @@ impl Driver {
                 false_quarantines: self.false_quarantines,
                 quarantine_latency_secs: self.quarantine_latency,
                 probes_launched: self.probes_launched,
+                partition_episodes: self.partition_episodes,
+                partition_finishes_deferred: self.partition_finishes_deferred,
+                partition_finishes_fenced: self.partition_finishes_fenced,
+                partition_work_discarded: self.partition_work_discarded,
+                partition_reconverge_secs: self.partition_reconverge,
             },
         };
         (outcome, trace)

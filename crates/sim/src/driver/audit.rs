@@ -51,6 +51,13 @@
 //! 12. **Preferred-node freshness** — every unlaunched input task of an
 //!     unfinished job agrees with the NameNode's current replica map, so
 //!     the journal-driven sharded invalidation misses nothing.
+//! 13. **Partition discipline** (connectivity layer) — without the layer
+//!     every partition counter is zero; with it, ghost dispatches exist
+//!     only under an active cut and only on busy minority executors the
+//!     master cannot reach, fenced + still-bouncing deferred reports
+//!     never exceed total deferrals, every partition-fenced Finish also
+//!     hit the epoch fence, the episode budget is respected, and
+//!     reconvergence is only ever awaited after a heal.
 
 use custody_cluster::HealthState;
 
@@ -79,6 +86,80 @@ impl Driver {
         if self.health.is_some() {
             self.audit_health();
         }
+        self.audit_partition();
+    }
+
+    /// Invariant 13: partition discipline — counter hygiene without the
+    /// layer; ghost-dispatch, deferral and episode bookkeeping with it.
+    fn audit_partition(&self) {
+        let Some(p) = &self.partition else {
+            assert_eq!(
+                self.partition_episodes, 0,
+                "partition episodes counted without the layer"
+            );
+            assert_eq!(
+                self.partition_finishes_deferred, 0,
+                "deferred finishes counted without the layer"
+            );
+            assert_eq!(
+                self.partition_finishes_fenced, 0,
+                "partition-fenced finishes counted without the layer"
+            );
+            assert_eq!(
+                self.partition_work_discarded, 0,
+                "partition-discarded work counted without the layer"
+            );
+            assert_eq!(
+                self.partition_reconverge.count(),
+                0,
+                "reconvergence samples recorded without the layer"
+            );
+            return;
+        };
+        let c = &p.connectivity;
+        assert!(
+            p.lost_dispatches.is_empty() || c.cutting(),
+            "ghost dispatches survived a reconnect unreconciled"
+        );
+        for &e in &p.lost_dispatches {
+            let node = self.cluster.node_of(e);
+            assert!(
+                c.in_minority(node),
+                "ghost dispatch on majority-side executor {e}"
+            );
+            assert!(
+                !c.master_reaches_node(node),
+                "ghost dispatch on a reachable node ({e})"
+            );
+            let st = &self.exec_state[e.index()];
+            assert!(
+                !st.dead && st.running.is_some(),
+                "ghost dispatch on an executor ({e}) the master does not believe busy"
+            );
+        }
+        assert!(
+            self.partition_finishes_fenced + p.deferred.len() <= self.partition_finishes_deferred,
+            "fenced ({}) + bouncing ({}) deferred reports exceed deferrals ({})",
+            self.partition_finishes_fenced,
+            p.deferred.len(),
+            self.partition_finishes_deferred,
+        );
+        assert!(
+            self.partition_finishes_fenced <= self.stale_finishes_fenced,
+            "a partition-fenced Finish bypassed the epoch fence"
+        );
+        assert!(
+            self.partition_episodes <= p.cfg.max_episodes,
+            "episode budget exceeded"
+        );
+        assert!(
+            !c.split_active() || self.partition_episodes >= 1,
+            "active split without an episode on record"
+        );
+        assert!(
+            p.awaiting_reconverge.is_none() || !c.split_active(),
+            "reconvergence awaited while a split is still open"
+        );
     }
 
     /// Invariant 11: gray-failure discipline — retry budgets, failed-job

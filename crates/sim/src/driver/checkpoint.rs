@@ -162,6 +162,13 @@ fn assert_converged(live: &Driver, ghost: &Driver) {
     check!(false_quarantines);
     check!(quarantine_latency);
     check!(probes_launched);
+    check!(partition);
+    check!(partition_rng);
+    check!(partition_episodes);
+    check!(partition_finishes_deferred);
+    check!(partition_finishes_fenced);
+    check!(partition_work_discarded);
+    check!(partition_reconverge);
     check!(open_disruptions);
     check!(requeue_drain);
     check!(peak_queue_len);

@@ -173,6 +173,13 @@ impl Driver {
         let idle = self.control_plane_idle();
         let machine_down = self.node_down[node.index()] == Some(FaultKind::Machine);
         let exec_up = self.node_down[node.index()].is_none();
+        // Partition cut: the node still emits (the drop/delay draws below
+        // happen identically, keeping the "control-plane" stream aligned),
+        // but a heartbeat that cannot cross the cut is lost on the wire.
+        let reaches_master = self
+            .partition
+            .as_ref()
+            .is_none_or(|p| p.connectivity.node_reaches_master(node));
         let Some(d) = &mut self.detector else {
             unreachable!("heartbeat tick without a detector") // lint: allow(panic) — heartbeat ticks exist only in detector mode
         };
@@ -183,26 +190,30 @@ impl Driver {
         }
         if exec_up {
             if let Some(delay) = d.channel_hop(&mut self.control_rng) {
-                self.queue.schedule(
-                    now + delay,
-                    Event::HeartbeatArrive {
-                        node,
-                        channel: HbChannel::Executor,
-                        phys_epoch: d.phys_epoch_exec[node.index()],
-                    },
-                );
+                if reaches_master {
+                    self.queue.schedule(
+                        now + delay,
+                        Event::HeartbeatArrive {
+                            node,
+                            channel: HbChannel::Executor,
+                            phys_epoch: d.phys_epoch_exec[node.index()],
+                        },
+                    );
+                }
             }
         }
         // The DataNode still beats through an executor-only fault.
         if let Some(delay) = d.channel_hop(&mut self.control_rng) {
-            self.queue.schedule(
-                now + delay,
-                Event::HeartbeatArrive {
-                    node,
-                    channel: HbChannel::DataNode,
-                    phys_epoch: d.phys_epoch_dfs[node.index()],
-                },
-            );
+            if reaches_master {
+                self.queue.schedule(
+                    now + delay,
+                    Event::HeartbeatArrive {
+                        node,
+                        channel: HbChannel::DataNode,
+                        phys_epoch: d.phys_epoch_dfs[node.index()],
+                    },
+                );
+            }
         }
         self.queue.schedule(
             now + SimDuration::from_secs_f64(d.cp.heartbeat_interval_secs),
@@ -295,6 +306,8 @@ impl Driver {
             if self.on_attempt_killed(&r, now) {
                 displaced.insert((r.job_idx, r.stage, r.task));
             }
+            // A reaped ghost needs no reconnect reconciliation anymore.
+            self.partition_forget_ghost(e);
         }
         if !displaced.is_empty() {
             self.open_disruptions.push((now, displaced));
@@ -387,6 +400,10 @@ impl Driver {
         } else {
             self.false_suspicions += 1;
         }
+        // Work still physically running behind the cut is about to be
+        // fenced and re-run: score it as partition-discarded.
+        let executors: Vec<ExecutorId> = self.cluster.executors_on(node).to_vec();
+        self.note_minority_discards(&executors);
         self.kill_executors_on(node, now);
         self.cache.invalidate_executors();
         self.cache.mark_pool_changed();
@@ -412,7 +429,15 @@ impl Driver {
         if lost {
             self.blocks_lost += pinned.len();
         }
-        self.namenode.restore_replication(&mut self.fail_rng);
+        if self.partition.is_some() {
+            // Partitions make suspicion storms likely (a whole minority
+            // times out together), so the re-replication debt is paid in
+            // paced batches instead of one instant storm — and on heal
+            // the falsely-suspected replicas come straight back.
+            self.arm_restore_tick(now);
+        } else {
+            self.namenode.restore_replication(&mut self.fail_rng);
+        }
         self.refresh_all_preferred();
     }
 
@@ -426,10 +451,15 @@ impl Driver {
             .expect("lease expiry without detector"); // lint: allow(panic) — lease expiries exist only in detector mode
         debug_assert_eq!(d.lease_deadline_at, Some(now), "stale lease timer");
         d.lease_deadline_at = None;
-        let expired = d.leases.expired(now);
+        // One atomic revocation sweep: the table drops every expired
+        // lease before any kill runs, so a mid-sweep observer (the
+        // auditor, a checkpoint) never sees a half-dropped table.
+        let expired = d.leases.take_expired(now);
         for &e in &expired {
             d.revoked[e.index()] = true;
         }
+        // Leases expiring under a cut fence live minority work.
+        self.note_minority_discards(&expired);
         let mut displaced: BTreeSet<TaskKey> = BTreeSet::new();
         for &e in &expired {
             self.leases_revoked += 1;

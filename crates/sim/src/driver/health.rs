@@ -481,6 +481,12 @@ impl Driver {
     /// with, so a skewed median can never starve the run. Scores the
     /// verdict against physical truth and arms the probation timer.
     fn try_quarantine(&mut self, node: NodeId, now: SimTime) {
+        if self.partition_suppresses_quarantine() {
+            // Peer-relative service-time readings are poisoned while a
+            // split is open (the comparison pool is skewed and the cut
+            // already removes capacity); back off until the heal.
+            return;
+        }
         let h = self.health.as_ref().expect("quarantine without layer"); // lint: allow(panic) — quarantine events are only scheduled when the layer is configured
                                                                          // Count live (not crashed) nodes and how many of them currently
                                                                          // accept placements; a crashed node must not pad either side.

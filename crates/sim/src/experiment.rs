@@ -512,6 +512,133 @@ pub fn demotion_sweep(
     cells
 }
 
+/// One cell of the partition sweep: Custody vs the baseline riding
+/// through the same seeded partition schedule (same splits, same
+/// asymmetry coins, same heal times) at one (split fraction, mean heal)
+/// point.
+#[derive(Debug, Clone)]
+pub struct PartitionCell {
+    /// Fraction of nodes cut off per episode in this cell.
+    pub split_fraction: f64,
+    /// Mean episode duration (seconds) before the cut heals.
+    pub mean_heal_secs: f64,
+    /// Custody's metrics under partitions.
+    pub custody: RunMetrics,
+    /// The baseline's metrics under partitions.
+    pub baseline: RunMetrics,
+}
+
+impl PartitionCell {
+    /// Relative mean-JCT inflation versus the given partition-free
+    /// reference, in percent: `(custody, baseline)`. Positive = time
+    /// lost to split-brain fencing and rejoin reconciliation.
+    pub fn jct_stretch_pct(
+        &self,
+        custody_calm: &RunMetrics,
+        baseline_calm: &RunMetrics,
+    ) -> (f64, f64) {
+        let stretch = |cell: &RunMetrics, calm: &RunMetrics| {
+            let (a, b) = (
+                cell.job_completion_secs().mean(),
+                calm.job_completion_secs().mean(),
+            );
+            if b == 0.0 {
+                0.0
+            } else {
+                (a - b) / b * 100.0
+            }
+        };
+        (
+            stretch(&self.custody, custody_calm),
+            stretch(&self.baseline, baseline_calm),
+        )
+    }
+
+    /// Mean heal-to-reconverge time in seconds (from a cut healing until
+    /// the master's beliefs about every former-minority node settled):
+    /// `(custody, baseline)`.
+    pub fn reconverge_secs(&self) -> (f64, f64) {
+        (
+            self.custody.partition_reconverge_secs.mean(),
+            self.baseline.partition_reconverge_secs.mean(),
+        )
+    }
+
+    /// Total split-brain Finish reports fenced after redelivery:
+    /// `(custody, baseline)`. Every one of these is a double-completion
+    /// that fencing prevented.
+    pub fn fenced_finishes(&self) -> (usize, usize) {
+        (
+            self.custody.partition_finishes_fenced,
+            self.baseline.partition_finishes_fenced,
+        )
+    }
+}
+
+/// The partition-injection profile the sweep runs: episodes arrive fast
+/// enough that short benchmark runs see several, with asymmetric cuts
+/// and flapping both in play so the fencing and reconciliation paths
+/// all get exercised.
+fn sweep_partition(split_fraction: f64, mean_heal_secs: f64) -> crate::config::PartitionConfig {
+    crate::config::PartitionConfig::default()
+        .with_split_fraction(split_fraction)
+        .with_mean_heal(mean_heal_secs)
+        .with_mean_time_between_partitions(12.0)
+}
+
+/// The partition sweep: Custody vs the baseline across a grid of
+/// (split fraction × mean heal time) on one cluster, plus a
+/// partition-free reference pair at the front. The reference runs the
+/// same modeled control plane (partitions require heartbeats to cut),
+/// so each cell isolates what the cuts themselves cost. All cells share
+/// the submission schedule and placement, and — per grid point — the
+/// partition schedule. Returns `(custody_calm, baseline_calm, cells)`;
+/// cells are run in parallel and ordered split-major, heal-minor.
+pub fn partition_sweep(
+    num_nodes: usize,
+    jobs_per_app: usize,
+    split_fractions: &[f64],
+    heals_secs: &[f64],
+    seed: u64,
+) -> (RunMetrics, RunMetrics, Vec<PartitionCell>) {
+    let mut base = SimConfig::paper(
+        WorkloadKind::WordCount,
+        num_nodes,
+        AllocatorKind::Custody,
+        seed,
+    );
+    base.campaign = base.campaign.with_jobs_per_app(jobs_per_app);
+    // The calm reference carries the same control plane the partition
+    // cells run on; only the cuts are absent.
+    let calm = base
+        .clone()
+        .with_control_plane(crate::config::ControlPlaneConfig::default());
+    let grid: Vec<(f64, f64)> = split_fractions
+        .iter()
+        .flat_map(|&f| heals_secs.iter().map(move |&h| (f, h)))
+        .collect();
+    let base_for_cells = base.clone();
+    let mut cells = custody_simcore::par_map(&grid, move |&(fraction, heal)| {
+        let cfg = base_for_cells
+            .clone()
+            .with_partition(sweep_partition(fraction, heal));
+        PartitionCell {
+            split_fraction: fraction,
+            mean_heal_secs: heal,
+            custody: Simulation::run(&cfg).cluster_metrics,
+            baseline: Simulation::run(&cfg.clone().with_allocator(PAPER_BASELINE)).cluster_metrics,
+        }
+    });
+    cells.sort_by(|a, b| {
+        a.split_fraction
+            .total_cmp(&b.split_fraction)
+            .then(a.mean_heal_secs.total_cmp(&b.mean_heal_secs))
+    });
+    let custody_calm = Simulation::run(&calm).cluster_metrics;
+    let baseline_calm = Simulation::run(&calm.with_allocator(PAPER_BASELINE)).cluster_metrics;
+    (custody_calm, baseline_calm, cells)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +713,38 @@ mod tests {
         assert!(sick.hard.onsets > 0, "no slowdown drawn");
         assert!(sick.soft_gain_pct().is_finite());
         assert!(sick.soft_locality_gain_points().is_finite());
+    }
+
+    #[test]
+    fn partition_sweep_runs_and_orders_cells() {
+        let (custody_calm, baseline_calm, cells) = partition_sweep(10, 4, &[0.2, 0.4], &[8.0], 19);
+        assert_eq!(cells.len(), 2);
+        // Ordered gentle → harsh (increasing split fraction).
+        assert!(cells[0].split_fraction < cells[1].split_fraction);
+        // The calm reference never saw a cut.
+        assert_eq!(custody_calm.partition_episodes, 0);
+        assert_eq!(baseline_calm.partition_episodes, 0);
+        assert_eq!(custody_calm.jobs_completed, 16);
+        assert_eq!(baseline_calm.jobs_completed, 16);
+        for cell in &cells {
+            // Split-brain fencing never lets work double-complete, and
+            // every job still finishes once the cuts heal.
+            assert_eq!(cell.custody.jobs_completed, 16);
+            assert_eq!(cell.baseline.jobs_completed, 16);
+            assert_eq!(cell.custody.unfenced_stale_finishes, 0);
+            assert_eq!(cell.baseline.unfenced_stale_finishes, 0);
+            let (c, b) = cell.jct_stretch_pct(&custody_calm, &baseline_calm);
+            assert!(c.is_finite() && b.is_finite());
+            let (rc, rb) = cell.reconverge_secs();
+            assert!(rc >= 0.0 && rb >= 0.0);
+        }
+        // At least one run in the sweep actually cut the network.
+        assert!(
+            cells
+                .iter()
+                .any(|c| c.custody.partition_episodes > 0 || c.baseline.partition_episodes > 0),
+            "partition sweep drew no episodes"
+        );
     }
 
     #[test]

@@ -171,6 +171,23 @@ pub struct RunMetrics {
     pub quarantine_latency_secs: Summary,
     /// Probe tasks launched on probation nodes to earn re-admission.
     pub probes_launched: usize,
+    /// Network-partition episodes that opened (minority cut away from
+    /// the master side).
+    pub partition_episodes: usize,
+    /// Finish reports deferred because their node could not reach the
+    /// master across a partition cut (each bouncing report counted once).
+    pub partition_finishes_deferred: usize,
+    /// Deferred Finish reports ultimately rejected by the epoch fence on
+    /// delivery — split-brain work the master had already re-run; never
+    /// double-completed.
+    pub partition_finishes_fenced: usize,
+    /// Live minority attempts discarded because of a partition: ghost
+    /// dispatches rolled back at reconnect plus running work fenced by
+    /// belief-driven kills of unreachable nodes.
+    pub partition_work_discarded: usize,
+    /// Seconds from a partition's heal to the master's beliefs about the
+    /// rejoined minority settling, per reconverged episode.
+    pub partition_reconverge_secs: Summary,
 }
 
 impl RunMetrics {
@@ -342,6 +359,11 @@ mod tests {
             false_quarantines: 0,
             quarantine_latency_secs: Summary::new(),
             probes_launched: 0,
+            partition_episodes: 0,
+            partition_finishes_deferred: 0,
+            partition_finishes_fenced: 0,
+            partition_work_discarded: 0,
+            partition_reconverge_secs: Summary::new(),
         };
         assert_eq!(run.input_locality().count(), 4);
         assert_eq!(run.job_completion_secs().count(), 4);
@@ -387,6 +409,11 @@ mod tests {
             false_quarantines: 0,
             quarantine_latency_secs: Summary::new(),
             probes_launched: 0,
+            partition_episodes: 0,
+            partition_finishes_deferred: 0,
+            partition_finishes_fenced: 0,
+            partition_work_discarded: 0,
+            partition_reconverge_secs: Summary::new(),
         };
         assert_eq!(run.min_local_job_fraction(), 1.0);
     }

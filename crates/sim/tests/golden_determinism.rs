@@ -121,6 +121,26 @@ fn assert_identical(on: &RunMetrics, off: &RunMetrics, label: &str) {
         on.probes_launched, off.probes_launched,
         "{label}: probation probes"
     );
+    assert_eq!(
+        on.partition_episodes, off.partition_episodes,
+        "{label}: partition episodes"
+    );
+    assert_eq!(
+        on.partition_finishes_deferred, off.partition_finishes_deferred,
+        "{label}: deferred minority finishes"
+    );
+    assert_eq!(
+        on.partition_finishes_fenced, off.partition_finishes_fenced,
+        "{label}: fenced minority finishes"
+    );
+    assert_eq!(
+        on.partition_work_discarded, off.partition_work_discarded,
+        "{label}: minority work discarded"
+    );
+    assert_eq!(
+        on.partition_reconverge_secs, off.partition_reconverge_secs,
+        "{label}: reconvergence times"
+    );
     // The scan-everything path never skips.
     assert_eq!(off.rounds_skipped, 0, "{label}: reference path skipped");
 }
@@ -270,6 +290,82 @@ fn chaos_plus_failslow_identical() {
                 .with_chaos(chaos)
                 .with_failslow(fs),
             &format!("chaos + failslow seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn partition_identical_across_every_knob() {
+    // The partition layer draws from its own "partition" stream (episode
+    // gaps, minority membership, asymmetry coins, flap schedules, heal
+    // times), and its deferral/ghost-reconciliation machinery reroutes
+    // heartbeats, dispatches, and Finish reports. Every configuration
+    // knob must leave the incremental engine invisible.
+    use custody_sim::PartitionConfig;
+    let base = PartitionConfig::default()
+        .with_split_fraction(0.4)
+        .with_mean_heal(8.0)
+        .with_mean_time_between_partitions(12.0);
+    let mut inbound = base;
+    inbound.asymmetric_prob = 1.0;
+    inbound.inbound_cut_prob = 1.0;
+    let mut outbound = base;
+    outbound.asymmetric_prob = 1.0;
+    outbound.inbound_cut_prob = 0.0;
+    let mut flappy = base;
+    flappy.flap_prob = 1.0;
+    flappy.mean_flap_secs = 1.0;
+    let mut slow_restore = base;
+    slow_restore.restore_batch = 1;
+    slow_restore.restore_interval_secs = 2.0;
+    let mut quick_redelivery = base;
+    quick_redelivery.redelivery_secs = 0.25;
+    for (pc, label) in [
+        (base, "symmetric cuts"),
+        (base.with_split_fraction(0.6), "majority-sized split"),
+        (base.with_mean_heal(2.0), "quick heals"),
+        (
+            base.with_mean_time_between_partitions(6.0),
+            "frequent episodes",
+        ),
+        (base.with_max_episodes(1), "single episode"),
+        (inbound, "inbound-only cuts"),
+        (outbound, "outbound-only cuts"),
+        (flappy, "flapping links"),
+        (slow_restore, "paced restore"),
+        (quick_redelivery, "quick redelivery"),
+    ] {
+        run_pair(
+            SimConfig::small_demo(31).with_partition(pc),
+            &format!("partition knob: {label}"),
+        );
+    }
+}
+
+#[test]
+fn chaos_plus_failslow_plus_partition_identical() {
+    // The full storm: crash/recovery cycles, gray failures, and network
+    // cuts all churning beliefs at once. Deferred Finishes, ghost
+    // dispatches, paced restore ticks, and reconvergence tracking must
+    // all replay identically when rounds are skipped.
+    use custody_sim::{FailSlowConfig, PartitionConfig};
+    let chaos = ChaosConfig::default()
+        .with_mean_time_between_faults(20.0)
+        .with_horizon(120.0);
+    let fs = FailSlowConfig::default()
+        .with_sick_fraction(0.2)
+        .with_transient_fault_prob(0.05);
+    let pc = PartitionConfig::default()
+        .with_split_fraction(0.4)
+        .with_mean_heal(8.0)
+        .with_mean_time_between_partitions(12.0);
+    for seed in [5, 29] {
+        run_pair(
+            SimConfig::small_demo(seed)
+                .with_chaos(chaos)
+                .with_failslow(fs)
+                .with_partition(pc),
+            &format!("chaos + failslow + partition seed {seed}"),
         );
     }
 }
