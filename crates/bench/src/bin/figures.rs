@@ -8,14 +8,15 @@
 //! ```
 //!
 //! Targets: `fig7`, `fig7-fixed`, `fig8`, `fig9`, `fig10`, `ablations`,
-//! `chaos`, `partition`, `detector`, `failslow`, `demotion`, `theory`,
-//! `all`.
+//! `chaos`, `partition`, `durability`, `detector`, `failslow`,
+//! `demotion`, `theory`, `all`.
 
 use custody_bench::{
     ablation_delay_table, ablation_inter_table, ablation_intra_table, ablation_placement_table,
     ablation_speculation_table, allocator_cost_summary, chaos_table, demotion_table,
-    detector_table, failslow_table, fig10_table, fig7_fixed_quota_table, fig7_table, fig8_table,
-    fig9_table, partition_table, run_sweep, theory_quality_table, FigureOptions,
+    detector_table, durability_table, failslow_table, fig10_table, fig7_fixed_quota_table,
+    fig7_table, fig8_table, fig9_table, partition_table, run_sweep, theory_quality_table,
+    FigureOptions,
 };
 
 fn main() {
@@ -84,6 +85,9 @@ fn main() {
     }
     if wants("partition") {
         println!("{}", partition_table(&opts));
+    }
+    if wants("durability") {
+        println!("{}", durability_table(&opts));
     }
     if wants("detector") {
         println!("{}", detector_table(&opts));

@@ -10,6 +10,7 @@
 //!     [--master-crash <prob>] [--speculation] \
 //!     [--failslow <sick-fraction>[:<fault-prob>]] [--no-quarantine] \
 //!     [--partition <split-fraction>[:<mean-heal-secs>]] \
+//!     [--corruption <latent-fraction>[:<scrub-interval-secs>]] \
 //!     [--demotion soft|hard|off] [--retry-budget <n>] \
 //!     [--trace out.tsv] [--analyze]
 //! ```
@@ -91,6 +92,7 @@ fn main() {
     let mut speculation = false;
     let mut failslow: Option<custody_sim::FailSlowConfig> = None;
     let mut partition: Option<custody_sim::PartitionConfig> = None;
+    let mut corruption: Option<custody_sim::CorruptionConfig> = None;
     let mut no_quarantine = false;
     let mut demotion: Option<String> = None;
     let mut retry_budget: Option<usize> = None;
@@ -178,6 +180,22 @@ fn main() {
                     }
                 });
             }
+            "--corruption" => {
+                let v = val();
+                let cc = custody_sim::CorruptionConfig::default();
+                corruption = Some(match v.split_once(':') {
+                    Some((latent, scrub)) => cc
+                        .with_latent_fraction(
+                            latent
+                                .parse()
+                                .expect("--corruption <latent-fraction>[:<scrub-interval-secs>]"),
+                        )
+                        .with_scrub_interval(scrub.parse().expect("scrub interval seconds")),
+                    None => {
+                        cc.with_latent_fraction(v.parse().expect("--corruption <latent-fraction>"))
+                    }
+                });
+            }
             "--no-quarantine" => no_quarantine = true,
             "--demotion" => demotion = Some(val()),
             "--retry-budget" => {
@@ -243,6 +261,9 @@ fn main() {
     }
     if let Some(pc) = partition {
         cfg = cfg.with_partition(pc);
+    }
+    if let Some(cc) = corruption {
+        cfg = cfg.with_corruption(cc);
     }
 
     println!("{}\n", cfg.label());
@@ -327,6 +348,24 @@ fn main() {
             m.partition_work_discarded,
             m.partition_reconverge_secs.mean(),
             m.partition_reconverge_secs.count(),
+        );
+    }
+    if corruption.is_some() {
+        println!(
+            "corruption: {} replicas rotted  detected {} by read / {} by scrub  \
+             latency {:.1} s mean ({})  {} repaired  {} blocks unavailable ({} recovered)  \
+             lost {} / at risk {}  {} jobs failed unavailable",
+            m.replicas_corrupted,
+            m.corrupt_reads_detected,
+            m.scrub_detections,
+            m.corruption_detection_secs.mean(),
+            m.corruption_detection_secs.count(),
+            m.replicas_repaired,
+            m.blocks_unavailable,
+            m.blocks_recovered,
+            m.blocks_permanently_lost,
+            m.blocks_at_risk,
+            m.jobs_failed_unavailable,
         );
     }
     println!(

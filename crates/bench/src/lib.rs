@@ -563,6 +563,73 @@ pub fn partition_table(opts: &FigureOptions) -> String {
     )
 }
 
+/// Durability sweep: the background scrubber + unified prioritized
+/// repair pipeline on vs off across injected latent-corruption rates,
+/// each also running the same ongoing arrival process. Reports blocks
+/// permanently lost and left at risk, the mean corruption-onset-to-
+/// detection latency, repair traffic, and the mean-JCT overhead relative
+/// to a corruption-free run — the data-durability story: scrubbing
+/// dominates on loss at every rate, and the overhead it costs is the
+/// price of that durability.
+pub fn durability_table(opts: &FigureOptions) -> String {
+    use custody_sim::experiment::durability_sweep;
+    // The congested regime: on the smallest paper cluster every block
+    // hosts live work, so rot is felt rather than shrugged off.
+    let nodes = opts.sizes.iter().copied().min().unwrap_or(25).min(25);
+    let rates = [0.15, 0.2, 0.3];
+    let (calm, cells) = durability_sweep(nodes, opts.jobs_per_app, &rates, opts.seed);
+    let mut rows = vec![vec![
+        "calm".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{:.2} s", calm.job_completion_secs().mean()),
+        "-".to_string(),
+    ]];
+    for cell in &cells {
+        let (lo, lf) = cell.permanently_lost();
+        let (dl, df) = cell.detection_secs();
+        let (jo, jf) = cell.jct_overhead_pct(&calm);
+        rows.push(vec![
+            format!("{:.0} %", cell.latent_fraction * 100.0),
+            format!("{lo} / {lf}"),
+            format!(
+                "{} / {}",
+                cell.scrub_on.blocks_at_risk, cell.scrub_off.blocks_at_risk
+            ),
+            format!("{dl:.1} / {df:.1} s"),
+            format!(
+                "{} / {}",
+                cell.scrub_on.replicas_repaired, cell.scrub_off.replicas_repaired
+            ),
+            format!(
+                "{:.2} / {:.2} s",
+                cell.scrub_on.job_completion_secs().mean(),
+                cell.scrub_off.job_completion_secs().mean()
+            ),
+            format!("{jo:+.1} / {jf:+.1} %"),
+        ]);
+    }
+    format!(
+        "Durability sweep — scrub + prioritized repair on/off by latent rot rate, WordCount, {nodes} nodes\n\
+         (lost = blocks with zero intact replicas at end of run; at risk = down to a sole intact copy;\n\
+         detect = mean onset-to-detection latency; overhead = mean-JCT inflation vs the rot-free run)\n{}",
+        render_table(
+            &[
+                "rot",
+                "lost on/off",
+                "at risk on/off",
+                "detect on/off",
+                "repairs on/off",
+                "jct on/off",
+                "overhead on/off"
+            ],
+            &rows
+        )
+    )
+}
+
 /// Detector sweep: the modeled control plane (lossy heartbeats,
 /// suspicion timeouts, leases, epoch fencing, master checkpoint/WAL
 /// recovery) vs oracle failure knowledge, on the same chaos schedule.

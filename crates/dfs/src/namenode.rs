@@ -38,6 +38,13 @@ pub struct NameNode {
     datasets: Vec<Dataset>,
     /// Per-block replica locations, kept sorted by node id.
     replicas: Vec<Vec<NodeId>>,
+    /// Per-block *silently corrupted* replicas, sorted by node id and
+    /// always a subset of `replicas`. This is ground truth, not
+    /// knowledge: the NameNode keeps routing reads at a marked replica
+    /// until a verified read or a scrub discovers the damage and calls
+    /// [`drop_corrupt_replica`](Self::drop_corrupt_replica). A replica
+    /// removed for any reason loses its mark with it.
+    corrupt: Vec<Vec<NodeId>>,
     replication: usize,
     /// Per-node shadow replica sets recorded by
     /// [`suspect_node`](Self::suspect_node): the blocks whose replica was
@@ -67,6 +74,7 @@ impl NameNode {
             blocks: Vec::new(),
             datasets: Vec::new(),
             replicas: Vec::new(),
+            corrupt: Vec::new(),
             replication,
             shadow: vec![Vec::new(); num_nodes],
             changed: Vec::new(),
@@ -134,6 +142,7 @@ impl NameNode {
             }
             locs.sort_unstable();
             self.replicas.push(locs);
+            self.corrupt.push(Vec::new());
             block_ids.push(block_id);
         }
         self.datasets.push(Dataset {
@@ -208,11 +217,66 @@ impl NameNode {
             return false;
         };
         locs.remove(pos);
+        // A replica takes its corruption mark with it: whatever bytes
+        // rotted are gone along with the copy.
+        let marks = &mut self.corrupt[block.index()];
+        if let Ok(mpos) = marks.binary_search(&node) {
+            marks.remove(mpos);
+        }
         let size = self.blocks[block.index()].size_bytes;
         let removed = self.datanodes[node.index()].remove(block, size);
         debug_assert!(removed);
         self.changed.push(block);
         true
+    }
+
+    /// Marks the replica of `block` on `node` as silently corrupted
+    /// (latent bit-rot). The mark is *ground truth*, invisible to
+    /// placement and repair until a verified read or a scrub detects it.
+    /// No journal entry is written — silent damage changes nothing the
+    /// scheduler can observe. Returns `false` if no such replica is
+    /// registered or it is already marked.
+    pub fn mark_corrupt(&mut self, block: BlockId, node: NodeId) -> bool {
+        if self.replicas[block.index()].binary_search(&node).is_err() {
+            return false;
+        }
+        let marks = &mut self.corrupt[block.index()];
+        match marks.binary_search(&node) {
+            Ok(_) => false,
+            Err(pos) => {
+                marks.insert(pos, node);
+                true
+            }
+        }
+    }
+
+    /// Whether the replica of `block` on `node` is silently corrupted.
+    pub fn is_replica_corrupt(&self, block: BlockId, node: NodeId) -> bool {
+        self.corrupt[block.index()].binary_search(&node).is_ok()
+    }
+
+    /// The corrupted replicas of `block`, sorted by node id.
+    pub fn corrupt_replicas(&self, block: BlockId) -> &[NodeId] {
+        &self.corrupt[block.index()]
+    }
+
+    /// Number of intact (registered, unmarked) replicas of `block`.
+    pub fn clean_replica_count(&self, block: BlockId) -> usize {
+        self.replicas[block.index()].len() - self.corrupt[block.index()].len()
+    }
+
+    /// Drops a replica a verified read or scrub discovered to be
+    /// corrupt. Returns `true` if the replica was dropped (journaled
+    /// like any other removal, so demand caches re-resolve). Returns
+    /// `false` if it was the block's *last* replica — the file system
+    /// never unregisters the final copy, even a rotten one; the caller
+    /// is expected to declare the block unavailable instead.
+    pub fn drop_corrupt_replica(&mut self, block: BlockId, node: NodeId) -> bool {
+        debug_assert!(
+            self.is_replica_corrupt(block, node),
+            "dropping {block} on {node}, which is not marked corrupt"
+        );
+        self.remove_replica(block, node)
     }
 
     /// Drains the changed-blocks journal: the blocks whose replica lists
@@ -369,15 +433,48 @@ impl NameNode {
             .count()
     }
 
-    /// Brings every block back up to the target replication factor by
-    /// creating replicas on the machines with the most free space (HDFS's
-    /// under-replicated-block queue, collapsed to an instant). Returns the
-    /// number of replicas created.
-    pub fn restore_replication(&mut self, rng: &mut SimRng) -> usize {
+    /// Number of replicas of block index `b` on live (non-decommissioned)
+    /// machines — the copies the cluster can actually lose nothing by
+    /// losing a machine of. Pinned sole copies on failed machines are
+    /// excluded: they are served on borrowed time and count as debt.
+    fn live_replica_count(&self, b: usize) -> usize {
+        self.replicas[b]
+            .iter()
+            .filter(|n| !self.datanodes[n.index()].is_decommissioned())
+            .count()
+    }
+
+    /// Drops the pinned copies `block` kept on decommissioned machines.
+    /// Only called once the block is fully replicated on live machines,
+    /// so the last-replica guard in
+    /// [`remove_replica`](Self::remove_replica) never triggers.
+    fn depin_block(&mut self, block: BlockId) {
+        let pinned: Vec<NodeId> = self.replicas[block.index()]
+            .iter()
+            .copied()
+            .filter(|n| self.datanodes[n.index()].is_decommissioned())
+            .collect();
+        for node in pinned {
+            let removed = self.remove_replica(block, node);
+            debug_assert!(removed);
+        }
+    }
+
+    /// The single budgeted re-replication core: walks `order`, creating
+    /// replicas on the machines with the most free space until each block
+    /// has `replication` copies on live machines or the `max_new` budget
+    /// runs out. A block healed back to target is *de-pinned* — any copy
+    /// it kept on a decommissioned machine is dropped, exactly as HDFS
+    /// discards a dead node's replicas once replacements exist. New
+    /// replicas are always intact: repair reads are checksum-verified, so
+    /// a copy is only ever taken from a clean source. Returns the number
+    /// of replicas created; a return smaller than `max_new` means every
+    /// block in `order` is as healed as the cluster allows.
+    pub fn restore_blocks(&mut self, rng: &mut SimRng, order: &[BlockId], max_new: usize) -> usize {
         let mut created = 0;
-        for b in 0..self.blocks.len() {
-            let block = BlockId::new(b);
-            while self.replicas[b].len() < self.replication {
+        for &block in order {
+            let b = block.index();
+            while created < max_new && self.live_replica_count(b) < self.replication {
                 let size = self.blocks[b].size_bytes;
                 let mut candidates: Vec<(u64, u64, NodeId)> = self
                     .datanodes
@@ -393,8 +490,23 @@ impl NameNode {
                 debug_assert!(added);
                 created += 1;
             }
+            if self.live_replica_count(b) >= self.replication {
+                self.depin_block(block);
+            }
+            if created >= max_new {
+                break;
+            }
         }
         created
+    }
+
+    /// Brings every block back up to the target replication factor by
+    /// creating replicas on the machines with the most free space (HDFS's
+    /// under-replicated-block queue, collapsed to an instant). Returns the
+    /// number of replicas created.
+    pub fn restore_replication(&mut self, rng: &mut SimRng) -> usize {
+        let order: Vec<BlockId> = (0..self.blocks.len()).map(BlockId::new).collect();
+        self.restore_blocks(rng, &order, usize::MAX)
     }
 
     /// Paced variant of [`restore_replication`](Self::restore_replication):
@@ -402,31 +514,30 @@ impl NameNode {
     /// caller can drain HDFS's under-replicated-block queue in batches
     /// instead of one instant storm. Returns the number created; a
     /// return smaller than `max_new` means the queue is (currently) dry.
+    /// Because the healing draws a block consumes depend only on that
+    /// block's own debt, looping this to saturation converges to the
+    /// same replica map as one `restore_replication` on the same stream.
     pub fn restore_replication_batch(&mut self, rng: &mut SimRng, max_new: usize) -> usize {
-        let mut created = 0;
-        for b in 0..self.blocks.len() {
-            let block = BlockId::new(b);
-            while created < max_new && self.replicas[b].len() < self.replication {
-                let size = self.blocks[b].size_bytes;
-                let mut candidates: Vec<(u64, u64, NodeId)> = self
-                    .datanodes
-                    .iter()
-                    .filter(|dn| dn.fits(size) && !dn.stores(block))
-                    .map(|dn| (dn.used_bytes(), rng.draw_u64(), dn.node))
-                    .collect();
-                candidates.sort_unstable();
-                let Some(&(_, _, node)) = candidates.first() else {
-                    break; // no machine can take another replica
-                };
-                let added = self.add_replica(block, node);
-                debug_assert!(added);
-                created += 1;
-            }
-            if created >= max_new {
-                break;
-            }
-        }
-        created
+        let order: Vec<BlockId> = (0..self.blocks.len()).map(BlockId::new).collect();
+        self.restore_blocks(rng, &order, max_new)
+    }
+
+    /// The under-replicated blocks worth repairing, most endangered
+    /// first: ascending count of live replicas (sole-copy and pinned
+    /// blocks at the front), ties broken by block id. Blocks with zero
+    /// intact replicas are excluded — there is no clean source to copy
+    /// from; the driver tracks those as unavailable instead of burning
+    /// repair bandwidth on them.
+    pub fn repair_order(&self) -> Vec<BlockId> {
+        let mut needy: Vec<(usize, usize)> = (0..self.blocks.len())
+            .filter(|&b| {
+                self.live_replica_count(b) < self.replication
+                    && self.clean_replica_count(BlockId::new(b)) > 0
+            })
+            .map(|b| (self.live_replica_count(b), b))
+            .collect();
+        needy.sort_unstable();
+        needy.into_iter().map(|(_, b)| BlockId::new(b)).collect()
     }
 
     /// Sanity check used by tests and property tests: every replica list is
@@ -464,6 +575,20 @@ impl NameNode {
                 shadow.is_empty() || self.datanodes[n].is_decommissioned(),
                 "node {n} has shadow replicas but is not suspected"
             );
+        }
+        assert_eq!(self.corrupt.len(), self.replicas.len());
+        for (i, marks) in self.corrupt.iter().enumerate() {
+            let block = BlockId::new(i);
+            assert!(
+                marks.windows(2).all(|w| w[0] < w[1]),
+                "{block} corrupt marks not strictly sorted: {marks:?}"
+            );
+            for &node in marks {
+                assert!(
+                    self.replicas[i].binary_search(&node).is_ok(),
+                    "{block} marked corrupt on {node}, which holds no replica"
+                );
+            }
         }
     }
 }
@@ -621,6 +746,151 @@ mod tests {
         for i in 0..b.replicas.len() {
             assert_eq!(b.replicas[i].len(), b.replication);
         }
+    }
+
+    #[test]
+    fn batched_restore_converges_to_the_instant_replica_map() {
+        // Property: looping the paced batch to saturation is not merely
+        // the same *amount* of healing — on the same RNG stream it lands
+        // every replica on the same machine as the one-shot call, so the
+        // entire NameNode state converges bit-identically.
+        for seed in [7u64, 19, 23] {
+            for batch in [1usize, 2, 3, 5] {
+                let mut a = namenode();
+                let mut b = namenode();
+                let mut rng_a = SimRng::seed_from_u64(seed);
+                let mut rng_b = SimRng::seed_from_u64(seed);
+                a.create_dataset(
+                    "d",
+                    2 * GB,
+                    DEFAULT_BLOCK_SIZE,
+                    &mut RandomPlacement,
+                    &mut rng_a,
+                );
+                b.create_dataset(
+                    "d",
+                    2 * GB,
+                    DEFAULT_BLOCK_SIZE,
+                    &mut RandomPlacement,
+                    &mut rng_b,
+                );
+                for node in [NodeId::new(3), NodeId::new(6)] {
+                    a.fail_node(node);
+                    b.fail_node(node);
+                }
+                let instant = a.restore_replication(&mut rng_a);
+                assert!(instant > 0);
+                while b.restore_replication_batch(&mut rng_b, batch) == batch {}
+                assert_eq!(a, b, "seed {seed} batch {batch}: maps diverged");
+                assert_eq!(
+                    rng_a.draw_u64(),
+                    rng_b.draw_u64(),
+                    "seed {seed} batch {batch}: streams diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_marks_are_silent_until_dropped() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(50);
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let b = nn.dataset(ds).blocks[0];
+        let victim = nn.locations(b)[0];
+        let before = nn.locations(b).to_vec();
+        assert!(nn.mark_corrupt(b, victim));
+        assert!(!nn.mark_corrupt(b, victim), "double mark rejected");
+        assert!(nn.is_replica_corrupt(b, victim));
+        assert_eq!(nn.corrupt_replicas(b), &[victim]);
+        assert_eq!(nn.clean_replica_count(b), before.len() - 1);
+        // Silent: locations unchanged, nothing journaled, no repair debt.
+        assert_eq!(nn.locations(b), &before[..]);
+        assert!(nn.take_changed_blocks().is_empty());
+        assert!(nn.repair_order().is_empty());
+        nn.check_invariants();
+        // Detection drops the replica and journals the change.
+        assert!(nn.drop_corrupt_replica(b, victim));
+        assert!(!nn.is_local(victim, b));
+        assert!(!nn.is_replica_corrupt(b, victim));
+        assert_eq!(nn.take_changed_blocks(), vec![b]);
+        assert_eq!(nn.repair_order(), vec![b], "the drop created repair debt");
+        nn.check_invariants();
+    }
+
+    #[test]
+    fn last_corrupt_replica_is_never_unregistered() {
+        let mut nn = NameNode::new(2, 400 * GB, 1);
+        let mut rng = SimRng::seed_from_u64(51);
+        let ds = nn.create_dataset(
+            "d",
+            DEFAULT_BLOCK_SIZE,
+            DEFAULT_BLOCK_SIZE,
+            &mut RoundRobinPlacement::default(),
+            &mut rng,
+        );
+        let b = nn.dataset(ds).blocks[0];
+        let home = nn.locations(b)[0];
+        assert!(nn.mark_corrupt(b, home));
+        assert!(!nn.drop_corrupt_replica(b, home), "sole copy stays put");
+        assert_eq!(nn.locations(b), &[home]);
+        assert!(nn.is_replica_corrupt(b, home), "mark survives the refusal");
+        assert_eq!(nn.clean_replica_count(b), 0);
+        assert!(
+            nn.repair_order().is_empty(),
+            "no clean source means no repair debt"
+        );
+        nn.check_invariants();
+    }
+
+    #[test]
+    fn mark_corrupt_requires_a_registered_replica() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(52);
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let b = nn.dataset(ds).blocks[0];
+        let absent = (0..10)
+            .map(NodeId::new)
+            .find(|&n| !nn.is_local(n, b))
+            .unwrap();
+        assert!(!nn.mark_corrupt(b, absent));
+        nn.check_invariants();
+    }
+
+    #[test]
+    fn removal_clears_the_corruption_mark() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(53);
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let b = nn.dataset(ds).blocks[0];
+        let victim = nn.locations(b)[0];
+        assert!(nn.mark_corrupt(b, victim));
+        // A whole-node failure removes the replica through the ordinary
+        // path; the rotten copy's mark must not outlive it.
+        nn.fail_node(victim);
+        assert!(!nn.is_replica_corrupt(b, victim));
+        assert!(nn.corrupt_replicas(b).is_empty());
+        nn.check_invariants();
+    }
+
+    #[test]
+    fn repair_order_puts_soles_first() {
+        let mut nn = namenode();
+        let mut rng = SimRng::seed_from_u64(54);
+        let ds = nn.create_dataset("d", GB, DEFAULT_BLOCK_SIZE, &mut RandomPlacement, &mut rng);
+        let blocks = nn.dataset(ds).blocks.clone();
+        // Strip block 1 down to a sole copy, block 0 down to two.
+        let (b0, b1) = (blocks[0], blocks[1]);
+        let drop0 = nn.locations(b0)[0];
+        assert!(nn.remove_replica(b0, drop0));
+        for node in nn.locations(b1).to_vec().into_iter().skip(1) {
+            assert!(nn.remove_replica(b1, node));
+        }
+        assert_eq!(nn.locations(b1).len(), 1);
+        let order = nn.repair_order();
+        assert_eq!(order[0], b1, "the sole-copy block repairs first");
+        assert!(order.contains(&b0));
+        nn.check_invariants();
     }
 
     #[test]
@@ -789,7 +1059,7 @@ mod tests {
     }
 
     #[test]
-    fn last_replica_survives_node_failure() {
+    fn pinned_sole_copy_served_until_repair_depins() {
         let mut nn = NameNode::new(2, 400 * GB, 1);
         let mut rng = SimRng::seed_from_u64(12);
         let ds = nn.create_dataset(
@@ -803,10 +1073,46 @@ mod tests {
         let home = nn.locations(b)[0];
         let pinned = nn.fail_node(home);
         assert_eq!(pinned, vec![b], "sole copy must be reported as pinned");
+        // The decommissioned machine keeps serving its pinned block for
+        // as long as repair has not replaced it.
         assert_eq!(nn.locations(b), &[home], "block still readable");
-        // Healing moves nothing (replication 1 already met).
-        assert_eq!(nn.restore_replication(&mut rng), 0);
+        assert!(nn.is_local(home, b));
         assert_eq!(nn.sole_replica_on_failed(), 1);
+        assert_eq!(nn.repair_order(), vec![b], "pinned block is repair debt");
+        nn.check_invariants();
+        // Repair lands a fresh replica on the surviving machine and
+        // de-pins the borrowed-time copy in the same stroke.
+        assert_eq!(nn.restore_replication(&mut rng), 1);
+        let other = NodeId::new(1 - home.index());
+        assert_eq!(nn.locations(b), &[other], "fresh replica took over");
+        assert_eq!(nn.datanode(home).block_count(), 0, "pinned copy dropped");
+        assert_eq!(nn.sole_replica_on_failed(), 0);
+        assert!(nn.repair_order().is_empty(), "debt fully drained");
+        nn.check_invariants();
+    }
+
+    #[test]
+    fn pinned_copy_survives_an_underfunded_repair_batch() {
+        // With a zero budget the batch call must leave the pinned copy
+        // alone: de-pinning before a replacement lands would destroy the
+        // last readable bytes.
+        let mut nn = NameNode::new(2, 400 * GB, 1);
+        let mut rng = SimRng::seed_from_u64(13);
+        let ds = nn.create_dataset(
+            "d",
+            DEFAULT_BLOCK_SIZE,
+            DEFAULT_BLOCK_SIZE,
+            &mut RoundRobinPlacement::default(),
+            &mut rng,
+        );
+        let b = nn.dataset(ds).blocks[0];
+        let home = nn.locations(b)[0];
+        nn.fail_node(home);
+        assert_eq!(nn.restore_replication_batch(&mut rng, 0), 0);
+        assert_eq!(nn.locations(b), &[home], "still served from the pin");
+        assert_eq!(nn.restore_replication_batch(&mut rng, 1), 1);
+        assert_ne!(nn.locations(b), &[home], "budgeted repair de-pinned");
+        nn.check_invariants();
     }
 
     #[test]

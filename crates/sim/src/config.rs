@@ -784,6 +784,187 @@ impl PartitionConfig {
     }
 }
 
+/// Data-durability fault injection: silent replica corruption (bit-rot),
+/// checksum-verified reads, a background scrubber, and the paced repair
+/// pipeline that heals what the two detection paths uncover.
+///
+/// Chaos kills machines, fail-slow degrades them, partitions unplug them;
+/// corruption rots the *data itself* while every machine stays healthy.
+/// All randomness comes from the dedicated `"corruption"` stream: a
+/// seeded latent fraction of replicas starts the run already rotten, and
+/// further corruption arrives over time (exponential inter-arrival),
+/// optionally biased toward replicas on fail-slow *disk* nodes — the
+/// canonical bit-rot vector in the gray-failure literature.
+///
+/// Corruption is silent until detected. Detection happens two ways:
+///
+/// * **verified reads** — a task that read a corrupted replica fails its
+///   checksum at completion time, consumes a retry, and reports the bad
+///   replica so the NameNode drops it (journaled, so demand caches
+///   re-resolve preferred locations);
+/// * **background scrubbing** — paced scrub ticks walk the block space
+///   and surface latent damage nothing has read yet.
+///
+/// Every detection feeds the unified repair queue, prioritized by
+/// remaining-live-replica count (sole copies first) under the paced
+/// `repair_batch` / `repair_interval_secs` bandwidth budget. A block
+/// whose last intact copy is gone becomes *unavailable*: its waiting
+/// tasks park, and only past
+/// [`unavailability_deadline_secs`](Self::unavailability_deadline_secs)
+/// do their jobs fail cleanly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionConfig {
+    /// Fraction of replicas that start the run latently corrupted
+    /// (seeded bit-rot, one independent coin per replica).
+    pub latent_fraction: f64,
+    /// Mean seconds between corruption arrivals over the run
+    /// (exponential inter-arrival); `0` disables ongoing corruption.
+    pub mean_time_between_corruptions_secs: f64,
+    /// No new corruption arrives after this simulated time, bounding
+    /// the run.
+    pub horizon_secs: f64,
+    /// Probability an arrival is steered at a replica on a currently
+    /// fail-slow *disk* node when one exists (bursts correlated with the
+    /// gray-failure layer); otherwise, and when no disk node is sick,
+    /// the victim is uniform over all intact replicas.
+    pub disk_bias: f64,
+    /// Seconds between background scrub ticks; `0` disables scrubbing
+    /// (verified reads become the only detection path).
+    pub scrub_interval_secs: f64,
+    /// Blocks examined per scrub tick (the scrub bandwidth budget).
+    pub scrub_blocks_per_tick: usize,
+    /// Replicas created per paced repair batch (shared by every repair
+    /// trigger: chaos crashes, partition heals, corruption drops).
+    pub repair_batch: usize,
+    /// Seconds between paced repair batches.
+    pub repair_interval_secs: f64,
+    /// Seconds an unavailable block's waiting jobs park before failing
+    /// cleanly.
+    pub unavailability_deadline_secs: f64,
+    /// Retry budget for jobs whose tasks fail verified reads (the same
+    /// budget semantics as [`FailSlowConfig::retry_budget`]).
+    pub retry_budget: usize,
+    /// Base backoff before a verified-read retry becomes runnable again.
+    pub retry_backoff_secs: f64,
+    /// Multiplicative jitter on the backoff, drawn from the
+    /// `"corruption"` stream.
+    pub retry_jitter: f64,
+}
+
+impl Default for CorruptionConfig {
+    fn default() -> Self {
+        CorruptionConfig {
+            latent_fraction: 0.01,
+            mean_time_between_corruptions_secs: 120.0,
+            horizon_secs: 600.0,
+            disk_bias: 0.5,
+            scrub_interval_secs: 20.0,
+            scrub_blocks_per_tick: 16,
+            repair_batch: 4,
+            repair_interval_secs: 0.5,
+            unavailability_deadline_secs: 60.0,
+            retry_budget: 8,
+            retry_backoff_secs: 0.5,
+            retry_jitter: 0.2,
+        }
+    }
+}
+
+impl CorruptionConfig {
+    /// Sets the seeded latent bit-rot fraction (the sweep axis).
+    pub fn with_latent_fraction(mut self, fraction: f64) -> Self {
+        self.latent_fraction = fraction;
+        self
+    }
+
+    /// Sets the mean gap between ongoing corruption arrivals (`0`
+    /// disables arrivals).
+    pub fn with_mean_time_between_corruptions(mut self, secs: f64) -> Self {
+        self.mean_time_between_corruptions_secs = secs;
+        self
+    }
+
+    /// Sets the scrub cadence (`0` disables the scrubber).
+    pub fn with_scrub_interval(mut self, secs: f64) -> Self {
+        self.scrub_interval_secs = secs;
+        self
+    }
+
+    /// Sets the disk-node bias of ongoing arrivals.
+    pub fn with_disk_bias(mut self, p: f64) -> Self {
+        self.disk_bias = p;
+        self
+    }
+
+    /// Sets the unavailability deadline.
+    pub fn with_unavailability_deadline(mut self, secs: f64) -> Self {
+        self.unavailability_deadline_secs = secs;
+        self
+    }
+
+    /// A configuration that corrupts nothing degenerates to the oracle:
+    /// the driver keeps the whole layer inert (no events, no
+    /// `"corruption"` draws), so such a run is event-for-event identical
+    /// to one with no corruption configuration at all — the durability
+    /// analogue of [`PartitionConfig::is_inert`].
+    pub fn is_inert(&self) -> bool {
+        self.latent_fraction == 0.0 && self.mean_time_between_corruptions_secs == 0.0
+    }
+
+    /// Whether the background scrubber runs.
+    pub fn scrub_enabled(&self) -> bool {
+        self.scrub_interval_secs > 0.0
+    }
+
+    /// Panics unless every field is physically sensible.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.latent_fraction),
+            "latent fraction must be a probability"
+        );
+        assert!(
+            self.mean_time_between_corruptions_secs >= 0.0,
+            "mean time between corruptions must be non-negative"
+        );
+        if self.is_inert() {
+            return; // oracle degeneration: nothing else applies
+        }
+        assert!(self.horizon_secs >= 0.0, "horizon must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&self.disk_bias),
+            "disk bias must be a probability"
+        );
+        assert!(
+            self.scrub_interval_secs >= 0.0,
+            "scrub interval must be non-negative"
+        );
+        if self.scrub_enabled() {
+            assert!(
+                self.scrub_blocks_per_tick > 0,
+                "an enabled scrubber must examine at least one block per tick"
+            );
+        }
+        assert!(self.repair_batch > 0, "repair batch must be positive");
+        assert!(
+            self.repair_interval_secs > 0.0,
+            "repair interval must be positive"
+        );
+        assert!(
+            self.unavailability_deadline_secs > 0.0,
+            "unavailability deadline must be positive"
+        );
+        assert!(self.retry_budget > 0, "retry budget must be positive");
+        assert!(
+            self.retry_backoff_secs > 0.0,
+            "retry backoff must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.retry_jitter),
+            "retry jitter must be a fraction"
+        );
+    }
+}
+
 /// Everything that determines a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -813,6 +994,10 @@ pub struct SimConfig {
     /// flapping; `None` keeps the cluster fully connected. Requires a
     /// non-perfect [`control_plane`](Self::control_plane).
     pub partition: Option<PartitionConfig>,
+    /// Data-durability layer: silent replica corruption, verified reads,
+    /// background scrubbing and paced prioritized repair; `None` keeps
+    /// stored data incorruptible.
+    pub corruption: Option<CorruptionConfig>,
     /// Run the invariant auditor after every event even in release
     /// builds. Debug builds (and therefore the test suite) always audit.
     pub audit: bool,
@@ -851,6 +1036,7 @@ impl SimConfig {
             control_plane: None,
             failslow: None,
             partition: None,
+            corruption: None,
             audit: false,
             speculation: None,
             seed,
@@ -873,6 +1059,7 @@ impl SimConfig {
             control_plane: None,
             failslow: None,
             partition: None,
+            corruption: None,
             audit: false,
             speculation: None,
             seed,
@@ -938,6 +1125,13 @@ impl SimConfig {
             self.control_plane = Some(ControlPlaneConfig::default());
         }
         self.partition = Some(partition);
+        self
+    }
+
+    /// Enables the data-durability layer (silent corruption, verified
+    /// reads, scrubbing, paced prioritized repair).
+    pub fn with_corruption(mut self, corruption: CorruptionConfig) -> Self {
+        self.corruption = Some(corruption);
         self
     }
 
@@ -1171,6 +1365,85 @@ mod tests {
             flap_prob: 0.5,
             mean_flap_secs: 0.0,
             ..PartitionConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn corruption_builders_and_validation() {
+        let c = SimConfig::small_demo(1).with_corruption(
+            CorruptionConfig::default()
+                .with_latent_fraction(0.05)
+                .with_mean_time_between_corruptions(60.0)
+                .with_scrub_interval(10.0)
+                .with_disk_bias(1.0)
+                .with_unavailability_deadline(30.0),
+        );
+        let k = c.corruption.expect("corruption set");
+        assert_eq!(k.latent_fraction, 0.05);
+        assert_eq!(k.mean_time_between_corruptions_secs, 60.0);
+        assert_eq!(k.scrub_interval_secs, 10.0);
+        assert_eq!(k.disk_bias, 1.0);
+        assert_eq!(k.unavailability_deadline_secs, 30.0);
+        k.validate();
+        CorruptionConfig::default().validate();
+        assert!(CorruptionConfig::default().scrub_enabled());
+    }
+
+    #[test]
+    fn inert_corruption_degenerates() {
+        let inert = CorruptionConfig {
+            latent_fraction: 0.0,
+            mean_time_between_corruptions_secs: 0.0,
+            // Nonsense sub-fields are tolerated exactly because the
+            // config is inert — mirrors the inert-partition early return.
+            repair_interval_secs: 0.0,
+            retry_budget: 0,
+            ..CorruptionConfig::default()
+        };
+        assert!(inert.is_inert());
+        inert.validate();
+        assert!(!CorruptionConfig::default().is_inert());
+        // Latent-only and arrivals-only configs are both active.
+        assert!(!CorruptionConfig {
+            mean_time_between_corruptions_secs: 0.0,
+            ..CorruptionConfig::default()
+        }
+        .is_inert());
+        assert!(!CorruptionConfig {
+            latent_fraction: 0.0,
+            ..CorruptionConfig::default()
+        }
+        .is_inert());
+    }
+
+    #[test]
+    fn corruption_validation_accepts_full_rot() {
+        // Total latent corruption is a legitimate graceful-degradation
+        // stress: everything tombstones, jobs fail at the deadline.
+        CorruptionConfig {
+            latent_fraction: 1.0,
+            ..CorruptionConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn corruption_validation_rejects_impossible_rot() {
+        CorruptionConfig {
+            latent_fraction: 1.5,
+            ..CorruptionConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block per tick")]
+    fn corruption_validation_rejects_zero_width_scrub() {
+        CorruptionConfig {
+            scrub_blocks_per_tick: 0,
+            ..CorruptionConfig::default()
         }
         .validate();
     }

@@ -66,10 +66,12 @@ use crate::trace::{TaskRecord, TaskTrace};
 pub mod audit;
 mod checkpoint;
 mod detector;
+mod durability;
 mod health;
 mod partition;
 
 use detector::{DeadlineKind, DetectorState, HbChannel};
+use durability::DurabilityLayer;
 use health::HealthLayer;
 use partition::PartitionLayer;
 
@@ -162,9 +164,21 @@ enum Event {
     PartitionFlap {
         episode: u64,
     },
-    /// One paced batch of re-replication debt is paid (partition-layer
-    /// runs replace the instant restore storm with these).
+    /// One paced batch of re-replication debt is paid — the unified
+    /// repair queue's tick (partition-layer and durability-layer runs
+    /// replace the instant restore storm with these).
     RestoreTick,
+    /// The stochastic corruption process fires: one more replica
+    /// silently rots (the victim is drawn when the event is handled).
+    CorruptionArrive,
+    /// The background scrubber examines its next window of blocks,
+    /// surfacing latent corruption.
+    ScrubTick,
+    /// A block with no intact replica has been unavailable for the full
+    /// grace period: jobs still waiting on it fail cleanly.
+    UnavailabilityDeadline {
+        block: custody_dfs::BlockId,
+    },
 }
 
 /// Identifies one task: (global job index, stage index, task index).
@@ -213,6 +227,11 @@ struct RunningTask {
     launched_at: SimTime,
     /// Whether this attempt is a speculative clone.
     is_clone: bool,
+    /// The replica this attempt reads its input from (`Some` for
+    /// input-stage attempts with a resolvable source). The completion is
+    /// checksum-verified against this replica when the durability layer
+    /// is active: a corrupt source fails the read instead of finishing.
+    read_from: Option<custody_dfs::NodeId>,
     /// The executor's epoch when this attempt launched. In detector mode
     /// a mismatch against the executor's current epoch marks a ghost: an
     /// attempt that launched into an incarnation that has since died
@@ -322,6 +341,17 @@ struct Driver {
     /// A dedicated stream so a split-fraction sweep perturbs nothing
     /// else.
     partition_rng: SimRng,
+    /// The data-durability layer, if configured and non-inert: latent
+    /// corruption ground truth, the tombstoned-block set, and the
+    /// scrubber's cursor.
+    durability: Option<DurabilityLayer>,
+    /// Corruption draws (latent seeding, arrivals, victim picks, read
+    /// retry jitter). A dedicated stream so a corruption-rate sweep
+    /// perturbs nothing else.
+    corruption_rng: SimRng,
+    /// Whether a unified-repair `RestoreTick` is pending (at most one
+    /// in flight across all repair triggers).
+    repair_armed: bool,
     /// Tasks re-queued by a transient fault may not relaunch before their
     /// backoff gate; entries are dropped at launch.
     retry_gates: std::collections::BTreeMap<TaskKey, SimTime>,
@@ -393,6 +423,23 @@ struct Driver {
     partition_work_discarded: usize,
     /// Seconds from heal to settled beliefs, per reconverged episode.
     partition_reconverge: Summary,
+    /// Replicas that silently rotted (latent seeding + arrivals).
+    replicas_corrupted: usize,
+    /// Corrupt replicas discovered by a failed verified read.
+    corrupt_reads_detected: usize,
+    /// Corrupt replicas discovered by the background scrubber.
+    scrub_detections: usize,
+    /// Seconds from rot onset to detection, once per detected mark.
+    corruption_detection: Summary,
+    /// Replicas re-created by the unified repair pipeline (instant and
+    /// paced paths both).
+    replicas_repaired: usize,
+    /// Blocks that lost their last intact replica (tombstoned).
+    blocks_unavailable: usize,
+    /// Tombstoned blocks that regained an intact replica.
+    blocks_recovered: usize,
+    /// Jobs failed cleanly by an unavailability deadline.
+    jobs_failed_unavailable: usize,
     /// Open fault disruptions: (fault time, tasks it displaced that have
     /// not relaunched yet). Drained sets record their drain time into
     /// `requeue_drain` — the recovery-time-to-stable-locality metric.
@@ -618,6 +665,57 @@ impl Driver {
             None => None,
         };
 
+        // Data-durability layer: validate, seed the latent bit-rot, and
+        // schedule the first corruption arrival and scrub tick. An inert
+        // config (nothing to inject) keeps the layer off entirely — no
+        // events, no `"corruption"` draws — so it degenerates to the
+        // oracle bit-for-bit.
+        let mut corruption_rng = SimRng::for_stream(config.seed, "corruption");
+        let mut replicas_corrupted = 0;
+        let durability = match &config.corruption {
+            Some(cc) => {
+                cc.validate();
+                if cc.is_inert() {
+                    None
+                } else {
+                    let mut layer = DurabilityLayer::new(*cc);
+                    // Latent bit-rot present from t=0: each initial
+                    // replica flips the seeded coin, in (block, holder)
+                    // order.
+                    for b in 0..namenode.num_blocks() {
+                        let block = custody_dfs::BlockId::new(b);
+                        let holders: Vec<custody_dfs::NodeId> = namenode.locations(block).to_vec();
+                        for node in holders {
+                            if corruption_rng.chance(cc.latent_fraction)
+                                && namenode.mark_corrupt(block, node)
+                            {
+                                layer.onset.insert((block, node), SimTime::ZERO);
+                                replicas_corrupted += 1;
+                            }
+                        }
+                    }
+                    if cc.mean_time_between_corruptions_secs > 0.0 {
+                        let gap = Exponential::with_mean(cc.mean_time_between_corruptions_secs)
+                            .sample(&mut corruption_rng);
+                        if gap <= cc.horizon_secs {
+                            queue.schedule(
+                                SimTime::ZERO + SimDuration::from_secs_f64(gap),
+                                Event::CorruptionArrive,
+                            );
+                        }
+                    }
+                    if cc.scrub_enabled() {
+                        queue.schedule(
+                            SimTime::ZERO + SimDuration::from_secs_f64(cc.scrub_interval_secs),
+                            Event::ScrubTick,
+                        );
+                    }
+                    Some(layer)
+                }
+            }
+            None => None,
+        };
+
         let num_nodes = cluster.num_nodes();
         // Dataset creation placed initial replicas directly; the change
         // journal tracks mutations *after* this point (jobs resolve their
@@ -655,6 +753,9 @@ impl Driver {
             taskfault_rng: SimRng::for_stream(config.seed, "task-faults"),
             partition,
             partition_rng,
+            durability,
+            corruption_rng,
+            repair_armed: false,
             retry_gates: std::collections::BTreeMap::new(),
             checkpoint: None,
             wal: Vec::new(),
@@ -691,6 +792,14 @@ impl Driver {
             partition_finishes_fenced: 0,
             partition_work_discarded: 0,
             partition_reconverge: Summary::new(),
+            replicas_corrupted,
+            corrupt_reads_detected: 0,
+            scrub_detections: 0,
+            corruption_detection: Summary::new(),
+            replicas_repaired: 0,
+            blocks_unavailable: 0,
+            blocks_recovered: 0,
+            jobs_failed_unavailable: 0,
             open_disruptions: Vec::new(),
             requeue_drain: Summary::new(),
             peak_queue_len: 0,
@@ -769,6 +878,9 @@ impl Driver {
             Event::PartitionHeal => self.on_partition_heal(now),
             Event::PartitionFlap { episode } => self.on_partition_flap(episode, now),
             Event::RestoreTick => self.on_restore_tick(now),
+            Event::CorruptionArrive => self.on_corruption_arrive(now),
+            Event::ScrubTick => self.on_scrub_tick(now),
+            Event::UnavailabilityDeadline { block } => self.on_unavailability_deadline(block, now),
         }
         self.dispatch(now);
         if self.partition.is_some() {
@@ -855,6 +967,9 @@ impl Driver {
         self.jobs.push(job);
         self.cache
             .note_job_added(self.jobs.last().expect("just pushed")); // lint: allow(panic) — a job was pushed on the line above
+                                                                     // A job arriving after a block tombstoned (and after its
+                                                                     // deadline fired) still gets a bounded wait.
+        self.durability_note_submit(now);
     }
 
     fn on_finish(&mut self, executor: ExecutorId, epoch: u64, now: SimTime) {
@@ -908,6 +1023,25 @@ impl Driver {
                 .checked_sub(1)
                 .expect("remote-read counter underflow"); // lint: allow(panic) — the counter was incremented when the remote read started
         }
+        // Verified read: the completed input read is checksum-verified
+        // against its source replica. A mismatch means the read *failed*
+        // — the task never completes; the corruption surfaces to the
+        // NameNode (dropping the bad replica through the change journal)
+        // and the attempt dies like a transient fault, charged against
+        // the durability retry policy.
+        if self.durability.is_some() {
+            if let Some(src) = running.read_from {
+                let block = self.jobs[running.job_idx].stages[0].tasks[running.task]
+                    .block
+                    .expect("input attempt has a block"); // lint: allow(panic) — read_from is only set for input-stage attempts
+                if self.namenode.is_replica_corrupt(block, src) {
+                    self.corrupt_reads_detected += 1;
+                    self.detect_corrupt(block, src, now);
+                    self.on_corrupt_read_fault(running, now);
+                    return;
+                }
+            }
+        }
         if self.health.is_some() {
             let node = self.cluster.node_of(executor);
             // Transient-fault coin, drawn for every physical completion
@@ -946,6 +1080,19 @@ impl Driver {
         if running.is_clone {
             self.clones_won += 1;
         }
+        // Auditor invariant 14, completion half: no task ever completes
+        // off a corrupted replica — the verified-read gate above diverts
+        // every such attempt before it can reach here.
+        debug_assert!(
+            running.read_from.is_none()
+                || !self.namenode.is_replica_corrupt(
+                    self.jobs[running.job_idx].stages[0].tasks[running.task]
+                        .block
+                        .expect("input attempt has a block"), // lint: allow(panic) — read_from is only set for input-stage attempts
+                    running.read_from.expect("checked above"), // lint: allow(panic) — guarded by the is_none disjunct
+                ),
+            "completed task read a corrupted replica"
+        );
         let job = &mut self.jobs[running.job_idx];
         let total = job.stages[running.stage].tasks.len();
         job.mark_done(running.stage, running.task, now);
@@ -1157,6 +1304,15 @@ impl Driver {
             self.partition_forget_ghost(custody_cluster::ExecutorId::new(e));
         }
         self.retry_gates.retain(|&(job, _, _), _| job != j);
+        // A failed job's displaced tasks will never relaunch, so their
+        // disruption entries must not outlive the job (a parked task
+        // failed by the unavailability deadline would otherwise trip the
+        // end-of-run drain assert). A set emptied by job death never
+        // stabilized, so it scores no drain time.
+        self.open_disruptions.retain_mut(|(_, set)| {
+            set.retain(|&(job, _, _)| job != j);
+            !set.is_empty()
+        });
         self.jobs[j].mark_failed(now);
         self.jobs_failed += 1;
         self.cache.mark_job(j);
@@ -1225,7 +1381,11 @@ impl Driver {
             return;
         }
         self.blocks_lost += self.namenode.fail_node(node).len();
-        self.namenode.restore_replication(&mut self.fail_rng);
+        // Crash repair goes through the unified scheduler: instant in
+        // bare-oracle runs, paced (and priority-ordered) whenever a
+        // pacing layer is active — crash debt no longer jumps the queue
+        // ahead of partition-heal or corruption debt.
+        self.schedule_repair(now);
 
         self.kill_executors_on(node, now);
         self.refresh_all_preferred();
@@ -1276,7 +1436,7 @@ impl Driver {
                     d.phys_down_at[node.index()] = now;
                 } else {
                     self.blocks_lost += self.namenode.fail_node(node).len();
-                    self.namenode.restore_replication(&mut self.fail_rng);
+                    self.schedule_repair(now);
                     self.refresh_all_preferred();
                 }
             }
@@ -1694,6 +1854,17 @@ impl Driver {
                     if self.retry_gates.get(&(j, s, t)).is_some_and(|&g| now < g) {
                         continue; // backing off after a transient fault
                     }
+                    if s == 0 {
+                        // A task whose input block has no intact replica
+                        // parks: it stays runnable but is never offered,
+                        // until repair/reinstatement lifts the tombstone
+                        // or the unavailability deadline fails the job.
+                        if let Some(d) = &self.durability {
+                            if task.block.is_some_and(|b| d.unavailable.contains(&b)) {
+                                continue;
+                            }
+                        }
+                    }
                     if task.state == TaskState::Runnable {
                         out.push(RunnableTask {
                             job: job.id,
@@ -1798,18 +1969,20 @@ impl Driver {
         let stage_ref = &self.jobs[j].stages[st];
         let is_input = st == 0;
         let local = is_input && stage_ref.tasks[t].preferred.contains(&node);
-        let (io_time, remote_input) = if is_input {
+        let (io_time, remote_input, read_from) = if is_input {
             let block = stage_ref.tasks[t].block.expect("input task has block"); // lint: allow(panic) — input tasks always carry a block id
             let bytes = self.namenode.block(block).size_bytes;
             let locality = self.classify_locality(node, &stage_ref.tasks[t].preferred);
             (
                 network.read_time_at(bytes, locality, self.remote_reads_in_flight),
                 locality == custody_cluster::DataLocality::Remote,
+                self.read_source(block, node, local),
             )
         } else {
             (
                 network.shuffle_time(stage_ref.shuffle_bytes_per_task),
                 false,
+                None,
             )
         };
         let io_time = self.maybe_degrade(io_time, remote_input, now);
@@ -1834,6 +2007,7 @@ impl Driver {
             local: is_input.then_some(local),
             launched_at: now,
             is_clone: true,
+            read_from,
             launch_epoch: self.exec_state[e.index()].epoch,
         });
         // A doomed launch — onto a believed-alive but physically down
@@ -1929,18 +2103,20 @@ impl Driver {
         // Duration: read/shuffle + compute × noise.
         let network = self.cluster.network().clone();
         let stage_ref = &self.jobs[job_idx].stages[stage];
-        let (io_time, remote_input) = if is_input {
+        let (io_time, remote_input, read_from) = if is_input {
             let block = stage_ref.tasks[task].block.expect("input task has block"); // lint: allow(panic) — input tasks always carry a block id
             let bytes = self.namenode.block(block).size_bytes;
             let locality = self.classify_locality(node, &stage_ref.tasks[task].preferred);
             (
                 network.read_time_at(bytes, locality, self.remote_reads_in_flight),
                 locality == custody_cluster::DataLocality::Remote,
+                self.read_source(block, node, actual_local),
             )
         } else {
             (
                 network.shuffle_time(stage_ref.shuffle_bytes_per_task),
                 false,
+                None,
             )
         };
         let io_time = self.maybe_degrade(io_time, remote_input, now);
@@ -1965,6 +2141,7 @@ impl Driver {
             local: is_input.then_some(actual_local),
             launched_at: now,
             is_clone: false,
+            read_from,
             launch_epoch: self.exec_state[executor.index()].epoch,
         });
         // Doomed launches (detector mode: executor believed alive but
@@ -1983,6 +2160,27 @@ impl Driver {
         if !self.open_disruptions.is_empty() {
             self.note_relaunch((job_idx, stage, task), now);
         }
+    }
+
+    /// The replica a launched input attempt reads from: the executor's
+    /// own node for a local read, otherwise the first registered holder
+    /// on a live machine — falling back to the first holder outright
+    /// when only pinned copies on decommissioned machines remain (they
+    /// keep serving sole copies on borrowed time).
+    fn read_source(
+        &self,
+        block: custody_dfs::BlockId,
+        node: custody_dfs::NodeId,
+        local: bool,
+    ) -> Option<custody_dfs::NodeId> {
+        if local {
+            return Some(node);
+        }
+        let locs = self.namenode.locations(block);
+        locs.iter()
+            .copied()
+            .find(|&n| !self.namenode.is_node_failed(n))
+            .or_else(|| locs.first().copied())
     }
 
     /// Locality tier of reading from one of `preferred` on `node`:
@@ -2108,6 +2306,42 @@ impl Driver {
             assert_eq!(self.partition_finishes_deferred, 0);
             assert_eq!(self.partition_work_discarded, 0);
         }
+        // Durability ledger at end of run: split the damage into
+        // at-risk (exactly one intact copy left), unavailable
+        // (tombstoned, still no intact copy), and permanently lost
+        // (no intact copy at all, detected or not). Without the layer
+        // every corruption counter must be untouched.
+        let (blocks_at_risk, blocks_permanently_lost) = match &self.durability {
+            Some(d) => {
+                assert_eq!(
+                    self.blocks_unavailable,
+                    self.blocks_recovered + d.unavailable.len(),
+                    "unavailability ledger out of balance at end of run"
+                );
+                let mut at_risk = 0;
+                let mut lost = 0;
+                for b in 0..self.namenode.num_blocks() {
+                    match self
+                        .namenode
+                        .clean_replica_count(custody_dfs::BlockId::new(b))
+                    {
+                        0 => lost += 1,
+                        1 => at_risk += 1,
+                        _ => {}
+                    }
+                }
+                (at_risk, lost)
+            }
+            None => {
+                assert_eq!(self.replicas_corrupted, 0, "corruption without a layer");
+                assert_eq!(self.corrupt_reads_detected, 0);
+                assert_eq!(self.scrub_detections, 0);
+                assert_eq!(self.blocks_unavailable, 0);
+                assert_eq!(self.blocks_recovered, 0);
+                assert_eq!(self.jobs_failed_unavailable, 0);
+                (0, 0)
+            }
+        };
         let jobs_completed = self.apps.iter().map(|a| a.metrics.jobs_completed).sum();
         let trace = self.trace.take().unwrap_or_default();
         let outcome = SimOutcome {
@@ -2153,6 +2387,16 @@ impl Driver {
                 partition_finishes_fenced: self.partition_finishes_fenced,
                 partition_work_discarded: self.partition_work_discarded,
                 partition_reconverge_secs: self.partition_reconverge,
+                replicas_corrupted: self.replicas_corrupted,
+                corrupt_reads_detected: self.corrupt_reads_detected,
+                scrub_detections: self.scrub_detections,
+                corruption_detection_secs: self.corruption_detection,
+                replicas_repaired: self.replicas_repaired,
+                blocks_unavailable: self.blocks_unavailable,
+                blocks_recovered: self.blocks_recovered,
+                blocks_at_risk,
+                blocks_permanently_lost,
+                jobs_failed_unavailable: self.jobs_failed_unavailable,
             },
         };
         (outcome, trace)

@@ -58,6 +58,14 @@
 //!     never exceed total deferrals, every partition-fenced Finish also
 //!     hit the epoch fence, the episode budget is respected, and
 //!     reconvergence is only ever awaited after a heal.
+//! 14. **Durability discipline** (corruption layer) — without the layer
+//!     every corruption counter is zero; with it, the unavailability
+//!     ledger balances (`blocks_unavailable` = recovered + standing
+//!     tombstones), every standing tombstone has zero intact replicas,
+//!     onset entries never outnumber injected marks, detection-latency
+//!     samples never exceed detections, and *no completed task ever
+//!     read a corrupted replica* (enforced at completion by the
+//!     verified-read gate and re-asserted before `mark_done`).
 
 use custody_cluster::HealthState;
 
@@ -87,6 +95,113 @@ impl Driver {
             self.audit_health();
         }
         self.audit_partition();
+        self.audit_durability();
+    }
+
+    /// Invariant 14: durability discipline — counter hygiene without the
+    /// layer; ledger self-consistency, tombstone justification, and
+    /// detection accounting with it. The invariant's completion half —
+    /// *no completed task ever read a corrupted replica* — is enforced
+    /// structurally at completion time: the verified-read gate diverts
+    /// every corrupt-source attempt before `mark_done`, and a
+    /// debug assertion re-checks the winner's source there.
+    fn audit_durability(&self) {
+        let Some(d) = &self.durability else {
+            assert_eq!(
+                self.replicas_corrupted, 0,
+                "corrupted replicas counted without the layer"
+            );
+            assert_eq!(
+                self.corrupt_reads_detected, 0,
+                "corrupt reads counted without the layer"
+            );
+            assert_eq!(
+                self.scrub_detections, 0,
+                "scrub detections counted without the layer"
+            );
+            assert_eq!(
+                self.corruption_detection.count(),
+                0,
+                "detection latency recorded without the layer"
+            );
+            assert_eq!(
+                self.blocks_unavailable, 0,
+                "blocks tombstoned without the layer"
+            );
+            assert_eq!(
+                self.blocks_recovered, 0,
+                "tombstones lifted without the layer"
+            );
+            assert_eq!(
+                self.jobs_failed_unavailable, 0,
+                "jobs failed for unavailability without the layer"
+            );
+            return;
+        };
+        // Ledger self-consistency: every tombstone ever raised is either
+        // still standing or was lifted by a recovery.
+        assert_eq!(
+            self.blocks_unavailable,
+            self.blocks_recovered + d.unavailable.len(),
+            "unavailability ledger out of balance"
+        );
+        // Every standing tombstone is justified: no intact copy exists.
+        for &block in &d.unavailable {
+            assert_eq!(
+                self.namenode.clean_replica_count(block),
+                0,
+                "{block} is tombstoned but has an intact replica"
+            );
+        }
+        // Every undetected-onset entry points at a live mark, and no
+        // block holds more marks than were ever injected.
+        let mut marks_total = 0;
+        for b in 0..self.namenode.num_blocks() {
+            marks_total += self
+                .namenode
+                .corrupt_replicas(custody_dfs::BlockId::new(b))
+                .len();
+        }
+        assert!(
+            marks_total <= self.replicas_corrupted,
+            "{marks_total} live corruption marks exceed {} ever injected",
+            self.replicas_corrupted
+        );
+        // Onset entries are inserted once per successful mark; stale
+        // entries (the replica crashed away before detection) are legal,
+        // so only the insertion bound holds.
+        assert!(
+            d.onset.len() <= self.replicas_corrupted,
+            "{} onset entries exceed {} marks ever injected",
+            d.onset.len(),
+            self.replicas_corrupted
+        );
+        // Detection accounting: every latency sample came from a read or
+        // scrub detection (a detection whose onset already drained — a
+        // re-read of a tombstoned sole copy — counts no second sample).
+        assert!(
+            self.corruption_detection.count()
+                <= self.corrupt_reads_detected + self.scrub_detections,
+            "more detection-latency samples than detections"
+        );
+        assert!(
+            self.jobs_failed_unavailable <= self.jobs_failed,
+            "unavailability job failures exceed total job failures"
+        );
+        // Backoff-gate hygiene (also checked by the health audit when
+        // that layer is on; verified-read retries must satisfy it even
+        // without the gray-failure layer).
+        for &(j, s, t) in self.retry_gates.keys() {
+            assert!(
+                !self.jobs[j].is_finished(),
+                "retry gate outlives finished job {j}"
+            );
+            assert_eq!(
+                self.jobs[j].stages[s].tasks[t].state,
+                TaskState::Runnable,
+                "job {j} stage {s} task {t} gated while not runnable"
+            );
+        }
     }
 
     /// Invariant 13: partition discipline — counter hygiene without the
@@ -166,12 +281,18 @@ impl Driver {
     /// hygiene, backoff gates, and quarantine exclusion.
     fn audit_health(&self) {
         let h = self.health.as_ref().expect("health audit without layer"); // lint: allow(panic) — the health audit only runs when the layer is configured
+                                                                           // Transient faults and failed verified reads draw on the same
+                                                                           // per-job retry counter, so the bound is the larger of the two
+                                                                           // budgets when the durability layer is also active.
+        let budget = self
+            .durability
+            .as_ref()
+            .map_or(h.retry.budget, |d| h.retry.budget.max(d.retry.budget));
         for (j, job) in self.jobs.iter().enumerate() {
             assert!(
-                job.retries <= h.retry.budget,
-                "job {j} consumed {} retries against a budget of {}",
+                job.retries <= budget,
+                "job {j} consumed {} retries against a budget of {budget}",
                 job.retries,
-                h.retry.budget
             );
             if job.failed {
                 let running = job

@@ -344,8 +344,11 @@ impl Driver {
         );
         let readded = self.namenode.reinstate_node(node, survived);
         if readded > 0 {
-            // Replicas reappeared; unlaunched tasks may prefer them.
+            // Replicas reappeared; unlaunched tasks may prefer them —
+            // and a tombstoned block may have just regained an intact
+            // copy, un-parking its waiting tasks.
             self.refresh_all_preferred();
+            self.durability_recheck_unavailable();
         }
     }
 
@@ -429,15 +432,11 @@ impl Driver {
         if lost {
             self.blocks_lost += pinned.len();
         }
-        if self.partition.is_some() {
-            // Partitions make suspicion storms likely (a whole minority
-            // times out together), so the re-replication debt is paid in
-            // paced batches instead of one instant storm — and on heal
-            // the falsely-suspected replicas come straight back.
-            self.arm_restore_tick(now);
-        } else {
-            self.namenode.restore_replication(&mut self.fail_rng);
-        }
+        // Suspicion storms (a whole minority timing out together) and
+        // corruption drops share the unified repair queue: paced batches
+        // whenever a pacing layer is active, the historical instant
+        // restore otherwise.
+        self.schedule_repair(now);
         self.refresh_all_preferred();
     }
 

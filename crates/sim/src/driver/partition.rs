@@ -14,9 +14,10 @@
 //! * `PartitionHeal` — full connectivity returns; ghost dispatches are
 //!   reconciled, reconvergence tracking starts, paced re-replication is
 //!   armed, and the next episode's arrival is drawn.
-//! * `RestoreTick` — one paced batch of re-replication debt is paid
-//!   (replacing the instant `restore_replication` storm while the layer
-//!   is active).
+//! * `RestoreTick` — one paced batch of re-replication debt is paid by
+//!   the unified repair queue (see the `durability` module), replacing
+//!   the instant `restore_replication` storm while any pacing layer is
+//!   active.
 //!
 //! Split-brain safety rests on three mechanisms, all exercised here:
 //! heartbeats from an unreachable node are *emitted and lost* (the RNG
@@ -60,8 +61,6 @@ pub(super) struct PartitionLayer {
     /// `(heal time, former minority)` while waiting for the master's
     /// beliefs about the rejoined nodes to settle.
     pub(super) awaiting_reconverge: Option<(SimTime, Vec<NodeId>)>,
-    /// Whether a `RestoreTick` is pending (at most one in flight).
-    pub(super) restore_armed: bool,
 }
 
 impl PartitionLayer {
@@ -74,7 +73,6 @@ impl PartitionLayer {
             lost_dispatches: BTreeSet::new(),
             deferred: BTreeSet::new(),
             awaiting_reconverge: None,
-            restore_armed: false,
         }
     }
 }
@@ -153,7 +151,7 @@ impl Driver {
         self.drain_lost_dispatches(now);
         let p = self.partition.as_mut().expect("layer checked above"); // lint: allow(panic) — guarded by the let-else at the top
         p.awaiting_reconverge = Some((now, minority));
-        self.arm_restore_tick(now);
+        self.arm_repair_tick(now);
         self.schedule_next_partition(now);
     }
 
@@ -176,39 +174,6 @@ impl Driver {
         self.queue.schedule(
             now + SimDuration::from_secs_f64(gap),
             Event::PartitionFlap { episode },
-        );
-    }
-
-    /// One paced batch of re-replication debt is paid. While debt
-    /// remains the tick re-arms; pacing replaces the instant
-    /// whole-cluster `restore_replication` storm whenever this layer is
-    /// active.
-    pub(super) fn on_restore_tick(&mut self, now: SimTime) {
-        let Some(p) = &mut self.partition else { return };
-        p.restore_armed = false;
-        let batch = p.cfg.restore_batch;
-        let created = self
-            .namenode
-            .restore_replication_batch(&mut self.fail_rng, batch);
-        if created > 0 {
-            self.refresh_all_preferred();
-        }
-        if created == batch {
-            // The batch filled: assume more debt and keep pacing.
-            self.arm_restore_tick(now);
-        }
-    }
-
-    /// Arms the paced re-replication tick if it is not already pending.
-    pub(super) fn arm_restore_tick(&mut self, now: SimTime) {
-        let Some(p) = &mut self.partition else { return };
-        if p.restore_armed {
-            return;
-        }
-        p.restore_armed = true;
-        self.queue.schedule(
-            now + SimDuration::from_secs_f64(p.cfg.restore_interval_secs),
-            Event::RestoreTick,
         );
     }
 

@@ -639,6 +639,118 @@ pub fn partition_sweep(
     (custody_calm, baseline_calm, cells)
 }
 
+/// One cell of the durability sweep: the scrubber + prioritized repair
+/// pipeline on vs off, riding the same latent-rot seeding and ongoing
+/// corruption arrival process at one injected corruption rate.
+#[derive(Debug, Clone)]
+pub struct DurabilityCell {
+    /// Fraction of replicas latently corrupted at t=0 in this cell.
+    pub latent_fraction: f64,
+    /// Metrics with background scrubbing and prioritized repair.
+    pub scrub_on: RunMetrics,
+    /// Metrics with scrubbing disabled: verified reads are the only
+    /// detection path, so rot a task never happens to read lingers.
+    pub scrub_off: RunMetrics,
+}
+
+impl DurabilityCell {
+    /// Blocks with zero intact replicas at end of run:
+    /// `(scrub_on, scrub_off)`. The sweep's headline: scrubbing must
+    /// dominate (never lose more, usually strictly fewer).
+    pub fn permanently_lost(&self) -> (usize, usize) {
+        (
+            self.scrub_on.blocks_permanently_lost,
+            self.scrub_off.blocks_permanently_lost,
+        )
+    }
+
+    /// Mean corruption-onset-to-detection latency in seconds:
+    /// `(scrub_on, scrub_off)`.
+    pub fn detection_secs(&self) -> (f64, f64) {
+        (
+            self.scrub_on.corruption_detection_secs.mean(),
+            self.scrub_off.corruption_detection_secs.mean(),
+        )
+    }
+
+    /// Relative mean-JCT inflation versus the corruption-free reference,
+    /// in percent: `(scrub_on, scrub_off)` — the overhead verified reads,
+    /// retries, and repair traffic cost each variant.
+    pub fn jct_overhead_pct(&self, calm: &RunMetrics) -> (f64, f64) {
+        let overhead = |cell: &RunMetrics| {
+            let (a, b) = (
+                cell.job_completion_secs().mean(),
+                calm.job_completion_secs().mean(),
+            );
+            if b == 0.0 {
+                0.0
+            } else {
+                (a - b) / b * 100.0
+            }
+        };
+        (overhead(&self.scrub_on), overhead(&self.scrub_off))
+    }
+}
+
+/// The corruption-injection profile the sweep runs: a latent population
+/// plus fast ongoing arrivals, a deep retry budget so jobs survive the
+/// rot they can survive, and default scrub/repair pacing when on.
+fn sweep_corruption(latent_fraction: f64, scrub: bool) -> crate::config::CorruptionConfig {
+    let mut cc = crate::config::CorruptionConfig::default()
+        .with_latent_fraction(latent_fraction)
+        .with_mean_time_between_corruptions(3.0)
+        .with_scrub_interval(if scrub { 5.0 } else { 0.0 });
+    // A provisioned scrubber: wide enough to cover the whole namespace
+    // every tick or two even on the paper clusters, so rot is found well
+    // before the arrival process can finish off a block's remaining
+    // copies. Both variants get the same provisioned repair pacing —
+    // only detection differs between them.
+    cc.scrub_blocks_per_tick = 2048;
+    cc.repair_batch = 16;
+    cc.retry_budget = 64;
+    cc
+}
+
+/// The durability sweep: the background scrubber + unified prioritized
+/// repair pipeline on vs off across a grid of injected latent-corruption
+/// rates (each also running the same ongoing arrival process), plus a
+/// corruption-free reference at the front. All cells share the cluster,
+/// submission schedule, and placement; per rate, both variants seed the
+/// same latent marks. Returns `(calm, cells)`; cells are run in parallel
+/// and ordered by increasing rate.
+pub fn durability_sweep(
+    num_nodes: usize,
+    jobs_per_app: usize,
+    latent_fractions: &[f64],
+    seed: u64,
+) -> (RunMetrics, Vec<DurabilityCell>) {
+    let mut base = SimConfig::paper(
+        WorkloadKind::WordCount,
+        num_nodes,
+        AllocatorKind::Custody,
+        seed,
+    );
+    base.campaign = base.campaign.with_jobs_per_app(jobs_per_app);
+    let base_for_cells = base.clone();
+    let grid: Vec<f64> = latent_fractions.to_vec();
+    let mut cells = custody_simcore::par_map(&grid, move |&latent| {
+        let with = |scrub: bool| {
+            let cfg = base_for_cells
+                .clone()
+                .with_corruption(sweep_corruption(latent, scrub));
+            Simulation::run(&cfg).cluster_metrics
+        };
+        DurabilityCell {
+            latent_fraction: latent,
+            scrub_on: with(true),
+            scrub_off: with(false),
+        }
+    });
+    cells.sort_by(|a, b| a.latent_fraction.total_cmp(&b.latent_fraction));
+    let calm = Simulation::run(&base).cluster_metrics;
+    (calm, cells)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -745,6 +857,42 @@ mod tests {
                 .any(|c| c.custody.partition_episodes > 0 || c.baseline.partition_episodes > 0),
             "partition sweep drew no episodes"
         );
+    }
+
+    #[test]
+    fn durability_sweep_runs_and_orders_cells() {
+        let (calm, cells) = durability_sweep(10, 4, &[0.3, 0.15], 19);
+        assert_eq!(cells.len(), 2);
+        // Ordered gentle → harsh (increasing rate).
+        assert!(cells[0].latent_fraction < cells[1].latent_fraction);
+        // The reference never saw rot.
+        assert_eq!(calm.replicas_corrupted, 0);
+        assert_eq!(calm.jobs_completed, 16);
+        for cell in &cells {
+            for m in [&cell.scrub_on, &cell.scrub_off] {
+                // No job may ever hang or double-complete under rot.
+                assert_eq!(m.jobs_completed + m.jobs_failed, 16);
+                assert!(m.replicas_corrupted > 0, "no corruption injected");
+            }
+            // Scrubbing is the only detector that finds rot nobody reads.
+            assert!(cell.scrub_on.scrub_detections > 0, "scrubber idle");
+            assert_eq!(cell.scrub_off.scrub_detections, 0);
+            // The headline: scrub + prioritized repair dominates on
+            // permanent loss at every injected rate.
+            let (on, off) = cell.permanently_lost();
+            assert!(
+                on < off,
+                "scrubbing did not dominate at rate {}: {on} vs {off} lost",
+                cell.latent_fraction
+            );
+            // Scrubbing also restores redundancy rot merely endangered.
+            assert!(
+                cell.scrub_on.blocks_at_risk < cell.scrub_off.blocks_at_risk,
+                "scrubbing left as many blocks at risk as not scrubbing"
+            );
+            let (jo, _) = cell.jct_overhead_pct(&calm);
+            assert!(jo.is_finite());
+        }
     }
 
     #[test]

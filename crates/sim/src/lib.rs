@@ -37,8 +37,8 @@ pub mod sweep;
 pub mod trace;
 
 pub use config::{
-    ChaosConfig, ControlPlaneConfig, FailSlowConfig, NodeFailure, PartitionConfig, PlacementKind,
-    QuotaMode, SimConfig,
+    ChaosConfig, ControlPlaneConfig, CorruptionConfig, FailSlowConfig, NodeFailure,
+    PartitionConfig, PlacementKind, QuotaMode, SimConfig,
 };
 pub use driver::Simulation;
 pub use metrics::{AppMetrics, RunMetrics, SimOutcome};

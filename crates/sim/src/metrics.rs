@@ -188,6 +188,35 @@ pub struct RunMetrics {
     /// Seconds from a partition's heal to the master's beliefs about the
     /// rejoined minority settling, per reconverged episode.
     pub partition_reconverge_secs: Summary,
+    /// Replicas that silently rotted (latent seeding plus stochastic
+    /// arrivals) — ground truth, whether or not ever detected.
+    pub replicas_corrupted: usize,
+    /// Corrupt replicas discovered because a task's verified read failed
+    /// its checksum.
+    pub corrupt_reads_detected: usize,
+    /// Corrupt replicas discovered by the background scrubber.
+    pub scrub_detections: usize,
+    /// Seconds from a replica's rot onset to its detection, scored once
+    /// per detected mark — the scrubber's detection-latency metric.
+    pub corruption_detection_secs: Summary,
+    /// Replicas re-created by the unified repair pipeline (instant
+    /// oracle restores and paced priority batches both).
+    pub replicas_repaired: usize,
+    /// Blocks that lost their last intact replica and were tombstoned
+    /// (waiting tasks park instead of reading rotten bytes).
+    pub blocks_unavailable: usize,
+    /// Tombstoned blocks that regained an intact replica (a falsely
+    /// suspected holder rejoined with its data) before their deadline.
+    pub blocks_recovered: usize,
+    /// Blocks ending the run with exactly one intact replica — the
+    /// at-risk slice of the durability ledger.
+    pub blocks_at_risk: usize,
+    /// Blocks ending the run with no intact replica at all, detected or
+    /// not — the permanently-lost slice of the durability ledger.
+    pub blocks_permanently_lost: usize,
+    /// Jobs failed cleanly because a block they need stayed unavailable
+    /// past the configured deadline.
+    pub jobs_failed_unavailable: usize,
 }
 
 impl RunMetrics {
@@ -364,6 +393,16 @@ mod tests {
             partition_finishes_fenced: 0,
             partition_work_discarded: 0,
             partition_reconverge_secs: Summary::new(),
+            replicas_corrupted: 0,
+            corrupt_reads_detected: 0,
+            scrub_detections: 0,
+            corruption_detection_secs: Summary::new(),
+            replicas_repaired: 0,
+            blocks_unavailable: 0,
+            blocks_recovered: 0,
+            blocks_at_risk: 0,
+            blocks_permanently_lost: 0,
+            jobs_failed_unavailable: 0,
         };
         assert_eq!(run.input_locality().count(), 4);
         assert_eq!(run.job_completion_secs().count(), 4);
@@ -414,6 +453,16 @@ mod tests {
             partition_finishes_fenced: 0,
             partition_work_discarded: 0,
             partition_reconverge_secs: Summary::new(),
+            replicas_corrupted: 0,
+            corrupt_reads_detected: 0,
+            scrub_detections: 0,
+            corruption_detection_secs: Summary::new(),
+            replicas_repaired: 0,
+            blocks_unavailable: 0,
+            blocks_recovered: 0,
+            blocks_at_risk: 0,
+            blocks_permanently_lost: 0,
+            jobs_failed_unavailable: 0,
         };
         assert_eq!(run.min_local_job_fraction(), 1.0);
     }

@@ -141,6 +141,46 @@ fn assert_identical(on: &RunMetrics, off: &RunMetrics, label: &str) {
         on.partition_reconverge_secs, off.partition_reconverge_secs,
         "{label}: reconvergence times"
     );
+    assert_eq!(
+        on.replicas_corrupted, off.replicas_corrupted,
+        "{label}: corrupted replicas"
+    );
+    assert_eq!(
+        on.corrupt_reads_detected, off.corrupt_reads_detected,
+        "{label}: corrupt reads detected"
+    );
+    assert_eq!(
+        on.scrub_detections, off.scrub_detections,
+        "{label}: scrub detections"
+    );
+    assert_eq!(
+        on.corruption_detection_secs, off.corruption_detection_secs,
+        "{label}: corruption detection latency"
+    );
+    assert_eq!(
+        on.replicas_repaired, off.replicas_repaired,
+        "{label}: replicas repaired"
+    );
+    assert_eq!(
+        on.blocks_unavailable, off.blocks_unavailable,
+        "{label}: blocks tombstoned"
+    );
+    assert_eq!(
+        on.blocks_recovered, off.blocks_recovered,
+        "{label}: tombstones lifted"
+    );
+    assert_eq!(
+        on.blocks_at_risk, off.blocks_at_risk,
+        "{label}: at-risk blocks"
+    );
+    assert_eq!(
+        on.blocks_permanently_lost, off.blocks_permanently_lost,
+        "{label}: permanently lost blocks"
+    );
+    assert_eq!(
+        on.jobs_failed_unavailable, off.jobs_failed_unavailable,
+        "{label}: unavailability job failures"
+    );
     // The scan-everything path never skips.
     assert_eq!(off.rounds_skipped, 0, "{label}: reference path skipped");
 }
@@ -366,6 +406,78 @@ fn chaos_plus_failslow_plus_partition_identical() {
                 .with_failslow(fs)
                 .with_partition(pc),
             &format!("chaos + failslow + partition seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn corruption_identical_across_every_knob() {
+    // The durability layer draws from its own "corruption" stream
+    // (latent seeding coins, arrival gaps, victim picks, retry jitter),
+    // and its verified reads, scrub ticks, tombstones, and prioritized
+    // repair batches all reshape the replica map and the runnable set.
+    // Every configuration knob must leave the incremental engine
+    // invisible.
+    use custody_sim::CorruptionConfig;
+    let base = CorruptionConfig::default()
+        .with_latent_fraction(0.15)
+        .with_mean_time_between_corruptions(15.0);
+    let mut big_retry = base;
+    big_retry.retry_budget = 64;
+    let mut slow_repair = base;
+    slow_repair.repair_batch = 1;
+    slow_repair.repair_interval_secs = 2.0;
+    let mut narrow_scrub = base;
+    narrow_scrub.scrub_blocks_per_tick = 2;
+    for (cc, label) in [
+        (base, "latent + arrivals"),
+        (base.with_latent_fraction(0.0), "arrivals only"),
+        (base.with_mean_time_between_corruptions(0.0), "latent only"),
+        (base.with_scrub_interval(0.0), "scrubbing off"),
+        (base.with_scrub_interval(2.0), "fast scrub"),
+        (narrow_scrub, "narrow scrub window"),
+        (base.with_disk_bias(0.0), "unbiased arrivals"),
+        (base.with_unavailability_deadline(5.0), "quick deadline"),
+        (big_retry, "deep retry budget"),
+        (slow_repair, "paced trickle repair"),
+    ] {
+        run_pair(
+            SimConfig::small_demo(37).with_corruption(cc),
+            &format!("corruption knob: {label}"),
+        );
+    }
+}
+
+#[test]
+fn chaos_plus_failslow_plus_partition_plus_corruption_identical() {
+    // The complete storm: crash/recovery cycles, gray failures, network
+    // cuts, and silent rot all churning the replica map and the runnable
+    // set at once. Verified-read faults, scrub detections, tombstone
+    // parking, and the unified repair queue must all replay identically
+    // when rounds are skipped.
+    use custody_sim::{CorruptionConfig, FailSlowConfig, PartitionConfig};
+    let chaos = ChaosConfig::default()
+        .with_mean_time_between_faults(20.0)
+        .with_horizon(120.0);
+    let fs = FailSlowConfig::default()
+        .with_sick_fraction(0.2)
+        .with_transient_fault_prob(0.05);
+    let pc = PartitionConfig::default()
+        .with_split_fraction(0.4)
+        .with_mean_heal(8.0)
+        .with_mean_time_between_partitions(12.0);
+    let cc = CorruptionConfig::default()
+        .with_latent_fraction(0.1)
+        .with_mean_time_between_corruptions(15.0)
+        .with_disk_bias(1.0);
+    for seed in [5, 29] {
+        run_pair(
+            SimConfig::small_demo(seed)
+                .with_chaos(chaos)
+                .with_failslow(fs)
+                .with_partition(pc)
+                .with_corruption(cc),
+            &format!("full storm seed {seed}"),
         );
     }
 }
